@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * Shared helpers for the experiment benches.  Each bench binary
+ * regenerates one table or figure of the paper and prints the same rows
+ * or series the paper reports; `MX_BENCH_FAST=1` in the environment
+ * shrinks the Monte-Carlo sizes for smoke runs.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mx {
+namespace bench {
+
+/** True when the environment requests a fast smoke run. */
+inline bool
+fast_mode()
+{
+    const char* v = std::getenv("MX_BENCH_FAST");
+    return v != nullptr && v[0] == '1';
+}
+
+/** Scale a Monte-Carlo count down in fast mode. */
+inline std::size_t
+scaled(std::size_t full, std::size_t fast)
+{
+    return fast_mode() ? fast : full;
+}
+
+/** Print a section banner. */
+inline void
+banner(const std::string& title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace bench
+} // namespace mx

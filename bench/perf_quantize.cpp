@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Engineering microbenchmarks (google-benchmark): throughput of the
+ * quantizers, the packed codec, and the pipeline simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/quantize.h"
+#include "formats/block_codec.h"
+#include "hw/pipeline.h"
+#include "nn/quant.h"
+#include "stats/rng.h"
+
+using namespace mx;
+using namespace mx::core;
+
+namespace {
+
+std::vector<float>
+make_data(std::size_t n)
+{
+    stats::Rng rng(1);
+    std::vector<float> v(n);
+    for (auto& x : v)
+        x = static_cast<float>(rng.normal());
+    return v;
+}
+
+void
+bm_quantize(benchmark::State& state, const BdrFormat& fmt)
+{
+    auto x = make_data(4096);
+    std::vector<float> out(x.size());
+    Quantizer q(fmt, RoundingMode::NearestEven, ScalingPolicy::JustInTime);
+    for (auto _ : state) {
+        q(x, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(x.size()));
+}
+
+void
+bm_pack(benchmark::State& state, const BdrFormat& fmt)
+{
+    auto x = make_data(4096);
+    for (auto _ : state) {
+        auto p = formats::pack(fmt, x);
+        benchmark::DoNotOptimize(p.bytes.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(x.size()));
+}
+
+void
+bm_pipeline(benchmark::State& state, const BdrFormat& fmt)
+{
+    auto a = make_data(64), b = make_data(64);
+    hw::DotProductPipeline pipe({fmt, 64, 25});
+    for (auto _ : state) {
+        double v = pipe.dot(a, b);
+        benchmark::DoNotOptimize(v);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            64);
+}
+
+void
+bm_qmatmul(benchmark::State& state)
+{
+    stats::Rng rng(2);
+    tensor::Tensor a = tensor::Tensor::randn({64, 256}, rng);
+    tensor::Tensor b = tensor::Tensor::randn({64, 256}, rng);
+    for (auto _ : state) {
+        auto c = nn::qmatmul_nt(a, b, mx9());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            64 * 64 * 256);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(bm_quantize, mx9, mx9());
+BENCHMARK_CAPTURE(bm_quantize, mx6, mx6());
+BENCHMARK_CAPTURE(bm_quantize, mx4, mx4());
+BENCHMARK_CAPTURE(bm_quantize, msfp16, msfp16());
+BENCHMARK_CAPTURE(bm_quantize, fp8_e4m3, fp8_e4m3());
+BENCHMARK_CAPTURE(bm_quantize, int8, scaled_int(8));
+BENCHMARK_CAPTURE(bm_quantize, vsq8, vsq(8, 8));
+BENCHMARK_CAPTURE(bm_pack, mx9, mx9());
+BENCHMARK_CAPTURE(bm_pack, fp8_e4m3, fp8_e4m3());
+BENCHMARK_CAPTURE(bm_pipeline, mx9, mx9());
+BENCHMARK_CAPTURE(bm_pipeline, fp8_e4m3, fp8_e4m3());
+BENCHMARK(bm_qmatmul);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Format explorer: evaluate any BDR configuration from the command line.
+ *
+ *   $ ./examples/format_explorer m d1 k1 d2 k2 [vectors]
+ *   $ ./examples/format_explorer 7 8 16 1 2      # MX9
+ *   $ ./examples/format_explorer 3 8 16 0 1      # MSFP12
+ *
+ * Prints QSNR under several distributions, the Theorem 1 bound, the
+ * area/memory cost, and the per-stage area breakdown.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/check.h"
+#include "core/qsnr_harness.h"
+#include "core/theory.h"
+#include "hw/cost.h"
+
+using namespace mx;
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 6) {
+        std::fprintf(stderr,
+                     "usage: %s m d1 k1 d2 k2 [num_vectors]\n"
+                     "  e.g. %s 7 8 16 1 2   (MX9)\n", argv[0], argv[0]);
+        return 2;
+    }
+    int m = std::atoi(argv[1]);
+    int d1 = std::atoi(argv[2]);
+    int k1 = std::atoi(argv[3]);
+    int d2 = std::atoi(argv[4]);
+    int k2 = std::atoi(argv[5]);
+    std::size_t vectors = argc > 6
+        ? static_cast<std::size_t>(std::atoll(argv[6]))
+        : 2000;
+
+    core::BdrFormat fmt;
+    try {
+        fmt = core::mx_custom(m, d1, k1, d2, k2);
+    } catch (const mx::Error& e) {
+        std::fprintf(stderr, "invalid configuration: %s\n", e.what());
+        return 2;
+    }
+    std::printf("%s — %.3f bits/element\n", fmt.summary().c_str(),
+                fmt.bits_per_element());
+
+    core::QsnrRunConfig cfg;
+    cfg.num_vectors = vectors;
+    cfg.vector_length = 1024;
+    std::printf("\nQSNR (%zu vectors x %zu):\n", cfg.num_vectors,
+                cfg.vector_length);
+    for (auto d : stats::all_distributions()) {
+        cfg.distribution = d;
+        std::printf("  %-20s %7.2f dB\n", stats::to_string(d).c_str(),
+                    core::measure_qsnr_db(fmt, cfg));
+    }
+    std::printf("Theorem 1 lower bound: %.2f dB\n",
+                core::qsnr_lower_bound_db(fmt, cfg.vector_length));
+
+    hw::CostModel cm;
+    auto c = cm.evaluate(fmt);
+    std::printf("\nHardware cost (FP8 dual = 1.0): area %.3f, memory "
+                "%.3f, product %.3f\n", c.normalized_area,
+                c.normalized_memory, c.area_memory_product);
+    std::printf("\n%s", cm.area_model().breakdown(fmt).to_string().c_str());
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * End-to-end MX training example: train the same MLP in FP32 and in
+ * MX9 (Figure 8 compute flow: every matmul quantized in both passes)
+ * and watch the loss curves track each other.
+ *
+ *   $ ./examples/mx_training
+ */
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "models/mlp.h"
+#include "models/trainer.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "stats/metrics.h"
+
+using namespace mx;
+using namespace mx::models;
+
+namespace {
+
+double
+train(MlpClassifier& model, const data::GaussianClusters& task,
+      const char* label)
+{
+    nn::Adam opt(model.params(), 3e-3);
+    stats::Rng rng(5150); // identical data stream for both runs
+    RunningAverage avg(0.05);
+    std::printf("%s:\n", label);
+    for (int step = 0; step < 200; ++step) {
+        auto b = task.sample(64, rng);
+        opt.zero_grad();
+        tensor::Tensor logits = model.logits(b.x, true);
+        auto res = nn::softmax_cross_entropy(logits, b.labels);
+        model.backward(res.grad);
+        opt.step();
+        avg.update(res.loss);
+        if (step % 40 == 39)
+            std::printf("  step %3d  loss %.4f\n", step + 1, avg.value());
+    }
+    stats::Rng eval_rng(6160);
+    auto e = task.sample(2048, eval_rng);
+    tensor::Tensor logits = model.logits(e.x, false);
+    double acc = stats::top1_accuracy(e.labels, logits.vec(), 6);
+    std::printf("  eval top-1 accuracy: %.4f\n", acc);
+    return acc;
+}
+
+} // namespace
+
+int
+main()
+{
+    data::GaussianClusters task(6, 12, 314);
+
+    MlpClassifier fp32(12, {48, 48}, 6, nn::QuantSpec::fp32(), 9);
+    double a_fp = train(fp32, task, "FP32 baseline");
+
+    // Uniform MX9: forward AND backward matmuls quantized, no recipe
+    // change, same seeds and hyper-parameters.
+    MlpClassifier mx9(12, {48, 48}, 6,
+                      nn::QuantSpec::uniform(core::mx9()), 9);
+    double a_mx = train(mx9, task, "MX9 training (drop-in)");
+
+    std::printf("\naccuracy delta (MX9 - FP32): %+.4f — the paper's "
+                "drop-in-replacement claim in miniature\n", a_mx - a_fp);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: quantize a tensor to MX9/MX6/MX4, inspect fidelity and
+ * storage, and run the hardware dot-product pipeline.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/qsnr_harness.h"
+#include "core/theory.h"
+#include "formats/block_codec.h"
+#include "hw/cost.h"
+#include "hw/pipeline.h"
+#include "stats/metrics.h"
+
+using namespace mx;
+
+int
+main()
+{
+    // 1. Make some data (the paper's variable-variance Gaussian).
+    stats::Rng rng(7);
+    std::vector<float> x;
+    stats::make_vector(stats::Distribution::GaussianVariableVariance, 1.0,
+                       256, rng, x);
+
+    // 2. Fake-quantize to each MX format and measure QSNR (Eq. 3).
+    std::printf("Quantizing 256 values:\n");
+    for (const auto& fmt : {core::mx9(), core::mx6(), core::mx4()}) {
+        auto q = core::fake_quantize(fmt, x);
+        std::printf("  %-4s -> QSNR %6.2f dB (Theorem-1 bound %6.2f), "
+                    "%.1f bits/element\n", fmt.name.c_str(),
+                    stats::qsnr_db(x, q),
+                    core::qsnr_lower_bound_db(fmt, x.size()),
+                    fmt.bits_per_element());
+    }
+
+    // 3. Pack to the exact bit stream a native-MX memory would hold.
+    formats::PackedTensor packed = formats::pack(core::mx9(), x);
+    std::printf("\nPacked MX9 tensor: %zu elements in %zu bytes "
+                "(%.2f bits/element)\n", packed.num_elements,
+                packed.bytes.size(), packed.bits_per_element());
+    auto restored = formats::unpack(packed);
+    std::printf("unpack == fake_quantize: %s\n",
+                restored == core::fake_quantize(core::mx9(), x) ? "yes"
+                                                                : "no");
+
+    // 4. Run the Figure 6 hardware pipeline on a 64-element dot product.
+    std::vector<float> a(x.begin(), x.begin() + 64);
+    std::vector<float> b(x.begin() + 64, x.begin() + 128);
+    hw::DotProductPipeline pipe({core::mx9(), 64, 25});
+    hw::PipelineResult res = pipe.run(a, b);
+    std::printf("\nMX9 dot product (r=64, f=25): hw=%.6f exact=%.6f "
+                "(truncated bits: %d)\n", res.value,
+                res.exact_quantized_dot, res.truncated_bits);
+
+    // 5. Where does MX9 sit on the Figure 7 cost axis?
+    hw::CostModel cm;
+    auto c = cm.evaluate(core::mx9());
+    std::printf("\nMX9 normalized cost: area %.3f x memory %.3f = %.3f "
+                "(FP8 = 1.0)\n", c.normalized_area, c.normalized_memory,
+                c.area_memory_product);
+    return 0;
+}

@@ -1,0 +1,264 @@
+#include "core/bdr_format.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace mx {
+namespace core {
+
+const char*
+to_string(ScaleKind kind)
+{
+    switch (kind) {
+      case ScaleKind::None: return "-";
+      case ScaleKind::Pow2Hw: return "2^z (HW)";
+      case ScaleKind::Fp32Sw: return "FP32 (SW)";
+      case ScaleKind::IntHw: return "INT (HW)";
+    }
+    return "?";
+}
+
+const char*
+to_string(ElementKind kind)
+{
+    switch (kind) {
+      case ElementKind::SignMagnitude: return "sign-magnitude";
+      case ElementKind::TwosComplement: return "twos-complement";
+      case ElementKind::FloatingPoint: return "floating-point";
+    }
+    return "?";
+}
+
+void
+BdrFormat::validate() const
+{
+    MX_CHECK_ARG(m >= 0 && m <= 23, name << ": mantissa bits out of range");
+    if (elem == ElementKind::FloatingPoint) {
+        MX_CHECK_ARG(e >= 1 && e <= 8, name << ": FP exponent bits");
+        MX_CHECK_ARG(k1 == 1 && k2 == 1,
+                     name << ": scalar FP uses k1 == k2 == 1 in hardware");
+        MX_CHECK_ARG(ss_kind == ScaleKind::None || d2 == e,
+                     name << ": for scalar FP, d2 is the private exponent");
+    } else {
+        MX_CHECK_ARG(e == 0, name << ": block formats have no private exp");
+        MX_CHECK_ARG(k1 >= 1, name << ": k1 must be positive");
+        MX_CHECK_ARG(k2 >= 1 && k1 % k2 == 0,
+                     name << ": k2 must divide k1 (k1=" << k1 << " k2=" << k2
+                          << ")");
+        MX_CHECK_ARG((d2 == 0) == (ss_kind == ScaleKind::None),
+                     name << ": d2 and ss_kind must agree");
+        if (ss_kind == ScaleKind::Pow2Hw)
+            MX_CHECK_ARG(d2 >= 1 && d2 <= 4, name << ": pow2 sub-scale bits");
+        if (ss_kind == ScaleKind::IntHw)
+            MX_CHECK_ARG(d2 >= 1 && d2 <= 12, name << ": int sub-scale bits");
+    }
+    if (s_kind == ScaleKind::Pow2Hw)
+        MX_CHECK_ARG(d1 >= 1 && d1 <= 11, name << ": pow2 scale bits");
+    if (s_kind == ScaleKind::Fp32Sw)
+        MX_CHECK_ARG(sw_granularity >= 0, name << ": sw_granularity");
+}
+
+double
+BdrFormat::bits_per_element() const
+{
+    if (elem == ElementKind::FloatingPoint)
+        return 1.0 + e + m;
+    double bits = static_cast<double>(m + 1);
+    if (s_kind == ScaleKind::Pow2Hw)
+        bits += static_cast<double>(d1) / k1;
+    else if (s_kind == ScaleKind::Fp32Sw && sw_granularity > 0)
+        bits += 32.0 / sw_granularity;
+    if (ss_kind == ScaleKind::Pow2Hw || ss_kind == ScaleKind::IntHw)
+        bits += static_cast<double>(d2) / k2;
+    return bits;
+}
+
+int
+BdrFormat::fp_bias() const
+{
+    MX_CHECK_ARG(elem == ElementKind::FloatingPoint,
+                 name << ": fp_bias on non-FP format");
+    return (1 << (e - 1)) - 1;
+}
+
+double
+BdrFormat::fp_max_finite() const
+{
+    MX_CHECK_ARG(elem == ElementKind::FloatingPoint,
+                 name << ": fp_max_finite on non-FP format");
+    int bias = fp_bias();
+    int top = (1 << e) - 1 - bias; // exponent of the all-ones field
+    switch (specials) {
+      case FpSpecials::None:
+        return (2.0 - std::ldexp(1.0, -m)) * std::ldexp(1.0, top);
+      case FpSpecials::MaxNan:
+        // All-ones mantissa at the top exponent is NaN; the next mantissa
+        // down is the max finite.  With m == 0 there is no finite value at
+        // the top exponent at all.
+        if (m == 0)
+            return std::ldexp(1.0, top - 1) * (2.0 - 1.0);
+        return (2.0 - std::ldexp(1.0, 1 - m)) * std::ldexp(1.0, top);
+      case FpSpecials::InfAndNan:
+        return (2.0 - std::ldexp(1.0, -m)) * std::ldexp(1.0, top - 1);
+    }
+    return 0.0;
+}
+
+std::string
+BdrFormat::summary() const
+{
+    std::ostringstream os;
+    os << name << " {";
+    if (elem == ElementKind::FloatingPoint) {
+        os << "E" << e << "M" << m;
+    } else {
+        os << "m=" << m << " d1=" << d1 << " k1=" << k1;
+        if (d2 > 0)
+            os << " d2=" << d2 << " k2=" << k2;
+    }
+    os << " s=" << to_string(s_kind) << "}";
+    return os.str();
+}
+
+namespace {
+
+BdrFormat
+make_mx(std::string name, int m, int d1, int k1, int d2, int k2)
+{
+    BdrFormat f;
+    f.name = std::move(name);
+    f.elem = ElementKind::SignMagnitude;
+    f.m = m;
+    f.s_kind = ScaleKind::Pow2Hw;
+    f.d1 = d1;
+    f.k1 = k1;
+    if (d2 > 0) {
+        f.ss_kind = ScaleKind::Pow2Hw;
+        f.d2 = d2;
+        f.k2 = k2;
+    } else {
+        f.ss_kind = ScaleKind::None;
+        f.d2 = 0;
+        f.k2 = 1;
+    }
+    f.validate();
+    return f;
+}
+
+BdrFormat
+make_fp(std::string name, int e, int m, FpSpecials specials)
+{
+    BdrFormat f;
+    f.name = std::move(name);
+    f.elem = ElementKind::FloatingPoint;
+    f.e = e;
+    f.m = m;
+    f.specials = specials;
+    f.s_kind = ScaleKind::Fp32Sw;
+    f.d1 = 0;
+    f.k1 = 1;
+    f.ss_kind = ScaleKind::Pow2Hw;
+    f.d2 = e;
+    f.k2 = 1;
+    f.sw_granularity = 0; // whole tensor, like Transformer Engine
+    f.validate();
+    return f;
+}
+
+} // namespace
+
+BdrFormat mx9() { return make_mx("MX9", 7, 8, 16, 1, 2); }
+BdrFormat mx6() { return make_mx("MX6", 4, 8, 16, 1, 2); }
+BdrFormat mx4() { return make_mx("MX4", 2, 8, 16, 1, 2); }
+
+BdrFormat
+mx_custom(int m, int d1, int k1, int d2, int k2)
+{
+    std::ostringstream os;
+    os << "BDR{m=" << m << ",d1=" << d1 << ",k1=" << k1 << ",d2=" << d2
+       << ",k2=" << k2 << "}";
+    return make_mx(os.str(), m, d1, k1, d2, k2);
+}
+
+BdrFormat msfp16() { return make_mx("MSFP16", 7, 8, 16, 0, 1); }
+BdrFormat msfp12() { return make_mx("MSFP12", 3, 8, 16, 0, 1); }
+
+BdrFormat
+bfp_custom(int m, int d1, int k1)
+{
+    std::ostringstream os;
+    os << "BFP{m=" << m << ",d1=" << d1 << ",k1=" << k1 << "}";
+    return make_mx(os.str(), m, d1, k1, 0, 1);
+}
+
+BdrFormat fp8_e4m3() { return make_fp("FP8 (E4M3)", 4, 3, FpSpecials::MaxNan); }
+BdrFormat fp8_e5m2() { return make_fp("FP8 (E5M2)", 5, 2, FpSpecials::InfAndNan); }
+BdrFormat fp8_e3m4() { return make_fp("FP8 (E3M4)", 3, 4, FpSpecials::None); }
+BdrFormat fp6_e3m2() { return make_fp("FP6 (E3M2)", 3, 2, FpSpecials::None); }
+BdrFormat fp6_e2m3() { return make_fp("FP6 (E2M3)", 2, 3, FpSpecials::None); }
+BdrFormat fp4_e2m1() { return make_fp("FP4 (E2M1)", 2, 1, FpSpecials::None); }
+BdrFormat fp4_e1m2() { return make_fp("FP4 (E1M2)", 1, 2, FpSpecials::None); }
+BdrFormat fp4_e3m0() { return make_fp("FP4 (E3M0)", 3, 0, FpSpecials::None); }
+BdrFormat fp16() { return make_fp("FP16", 5, 10, FpSpecials::InfAndNan); }
+BdrFormat bf16() { return make_fp("BF16", 8, 7, FpSpecials::InfAndNan); }
+
+BdrFormat
+scaled_int(int total_bits)
+{
+    MX_CHECK_ARG(total_bits >= 2 && total_bits <= 16, "scaled_int bits");
+    BdrFormat f;
+    f.name = "scaled INT" + std::to_string(total_bits);
+    f.elem = ElementKind::TwosComplement;
+    f.m = total_bits - 1;
+    f.s_kind = ScaleKind::Fp32Sw;
+    f.d1 = 0;
+    f.k1 = 1;
+    f.k2 = 1;
+    f.ss_kind = ScaleKind::None;
+    f.d2 = 0;
+    f.sw_granularity = 1024; // Table I: ~1K elements per SW scale
+    f.validate();
+    return f;
+}
+
+BdrFormat
+vsq(int elem_bits, int d2)
+{
+    MX_CHECK_ARG(elem_bits >= 2 && elem_bits <= 16, "vsq element bits");
+    BdrFormat f;
+    f.name = "VSQ" + std::to_string(elem_bits) + " (d2=" +
+             std::to_string(d2) + ")";
+    f.elem = ElementKind::TwosComplement;
+    f.m = elem_bits - 1;
+    f.s_kind = ScaleKind::Fp32Sw;
+    f.d1 = 0;
+    f.k1 = 16;   // the VSQ vector size [23]
+    f.ss_kind = ScaleKind::IntHw;
+    f.d2 = d2;
+    f.k2 = 16;
+    f.sw_granularity = 1024;
+    f.validate();
+    return f;
+}
+
+std::vector<BdrFormat>
+figure7_formats()
+{
+    std::vector<BdrFormat> v = {
+        mx9(), mx6(), mx4(),
+        fp8_e5m2(), fp8_e4m3(), fp8_e3m4(),
+        fp6_e3m2(), fp6_e2m3(),
+        fp4_e2m1(), fp4_e1m2(), fp4_e3m0(),
+        msfp16(), msfp12(),
+        scaled_int(4), scaled_int(8),
+    };
+    for (int bits : {4, 6, 8})
+        for (int d2 : {4, 6, 8, 10})
+            v.push_back(vsq(bits, d2));
+    return v;
+}
+
+} // namespace core
+} // namespace mx

@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Error handling for mxlib.
+ *
+ * Following the gem5 fatal()/panic() split: MX_CHECK_ARG reports misuse of
+ * the public API (caller's fault, throws mx::ArgumentError) while MX_CHECK
+ * reports broken library invariants (our fault, throws mx::InternalError).
+ * Both are always-on; quantization kernels are cheap enough that the
+ * checks never dominate.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mx {
+
+/** Base class for all mxlib exceptions. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** The caller passed invalid arguments or used an object incorrectly. */
+class ArgumentError : public Error
+{
+  public:
+    explicit ArgumentError(const std::string& what) : Error(what) {}
+};
+
+/** An internal invariant was violated (a bug in mxlib itself). */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+throw_check_failed(const char* kind, const char* cond, const char* file,
+                   int line, const std::string& msg)
+{
+    std::ostringstream os;
+    os << kind << " failed: (" << cond << ") at " << file << ":" << line;
+    if (!msg.empty())
+        os << " — " << msg;
+    if (kind[0] == 'M') // MX_CHECK_ARG
+        throw ArgumentError(os.str());
+    throw InternalError(os.str());
+}
+
+} // namespace detail
+} // namespace mx
+
+/** Verify a public-API precondition; throws mx::ArgumentError. */
+#define MX_CHECK_ARG(cond, msg)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream mx_os_;                                       \
+            mx_os_ << msg;                                                   \
+            ::mx::detail::throw_check_failed("MX_CHECK_ARG", #cond,          \
+                                             __FILE__, __LINE__,             \
+                                             mx_os_.str());                  \
+        }                                                                    \
+    } while (0)
+
+/** Verify an internal invariant; throws mx::InternalError. */
+#define MX_CHECK(cond, msg)                                                  \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream mx_os_;                                       \
+            mx_os_ << msg;                                                   \
+            ::mx::detail::throw_check_failed("IX_CHECK", #cond, __FILE__,    \
+                                             __LINE__, mx_os_.str());        \
+        }                                                                    \
+    } while (0)

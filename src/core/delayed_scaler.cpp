@@ -1,0 +1,47 @@
+#include "core/delayed_scaler.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace mx {
+namespace core {
+
+DelayedScaler::DelayedScaler(std::size_t window, double margin)
+    : window_(window), margin_(margin)
+{
+    MX_CHECK_ARG(window >= 1, "DelayedScaler: window must be >= 1");
+    MX_CHECK_ARG(margin > 0, "DelayedScaler: margin must be positive");
+}
+
+double
+DelayedScaler::peek(double current_amax, double max_representable) const
+{
+    double amax = history_.empty()
+        ? current_amax
+        : *std::max_element(history_.begin(), history_.end());
+    if (amax <= 0)
+        amax = current_amax;
+    if (amax <= 0)
+        return 1.0; // all-zero history and tensor: any scale works
+    return amax * margin_ / max_representable;
+}
+
+double
+DelayedScaler::update(double current_amax, double max_representable)
+{
+    double s = peek(current_amax, max_representable);
+    history_.push_back(current_amax);
+    if (history_.size() > window_)
+        history_.pop_front();
+    return s;
+}
+
+void
+DelayedScaler::reset()
+{
+    history_.clear();
+}
+
+} // namespace core
+} // namespace mx

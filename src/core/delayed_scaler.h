@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * Software-managed FP32 scale factors with delayed (history-based) amax.
+ *
+ * This reproduces the "delayed scaling" recipe of NVIDIA's Transformer
+ * Engine [40], which the paper uses as the first-level scale for the INT,
+ * VSQ, and scalar floating-point formats in Figure 7: the scale applied
+ * to the current tensor is derived from the maximum absolute value
+ * observed over a window of *past* tensors, so dynamic distribution shift
+ * shows up as clipping or wasted range — exactly the friction MX removes
+ * by setting scales in hardware.
+ */
+
+#include <cstddef>
+#include <deque>
+
+namespace mx {
+namespace core {
+
+/** Amax-history scale factor generator. */
+class DelayedScaler
+{
+  public:
+    /**
+     * @param window  number of past amax observations retained (the
+     *                Transformer Engine default history length is 16)
+     * @param margin  extra headroom factor applied to the amax (1 = none)
+     */
+    explicit DelayedScaler(std::size_t window = 16, double margin = 1.0);
+
+    /**
+     * Scale factor for the current tensor: max(history) * margin /
+     * max_representable.  On the very first call (empty history) the
+     * current amax is used just-in-time, mirroring TE initialization.
+     * Records @p current_amax into the history afterwards.
+     *
+     * @param current_amax       amax of the tensor about to be quantized
+     * @param max_representable  largest encodable magnitude of the format
+     * @return a strictly positive scale s such that x/s targets the format
+     */
+    double update(double current_amax, double max_representable);
+
+    /** Peek at the scale that would be used, without recording. */
+    double peek(double current_amax, double max_representable) const;
+
+    /** Clear history (e.g. when switching tensors). */
+    void reset();
+
+    /** Number of recorded observations (capped at the window size). */
+    std::size_t history_size() const { return history_.size(); }
+
+  private:
+    std::size_t window_;
+    double margin_;
+    std::deque<double> history_;
+};
+
+} // namespace core
+} // namespace mx

@@ -1,0 +1,29 @@
+#include "core/qsnr_harness.h"
+
+#include <vector>
+
+#include "stats/metrics.h"
+
+namespace mx {
+namespace core {
+
+double
+measure_qsnr_db(const BdrFormat& fmt, const QsnrRunConfig& cfg)
+{
+    stats::Rng rng(cfg.seed);
+    Quantizer quantizer(fmt, cfg.rounding, cfg.policy, cfg.seed ^ 0xabcdef);
+    stats::QsnrAccumulator acc;
+
+    std::vector<float> x, q(cfg.vector_length);
+    for (std::size_t t = 0; t < cfg.num_vectors; ++t) {
+        stats::make_vector(cfg.distribution, cfg.dist_param,
+                           cfg.vector_length, rng, x);
+        q.resize(x.size());
+        quantizer(x, q);
+        acc.add(x, q);
+    }
+    return acc.qsnr_db();
+}
+
+} // namespace core
+} // namespace mx

@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Monte-Carlo QSNR evaluation harness — the paper's statistical
+ * methodology (Section IV-A, Figure 7): the reported QSNR of a format is
+ * the ensemble QSNR over many thousands of independent vectors drawn
+ * from a Gaussian distribution with variable variance, quantized through
+ * the exact same stateful path (delayed scaling and all) that training
+ * would use.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/bdr_format.h"
+#include "core/quantize.h"
+#include "stats/distributions.h"
+
+namespace mx {
+namespace core {
+
+/** Configuration of one QSNR measurement run. */
+struct QsnrRunConfig
+{
+    /** Number of independent vectors (paper: "over 10K"). */
+    std::size_t num_vectors = 10000;
+    /** Elements per vector. */
+    std::size_t vector_length = 1024;
+    /** Data distribution (paper: GaussianVariableVariance). */
+    stats::Distribution distribution =
+        stats::Distribution::GaussianVariableVariance;
+    /** Distribution family parameter (where applicable). */
+    double dist_param = 1.0;
+    /** Mantissa rounding. */
+    RoundingMode rounding = RoundingMode::NearestEven;
+    /** SW-scale policy (paper Fig 7: Delayed for training realism). */
+    ScalingPolicy policy = ScalingPolicy::Delayed;
+    /** Random seed. */
+    std::uint64_t seed = 2023;
+};
+
+/**
+ * Measure the ensemble QSNR (dB) of @p fmt under @p cfg.
+ *
+ * The same random vectors are produced for every format given the same
+ * seed, so format comparisons are paired.
+ */
+double measure_qsnr_db(const BdrFormat& fmt, const QsnrRunConfig& cfg);
+
+} // namespace core
+} // namespace mx

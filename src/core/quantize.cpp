@@ -1,0 +1,252 @@
+#include "core/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/scalar_fp.h"
+
+namespace mx {
+namespace core {
+
+int
+max_abs_exponent(std::span<const float> x)
+{
+    float amax = 0.0f;
+    for (float v : x)
+        amax = std::max(amax, std::fabs(v));
+    if (amax == 0.0f)
+        return kAllZeroExponent;
+    int ex;
+    std::frexp(amax, &ex);
+    return ex - 1; // 2^ex_ <= amax < 2^(ex_+1) with ex_ = ex - 1
+}
+
+double
+Pow2BlockEncoding::decode(const BdrFormat& fmt, std::size_t i) const
+{
+    MX_CHECK_ARG(i < mantissa.size(), "decode: index out of range");
+    std::size_t sub = i / static_cast<std::size_t>(fmt.k2);
+    int tau = sub < sub_shift.size() ? sub_shift[sub] : 0;
+    return static_cast<double>(mantissa[i]) *
+           std::ldexp(1.0, shared_exp - tau - (fmt.m - 1));
+}
+
+void
+quantize_pow2_block(const BdrFormat& fmt, std::span<const float> in,
+                    std::span<float> out, const Rounder& rounder,
+                    Pow2BlockEncoding* enc)
+{
+    MX_CHECK_ARG(fmt.elem == ElementKind::SignMagnitude &&
+                 fmt.s_kind == ScaleKind::Pow2Hw,
+                 fmt.name << ": quantize_pow2_block needs a pow2 HW format");
+    MX_CHECK_ARG(in.size() == out.size(), "quantize_pow2_block: size mismatch");
+    MX_CHECK_ARG(in.size() <= static_cast<std::size_t>(fmt.k1),
+                 "quantize_pow2_block: block larger than k1");
+
+    const int e_max = (1 << (fmt.d1 - 1)) - 1;
+    const int e_min = 1 - (1 << (fmt.d1 - 1));
+    const int beta = fmt.beta();
+    const std::int32_t mant_max = (1 << fmt.m) - 1;
+    const std::size_t k2 = static_cast<std::size_t>(fmt.k2);
+    const std::size_t n_sub = (in.size() + k2 - 1) / k2;
+
+    if (enc) {
+        enc->sub_shift.assign(n_sub, 0);
+        enc->mantissa.assign(in.size(), 0);
+    }
+
+    int raw_e = max_abs_exponent(in);
+    if (raw_e == kAllZeroExponent) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        if (enc) {
+            enc->shared_exp = e_min;
+            std::fill(enc->sub_shift.begin(), enc->sub_shift.end(),
+                      static_cast<std::uint8_t>(beta));
+        }
+        return;
+    }
+    int shared_e = std::clamp(raw_e, e_min, e_max);
+    if (enc)
+        enc->shared_exp = shared_e;
+
+    for (std::size_t sub = 0; sub < n_sub; ++sub) {
+        std::size_t lo = sub * k2;
+        std::size_t hi = std::min(in.size(), lo + k2);
+        int sub_e = max_abs_exponent(in.subspan(lo, hi - lo));
+        int tau;
+        if (sub_e == kAllZeroExponent) {
+            tau = beta;
+        } else {
+            tau = std::clamp(shared_e - sub_e, 0, beta);
+        }
+        if (enc)
+            enc->sub_shift[sub] = static_cast<std::uint8_t>(tau);
+
+        const double step = std::ldexp(1.0, shared_e - tau - (fmt.m - 1));
+        for (std::size_t i = lo; i < hi; ++i) {
+            double a = std::fabs(static_cast<double>(in[i]));
+            std::int64_t q = static_cast<std::int64_t>(rounder.round(a / step));
+            if (q > mant_max)
+                q = mant_max; // hardware saturation
+            double deq = static_cast<double>(q) * step;
+            bool neg = std::signbit(in[i]);
+            out[i] = static_cast<float>(neg ? -deq : deq);
+            if (enc)
+                enc->mantissa[i] =
+                    static_cast<std::int32_t>(neg ? -q : q);
+        }
+    }
+}
+
+void
+quantize_pow2(const BdrFormat& fmt, std::span<const float> in,
+              std::span<float> out, const Rounder& rounder)
+{
+    MX_CHECK_ARG(in.size() == out.size(), "quantize_pow2: size mismatch");
+    const std::size_t k1 = static_cast<std::size_t>(fmt.k1);
+    for (std::size_t off = 0; off < in.size(); off += k1) {
+        std::size_t n = std::min(k1, in.size() - off);
+        quantize_pow2_block(fmt, in.subspan(off, n), out.subspan(off, n),
+                            rounder);
+    }
+}
+
+Quantizer::Quantizer(BdrFormat fmt, RoundingMode mode, ScalingPolicy policy,
+                     std::uint64_t seed)
+    : fmt_(std::move(fmt)),
+      rng_(seed),
+      rounder_(mode, &rng_),
+      policy_(policy),
+      scaler_()
+{
+    fmt_.validate();
+}
+
+void
+Quantizer::operator()(std::span<const float> in, std::span<float> out)
+{
+    MX_CHECK_ARG(in.size() == out.size(), "Quantizer: size mismatch");
+    if (in.empty())
+        return;
+
+    if (fmt_.s_kind == ScaleKind::Pow2Hw) {
+        quantize_pow2(fmt_, in, out, rounder_);
+        return;
+    }
+
+    // Software-scaled families need the call's amax for the scale factor.
+    float amax = 0.0f;
+    for (float v : in)
+        amax = std::max(amax, std::fabs(v));
+
+    switch (fmt_.elem) {
+      case ElementKind::TwosComplement: {
+        if (fmt_.ss_kind == ScaleKind::IntHw) {
+            // VSQ: the delayed scale targets the per-vector scale factors,
+            // which are at most amax / mant_max, encoded in d2-bit ints.
+            const double mant_max = static_cast<double>((1 << fmt_.m) - 1);
+            double max_sv = amax / mant_max;
+            double s = policy_ == ScalingPolicy::Delayed
+                ? scaler_.update(max_sv, (1 << fmt_.d2) - 1)
+                : max_sv / ((1 << fmt_.d2) - 1);
+            if (s <= 0)
+                s = 1.0;
+            quantize_vsq(in, out, s);
+        } else {
+            const double mant_max = static_cast<double>((1 << fmt_.m) - 1);
+            double s = policy_ == ScalingPolicy::Delayed
+                ? scaler_.update(amax, mant_max)
+                : (amax > 0 ? amax / mant_max : 1.0);
+            if (s <= 0)
+                s = 1.0;
+            quantize_int(in, out, s);
+        }
+        return;
+      }
+      case ElementKind::FloatingPoint: {
+        double s = policy_ == ScalingPolicy::Delayed
+            ? scaler_.update(amax, fmt_.fp_max_finite())
+            : (amax > 0 ? amax / fmt_.fp_max_finite() : 1.0);
+        if (s <= 0)
+            s = 1.0;
+        quantize_fp(in, out, s);
+        return;
+      }
+      case ElementKind::SignMagnitude:
+        MX_CHECK(false, fmt_.name << ": sign-magnitude needs Pow2Hw scale");
+    }
+}
+
+void
+Quantizer::quantize_int(std::span<const float> in, std::span<float> out,
+                        double scale)
+{
+    const double mant_max = static_cast<double>((1 << fmt_.m) - 1);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        double q = rounder_.round(in[i] / scale);
+        q = std::clamp(q, -mant_max, mant_max);
+        out[i] = static_cast<float>(q * scale);
+    }
+}
+
+void
+Quantizer::quantize_vsq(std::span<const float> in, std::span<float> out,
+                        double scale)
+{
+    // VS-Quant [23]: per-vector (k2 = 16) scale factor encoded as a d2-bit
+    // unsigned integer multiple of the global FP32 scale.
+    const double mant_max = static_cast<double>((1 << fmt_.m) - 1);
+    const double ss_max = static_cast<double>((1 << fmt_.d2) - 1);
+    const std::size_t k2 = static_cast<std::size_t>(fmt_.k2);
+
+    for (std::size_t lo = 0; lo < in.size(); lo += k2) {
+        std::size_t hi = std::min(in.size(), lo + k2);
+        double sub_amax = 0;
+        for (std::size_t i = lo; i < hi; ++i)
+            sub_amax = std::max<double>(sub_amax, std::fabs(in[i]));
+        double sv = sub_amax / mant_max; // ideal per-vector scale
+        double ssi = std::clamp(std::nearbyint(sv / scale), 1.0, ss_max);
+        double eff = ssi * scale;
+        for (std::size_t i = lo; i < hi; ++i) {
+            double q = rounder_.round(in[i] / eff);
+            q = std::clamp(q, -mant_max, mant_max);
+            out[i] = static_cast<float>(q * eff);
+        }
+    }
+}
+
+void
+Quantizer::quantize_fp(std::span<const float> in, std::span<float> out,
+                       double scale)
+{
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        double q = fp_cast(fmt_, in[i] / scale, rounder_);
+        out[i] = static_cast<float>(q * scale);
+    }
+}
+
+std::vector<float>
+Quantizer::quantize(const std::vector<float>& in)
+{
+    std::vector<float> out(in.size());
+    (*this)(in, out);
+    return out;
+}
+
+void
+Quantizer::quantize_inplace(std::span<float> data)
+{
+    (*this)(data, data);
+}
+
+std::vector<float>
+fake_quantize(const BdrFormat& fmt, const std::vector<float>& in,
+              RoundingMode mode)
+{
+    Quantizer q(fmt, mode, ScalingPolicy::JustInTime);
+    return q.quantize(in);
+}
+
+} // namespace core
+} // namespace mx

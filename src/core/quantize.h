@@ -1,0 +1,162 @@
+#pragma once
+
+/**
+ * @file
+ * The BDR two-level quantization function (paper Figure 5):
+ *
+ *   X = U_i chi_i,   chi_Qi = RoundToInt(chi_i / (s * ss_i), m),
+ *   chi_Ri = s * ss_i * chi_Qi
+ *
+ * This header provides both the stateless hardware-scaled primitives
+ * (shared-exponent blocks for BFP and MX) and a stateful Quantizer
+ * front-end that also covers the software-scaled formats (scaled INT,
+ * scalar FP with delayed scaling, VSQ) so that any BdrFormat can be
+ * fake-quantized through one interface.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bdr_format.h"
+#include "core/delayed_scaler.h"
+#include "core/rounding.h"
+#include "stats/rng.h"
+
+namespace mx {
+namespace core {
+
+/**
+ * Exponent of the largest magnitude in @p x: floor(log2(max|x_i|)).
+ * Returns kAllZeroExponent when every element is zero.
+ */
+int max_abs_exponent(std::span<const float> x);
+
+/** Sentinel returned by max_abs_exponent for all-zero input. */
+constexpr int kAllZeroExponent = -100000;
+
+/**
+ * Integer encoding of one k1-block under power-of-two two-level scaling
+ * (the in-memory form consumed by the hardware dot-product pipeline).
+ */
+struct Pow2BlockEncoding
+{
+    /** Unbiased shared exponent E (clamped to the d1-bit biased range). */
+    int shared_exp = 0;
+    /** Per-sub-block shift tau_i in [0, 2^d2 - 1]; size = ceil(n/k2). */
+    std::vector<std::uint8_t> sub_shift;
+    /** Signed mantissas, |M_i| <= 2^m - 1; size = n. */
+    std::vector<std::int32_t> mantissa;
+
+    /** Dequantized value of element @p i given the format's m. */
+    double decode(const BdrFormat& fmt, std::size_t i) const;
+};
+
+/**
+ * Quantize one block (n <= k1 elements) of a SignMagnitude pow2-scaled
+ * format (BFP when d2 == 0, MX when d2 > 0).
+ *
+ * The shared exponent is the max element exponent in the block; each
+ * sub-block of k2 elements gets a shift tau = min(E - E_sub, 2^d2 - 1);
+ * mantissas are rounded to m bits and saturate at 2^m - 1 (hardware
+ * behaviour; see MSFP [24]).
+ *
+ * @param fmt  SignMagnitude format with s_kind == Pow2Hw
+ * @param in   the block (size may be smaller than k1 at a tensor tail)
+ * @param out  dequantized values, same size as @p in
+ * @param rounder rounding policy for the mantissa
+ * @param enc  optional: receives the integer encoding
+ */
+void quantize_pow2_block(const BdrFormat& fmt, std::span<const float> in,
+                         std::span<float> out, const Rounder& rounder,
+                         Pow2BlockEncoding* enc = nullptr);
+
+/**
+ * Quantize a whole span by splitting it into k1-blocks (tail block may be
+ * short) and applying quantize_pow2_block to each.
+ */
+void quantize_pow2(const BdrFormat& fmt, std::span<const float> in,
+                   std::span<float> out, const Rounder& rounder);
+
+/** How software-managed FP32 scale factors are derived. */
+enum class ScalingPolicy
+{
+    /**
+     * Transformer-Engine-style delayed scaling [40]: the scale applied to
+     * the current tensor comes from an amax history of past tensors.
+     * This is what Figure 7 uses for INT/FP/VSQ during training.
+     */
+    Delayed,
+    /**
+     * Just-in-time scaling from the current tensor's own amax — the
+     * offline/static approach typical for inference (Fig 7 caption).
+     */
+    JustInTime,
+};
+
+/**
+ * Stateful fake-quantizer for any BdrFormat.
+ *
+ * "Fake" quantization maps FP32 input to the exact value grid of the
+ * target format and back, which is numerically identical to what native
+ * hardware would store/compute (the paper's own evaluations use the same
+ * emulation strategy, Section VI).  Software-scaled formats carry a
+ * DelayedScaler per Quantizer instance, so one Quantizer should be bound
+ * to one tensor role (weights / activations / gradients of one layer),
+ * exactly as Transformer Engine binds scaling state per tensor.
+ */
+class Quantizer
+{
+  public:
+    /**
+     * @param fmt    any validated BdrFormat
+     * @param mode   mantissa rounding mode
+     * @param policy scale-factor derivation for SW-scaled formats
+     * @param seed   seed for stochastic rounding (unused otherwise)
+     */
+    explicit Quantizer(BdrFormat fmt,
+                       RoundingMode mode = RoundingMode::NearestEven,
+                       ScalingPolicy policy = ScalingPolicy::Delayed,
+                       std::uint64_t seed = 0x5eed);
+
+    /** Fake-quantize @p in into @p out (sizes must match). */
+    void operator()(std::span<const float> in, std::span<float> out);
+
+    /** Convenience: returns a fake-quantized copy. */
+    std::vector<float> quantize(const std::vector<float>& in);
+
+    /** In-place fake quantization. */
+    void quantize_inplace(std::span<float> data);
+
+    /** The format this quantizer targets. */
+    const BdrFormat& format() const { return fmt_; }
+
+    /** Drop all delayed-scaling history. */
+    void reset_state() { scaler_.reset(); }
+
+  private:
+    void quantize_int(std::span<const float> in, std::span<float> out,
+                      double scale);
+    void quantize_vsq(std::span<const float> in, std::span<float> out,
+                      double scale);
+    void quantize_fp(std::span<const float> in, std::span<float> out,
+                     double scale);
+
+    BdrFormat fmt_;
+    stats::Rng rng_;
+    Rounder rounder_;
+    ScalingPolicy policy_;
+    DelayedScaler scaler_;
+};
+
+/**
+ * One-shot fake quantization with just-in-time scaling — the stateless
+ * path used for direct-cast inference and most tests.
+ */
+std::vector<float> fake_quantize(const BdrFormat& fmt,
+                                 const std::vector<float>& in,
+                                 RoundingMode mode =
+                                     RoundingMode::NearestEven);
+
+} // namespace core
+} // namespace mx

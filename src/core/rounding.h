@@ -1,0 +1,87 @@
+#pragma once
+
+/**
+ * @file
+ * Rounding policies used when mapping scaled real values to integer codes.
+ *
+ * The paper's formats use round-to-nearest (ties to even) throughout; the
+ * related FAST work [43] motivates stochastic rounding for training, which
+ * is provided as an option and exercised by the ablation benches.
+ */
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace mx {
+namespace core {
+
+/** Supported rounding modes for RoundToInt in the quantization function. */
+enum class RoundingMode
+{
+    NearestEven,  ///< IEEE round-to-nearest, ties to even (default).
+    NearestAway,  ///< Round half away from zero.
+    TowardZero,   ///< Truncate.
+    Stochastic,   ///< Round up with probability equal to the fraction.
+};
+
+/** Human-readable name of a rounding mode. */
+inline const char*
+to_string(RoundingMode mode)
+{
+    switch (mode) {
+      case RoundingMode::NearestEven: return "nearest-even";
+      case RoundingMode::NearestAway: return "nearest-away";
+      case RoundingMode::TowardZero: return "toward-zero";
+      case RoundingMode::Stochastic: return "stochastic";
+    }
+    return "?";
+}
+
+/**
+ * Stateful rounder: binds a RoundingMode to the random stream needed by
+ * stochastic rounding.  Cheap to copy; the Rng pointer is non-owning and
+ * only required for RoundingMode::Stochastic.
+ */
+class Rounder
+{
+  public:
+    explicit Rounder(RoundingMode mode = RoundingMode::NearestEven,
+                     stats::Rng* rng = nullptr)
+        : mode_(mode), rng_(rng)
+    {
+    }
+
+    /** Round @p v to an integral double under the configured mode. */
+    double
+    round(double v) const
+    {
+        switch (mode_) {
+          case RoundingMode::NearestEven:
+            // nearbyint honours the FP environment; the default mode is
+            // round-to-nearest-even, which mxlib never changes.
+            return std::nearbyint(v);
+          case RoundingMode::NearestAway:
+            return std::round(v);
+          case RoundingMode::TowardZero:
+            return std::trunc(v);
+          case RoundingMode::Stochastic: {
+            double f = std::floor(v);
+            double frac = v - f;
+            double u = rng_ ? rng_->uniform() : 0.5;
+            return frac > u ? f + 1.0 : f;
+          }
+        }
+        return std::nearbyint(v);
+    }
+
+    /** The configured mode. */
+    RoundingMode mode() const { return mode_; }
+
+  private:
+    RoundingMode mode_;
+    stats::Rng* rng_;
+};
+
+} // namespace core
+} // namespace mx

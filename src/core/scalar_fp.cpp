@@ -1,0 +1,105 @@
+#include "core/scalar_fp.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace mx {
+namespace core {
+
+namespace {
+
+/**
+ * Shared rounding core: returns |result| for |v|, as a double.
+ * The exponent of the rounding step is max(floor(log2|v|), emin) - m,
+ * which covers normals, subnormals, and carry-out to the next binade.
+ */
+double
+cast_magnitude(const BdrFormat& fmt, double a, const Rounder& rounder)
+{
+    if (a == 0.0)
+        return 0.0;
+    int bias = fmt.fp_bias();
+    int emin = 1 - bias; // smallest normal exponent
+    int ex;
+    std::frexp(a, &ex);
+    ex -= 1; // a = f * 2^(ex+1), f in [0.5, 1)  =>  2^ex <= a < 2^(ex+1)
+    int q_exp = ex < emin ? emin : ex;
+    double step = std::ldexp(1.0, q_exp - fmt.m);
+    double q = rounder.round(a / step) * step;
+    double max_finite = fmt.fp_max_finite();
+    if (q > max_finite)
+        q = max_finite; // saturating cast (no inf generation)
+    return q;
+}
+
+} // namespace
+
+double
+fp_cast(const BdrFormat& fmt, double v, const Rounder& rounder)
+{
+    MX_CHECK_ARG(fmt.elem == ElementKind::FloatingPoint,
+                 fmt.name << ": fp_cast on non-FP format");
+    if (std::isnan(v))
+        return v;
+    if (std::isinf(v))
+        return std::copysign(fmt.fp_max_finite(), v);
+    double q = cast_magnitude(fmt, std::fabs(v), rounder);
+    return std::copysign(q, v);
+}
+
+std::uint32_t
+fp_encode(const BdrFormat& fmt, double v, const Rounder& rounder)
+{
+    MX_CHECK_ARG(fmt.elem == ElementKind::FloatingPoint,
+                 fmt.name << ": fp_encode on non-FP format");
+    std::uint32_t sign = std::signbit(v) ? 1u : 0u;
+    double a = cast_magnitude(fmt, std::fabs(v), rounder);
+
+    int bias = fmt.fp_bias();
+    int emin = 1 - bias;
+    std::uint32_t exp_field = 0, man_field = 0;
+    if (a != 0.0) {
+        int ex;
+        std::frexp(a, &ex);
+        ex -= 1;
+        if (ex < emin) {
+            // Subnormal: value = man * 2^(emin - m).
+            exp_field = 0;
+            man_field = static_cast<std::uint32_t>(
+                std::llround(a / std::ldexp(1.0, emin - fmt.m)));
+        } else {
+            exp_field = static_cast<std::uint32_t>(ex + bias);
+            double frac = a / std::ldexp(1.0, ex) - 1.0; // in [0, 1)
+            man_field = static_cast<std::uint32_t>(
+                std::llround(frac * std::ldexp(1.0, fmt.m)));
+            MX_CHECK(man_field < (1u << fmt.m),
+                     fmt.name << ": mantissa overflow in encode");
+        }
+    }
+    return man_field | (exp_field << fmt.m) | (sign << (fmt.m + fmt.e));
+}
+
+double
+fp_decode(const BdrFormat& fmt, std::uint32_t code)
+{
+    MX_CHECK_ARG(fmt.elem == ElementKind::FloatingPoint,
+                 fmt.name << ": fp_decode on non-FP format");
+    std::uint32_t man_mask = (1u << fmt.m) - 1;
+    std::uint32_t man = code & man_mask;
+    std::uint32_t exp_field = (code >> fmt.m) & ((1u << fmt.e) - 1);
+    bool negative = ((code >> (fmt.m + fmt.e)) & 1u) != 0;
+
+    int bias = fmt.fp_bias();
+    double a;
+    if (exp_field == 0) {
+        a = man * std::ldexp(1.0, (1 - bias) - fmt.m);
+    } else {
+        a = (1.0 + man * std::ldexp(1.0, -fmt.m)) *
+            std::ldexp(1.0, static_cast<int>(exp_field) - bias);
+    }
+    return negative ? -a : a;
+}
+
+} // namespace core
+} // namespace mx

@@ -1,0 +1,49 @@
+#pragma once
+
+/**
+ * @file
+ * Parameterized scalar floating-point codec (EeMm).
+ *
+ * Implements cast-to-narrow-float with implicit leading one, subnormals,
+ * configurable rounding, and the three special-value policies used by the
+ * paper's comparison formats (OCP-style all-finite FP4/FP6, E4M3's
+ * NaN-on-max-code, and IEEE inf/NaN for E5M2/FP16/BF16).  Out-of-range
+ * magnitudes saturate to the largest finite value, matching deep-learning
+ * practice for narrow formats.
+ */
+
+#include <cstdint>
+
+#include "core/bdr_format.h"
+#include "core/rounding.h"
+
+namespace mx {
+namespace core {
+
+/**
+ * Quantize a single value to the scalar floating-point format @p fmt.
+ *
+ * @param fmt      a FloatingPoint-element BdrFormat (validated by caller)
+ * @param v        the value to cast (finite)
+ * @param rounder  rounding policy
+ * @return the nearest representable value under the policy, saturated to
+ *         the format's largest finite magnitude.
+ */
+double fp_cast(const BdrFormat& fmt, double v, const Rounder& rounder);
+
+/**
+ * Encode @p v into the format's integer code (sign, exponent field,
+ * mantissa field packed LSB-first: mantissa | exponent << m | sign << (m+e)).
+ * Used by the packed-format library and the bit-exactness tests.
+ */
+std::uint32_t fp_encode(const BdrFormat& fmt, double v,
+                        const Rounder& rounder);
+
+/** Decode an integer code produced by fp_encode back to a double. */
+double fp_decode(const BdrFormat& fmt, std::uint32_t code);
+
+/** Number of bits in a packed code: 1 + e + m. */
+inline int fp_code_bits(const BdrFormat& fmt) { return 1 + fmt.e + fmt.m; }
+
+} // namespace core
+} // namespace mx

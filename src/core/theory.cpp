@@ -1,0 +1,35 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace mx {
+namespace core {
+
+double
+qsnr_lower_bound_db(int m, int k1, int k2, int d2, std::size_t n)
+{
+    MX_CHECK_ARG(m >= 0 && k1 >= 1 && k2 >= 1 && d2 >= 0,
+                 "qsnr_lower_bound_db: bad parameters");
+    const double beta = static_cast<double>((1 << d2) - 1);
+    const double two_2b = std::pow(2.0, 2.0 * beta);
+    const double eff_k1 =
+        static_cast<double>(std::min<std::size_t>(n, k1));
+    const double denom = eff_k1 + (two_2b - 1.0) * k2;
+    return 6.02 * m + 10.0 * std::log10(two_2b / denom);
+}
+
+double
+qsnr_lower_bound_db(const BdrFormat& fmt, std::size_t n)
+{
+    MX_CHECK_ARG(fmt.elem == ElementKind::SignMagnitude &&
+                 fmt.s_kind == ScaleKind::Pow2Hw,
+                 fmt.name << ": Theorem 1 applies to pow2-scaled BDR");
+    return qsnr_lower_bound_db(fmt.m, fmt.k1, fmt.d2 > 0 ? fmt.k2 : 1,
+                               fmt.d2, n);
+}
+
+} // namespace core
+} // namespace mx

@@ -1,0 +1,38 @@
+#pragma once
+
+/**
+ * @file
+ * Theorem 1 of the paper (Section IX): a distribution-independent lower
+ * bound on the QSNR of BDR quantization,
+ *
+ *   QSNR >= 6.02 m + 10 log10( 2^(2 beta) /
+ *                              (min(N, k1) + (2^(2 beta) - 1) k2) ),
+ *
+ * with beta = 2^d2 - 1.  Setting d2 = 0 recovers the classic BFP bound
+ * 6.02 m - 10 log10(k1).  The property-test suite checks the bound
+ * empirically for every distribution in stats::all_distributions().
+ */
+
+#include <cstddef>
+
+#include "core/bdr_format.h"
+
+namespace mx {
+namespace core {
+
+/**
+ * Evaluate the Theorem 1 QSNR lower bound in dB.
+ *
+ * @param fmt  a SignMagnitude pow2-scaled BDR format (BFP or MX)
+ * @param n    vector length N (the bound improves when N < k1)
+ */
+double qsnr_lower_bound_db(const BdrFormat& fmt, std::size_t n);
+
+/**
+ * The bound as a function of raw parameters (no format object needed);
+ * used by the design-space sweep.
+ */
+double qsnr_lower_bound_db(int m, int k1, int k2, int d2, std::size_t n);
+
+} // namespace core
+} // namespace mx

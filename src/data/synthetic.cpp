@@ -1,0 +1,322 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace mx {
+namespace data {
+
+using tensor::Tensor;
+
+GaussianClusters::GaussianClusters(int classes, int dim, std::uint64_t seed)
+    : classes_(classes), dim_(dim)
+{
+    MX_CHECK_ARG(classes >= 2 && dim >= 1, "GaussianClusters: bad config");
+    stats::Rng rng(seed);
+    centers_ = Tensor::randn({classes, dim}, rng, 1.6f);
+}
+
+ClassificationBatch
+GaussianClusters::sample(std::int64_t n, stats::Rng& rng) const
+{
+    ClassificationBatch b;
+    b.x = Tensor({n, dim_});
+    b.labels.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        int c = static_cast<int>(rng.uniform_u64(classes_));
+        b.labels[static_cast<std::size_t>(i)] = c;
+        for (int j = 0; j < dim_; ++j)
+            b.x.data()[i * dim_ + j] =
+                centers_.data()[c * dim_ + j] +
+                static_cast<float>(rng.normal(0.0, 1.0));
+    }
+    return b;
+}
+
+ClusterImages::ClusterImages(int classes, int size, std::uint64_t seed)
+    : classes_(classes), size_(size), seed_(seed)
+{
+    MX_CHECK_ARG(classes >= 2 && size >= 4, "ClusterImages: bad config");
+}
+
+ClassificationBatch
+ClusterImages::sample(std::int64_t n, stats::Rng& rng) const
+{
+    ClassificationBatch b;
+    b.x = Tensor({n, 1, size_, size_});
+    b.labels.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        int c = static_cast<int>(rng.uniform_u64(classes_));
+        b.labels[static_cast<std::size_t>(i)] = c;
+        // Blob center and orientation derive deterministically from the
+        // class; pixel noise makes the task non-trivial.
+        double cx = (0.25 + 0.5 * ((c % 3) / 2.0)) * size_;
+        double cy = (0.25 + 0.5 * (((c / 3) % 3) / 2.0)) * size_;
+        double angle = (c * 2.399963) + 0.3; // golden-angle spread
+        double ex = std::cos(angle), ey = std::sin(angle);
+        for (int y = 0; y < size_; ++y) {
+            for (int x = 0; x < size_; ++x) {
+                double dx = x - cx, dy = y - cy;
+                double along = dx * ex + dy * ey;
+                double across = -dx * ey + dy * ex;
+                double v = 2.0 * std::exp(-(along * along / 6.0 +
+                                            across * across / 1.5));
+                v += rng.normal(0.0, 0.35);
+                b.x.data()[(i * size_ + y) * size_ + x] =
+                    static_cast<float>(v);
+            }
+        }
+    }
+    return b;
+}
+
+PatternSequences::PatternSequences(int classes, int vocab, int seq_len,
+                                   std::uint64_t seed)
+    : classes_(classes), vocab_(vocab), seq_len_(seq_len)
+{
+    MX_CHECK_ARG(classes >= 2 && vocab >= classes + 4 && seq_len >= 4,
+                 "PatternSequences: bad config");
+    stats::Rng rng(seed);
+    patterns_.reserve(static_cast<std::size_t>(classes));
+    for (int c = 0; c < classes; ++c) {
+        int a = static_cast<int>(rng.uniform_u64(vocab_));
+        int b = static_cast<int>(rng.uniform_u64(vocab_));
+        patterns_.emplace_back(a, b);
+    }
+}
+
+SequenceBatch
+PatternSequences::sample(std::int64_t n, stats::Rng& rng) const
+{
+    SequenceBatch s;
+    s.n = n;
+    s.seq_len = seq_len_;
+    s.tokens.resize(static_cast<std::size_t>(n * seq_len_));
+    s.labels.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        int c = static_cast<int>(rng.uniform_u64(classes_));
+        s.labels[static_cast<std::size_t>(i)] = c;
+        int* row = s.tokens.data() + i * seq_len_;
+        for (int t = 0; t < seq_len_; ++t)
+            row[t] = static_cast<int>(rng.uniform_u64(vocab_));
+        int pos = static_cast<int>(rng.uniform_u64(seq_len_ - 1));
+        row[pos] = patterns_[static_cast<std::size_t>(c)].first;
+        row[pos + 1] = patterns_[static_cast<std::size_t>(c)].second;
+    }
+    return s;
+}
+
+SpanQa::SpanQa(int num_questions, int vocab, int seq_len,
+               std::uint64_t seed)
+    : num_questions_(num_questions), vocab_(vocab), seq_len_(seq_len)
+{
+    MX_CHECK_ARG(num_questions >= 1 &&
+                 vocab >= num_questions * 2 + 4 && seq_len >= 8,
+                 "SpanQa: bad config");
+    (void)seed;
+}
+
+SequenceBatch
+SpanQa::sample(std::int64_t n, stats::Rng& rng) const
+{
+    // Token space: [0, num_questions) question ids;
+    // [num_questions, 2*num_questions) answer-alphabet tokens (one per
+    // question); the rest is background.
+    SequenceBatch s;
+    s.n = n;
+    s.seq_len = seq_len_;
+    s.tokens.resize(static_cast<std::size_t>(n * seq_len_));
+    s.labels.resize(static_cast<std::size_t>(2 * n));
+    const int background_lo = 2 * num_questions_;
+    for (std::int64_t i = 0; i < n; ++i) {
+        int* row = s.tokens.data() + i * seq_len_;
+        int q = static_cast<int>(rng.uniform_u64(num_questions_));
+        row[0] = q;
+        for (int t = 1; t < seq_len_; ++t)
+            row[t] = background_lo +
+                     static_cast<int>(
+                         rng.uniform_u64(vocab_ - background_lo));
+        int span_len = 1 + static_cast<int>(rng.uniform_u64(3));
+        int start = 1 + static_cast<int>(
+            rng.uniform_u64(seq_len_ - 1 - span_len));
+        for (int t = 0; t < span_len; ++t)
+            row[start + t] = num_questions_ + q;
+        s.labels[static_cast<std::size_t>(2 * i)] = start;
+        s.labels[static_cast<std::size_t>(2 * i + 1)] =
+            start + span_len - 1;
+    }
+    return s;
+}
+
+MarkovText::MarkovText(int vocab, std::uint64_t seed) : vocab_(vocab)
+{
+    MX_CHECK_ARG(vocab >= 4, "MarkovText: vocab too small");
+    stats::Rng rng(seed);
+    table_.resize(static_cast<std::size_t>(vocab * vocab));
+    for (auto& row : table_) {
+        // Sparse transitions: ~3 likely successors per context, with a
+        // thin uniform floor so every continuation stays possible.  The
+        // per-token entropy lands well below log(vocab), giving the LM
+        // benchmarks a clear learnable signal.
+        std::vector<double> w(static_cast<std::size_t>(vocab_), 0.004);
+        for (int k = 0; k < 3; ++k)
+            w[rng.uniform_u64(static_cast<std::uint64_t>(vocab_))] +=
+                1.0 + 2.0 * rng.uniform();
+        double total = 0;
+        for (double x : w)
+            total += x;
+        double acc = 0;
+        row.reserve(w.size());
+        for (int t = 0; t < vocab_; ++t) {
+            acc += w[static_cast<std::size_t>(t)] / total;
+            row.emplace_back(t, acc);
+        }
+    }
+}
+
+std::vector<int>
+MarkovText::stream(std::int64_t n, stats::Rng& rng) const
+{
+    std::vector<int> out(static_cast<std::size_t>(n));
+    int prev2 = 0, prev1 = 1;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const auto& row =
+            table_[static_cast<std::size_t>(prev2 * vocab_ + prev1)];
+        double u = rng.uniform();
+        int next = vocab_ - 1;
+        for (const auto& [tok, cdf] : row) {
+            if (u <= cdf) {
+                next = tok;
+                break;
+            }
+        }
+        out[static_cast<std::size_t>(i)] = next;
+        prev2 = prev1;
+        prev1 = next;
+    }
+    return out;
+}
+
+SequenceBatch
+MarkovText::windows(std::int64_t n, std::int64_t seq_len,
+                    stats::Rng& rng) const
+{
+    // One long stream cut into windows; labels are next-token targets.
+    std::vector<int> s = stream(n * (seq_len + 1) + 1, rng);
+    SequenceBatch b;
+    b.n = n;
+    b.seq_len = seq_len;
+    b.tokens.resize(static_cast<std::size_t>(n * seq_len));
+    b.labels.resize(static_cast<std::size_t>(n * seq_len));
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t base = i * (seq_len + 1);
+        for (std::int64_t t = 0; t < seq_len; ++t) {
+            b.tokens[static_cast<std::size_t>(i * seq_len + t)] =
+                s[static_cast<std::size_t>(base + t)];
+            b.labels[static_cast<std::size_t>(i * seq_len + t)] =
+                s[static_cast<std::size_t>(base + t + 1)];
+        }
+    }
+    return b;
+}
+
+TranslationPairs::TranslationPairs(int vocab, int seq_len,
+                                   std::uint64_t seed)
+    : vocab_(vocab), seq_len_(seq_len)
+{
+    MX_CHECK_ARG(vocab >= 4 && seq_len >= 2, "TranslationPairs: bad config");
+    stats::Rng rng(seed);
+    mapping_.resize(static_cast<std::size_t>(vocab));
+    for (int i = 0; i < vocab; ++i)
+        mapping_[static_cast<std::size_t>(i)] = i;
+    // Fisher-Yates with our RNG for a fixed permutation.
+    for (int i = vocab - 1; i > 0; --i) {
+        int j = static_cast<int>(rng.uniform_u64(
+            static_cast<std::uint64_t>(i + 1)));
+        std::swap(mapping_[static_cast<std::size_t>(i)],
+                  mapping_[static_cast<std::size_t>(j)]);
+    }
+}
+
+std::vector<int>
+TranslationPairs::translate(const std::vector<int>& source) const
+{
+    std::vector<int> tgt(source.size());
+    for (std::size_t i = 0; i < source.size(); ++i)
+        tgt[source.size() - 1 - i] =
+            mapping_[static_cast<std::size_t>(source[i])];
+    return tgt;
+}
+
+SequenceBatch
+TranslationPairs::sample(std::int64_t n, stats::Rng& rng) const
+{
+    SequenceBatch b;
+    b.n = n;
+    b.seq_len = seq_len_;
+    b.tokens.resize(static_cast<std::size_t>(n * seq_len_));
+    b.labels.resize(static_cast<std::size_t>(n * seq_len_));
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::vector<int> src(static_cast<std::size_t>(seq_len_));
+        for (auto& t : src)
+            t = static_cast<int>(rng.uniform_u64(vocab_));
+        std::vector<int> tgt = translate(src);
+        for (std::int64_t t = 0; t < seq_len_; ++t) {
+            b.tokens[static_cast<std::size_t>(i * seq_len_ + t)] =
+                src[static_cast<std::size_t>(t)];
+            b.labels[static_cast<std::size_t>(i * seq_len_ + t)] =
+                tgt[static_cast<std::size_t>(t)];
+        }
+    }
+    return b;
+}
+
+ClickLogs::ClickLogs(int num_tables, int vocab_per_table, int dense_dim,
+                     std::uint64_t seed)
+    : num_tables_(num_tables), vocab_(vocab_per_table), dense_dim_(dense_dim)
+{
+    MX_CHECK_ARG(num_tables >= 1 && vocab_per_table >= 2 && dense_dim >= 1,
+                 "ClickLogs: bad config");
+    stats::Rng rng(seed);
+    id_weights_.resize(static_cast<std::size_t>(num_tables * vocab_));
+    for (auto& w : id_weights_)
+        w = static_cast<float>(rng.normal(0.0, 0.8));
+    dense_weights_.resize(static_cast<std::size_t>(dense_dim));
+    for (auto& w : dense_weights_)
+        w = static_cast<float>(rng.normal(0.0, 0.6));
+}
+
+ClickBatch
+ClickLogs::sample(std::int64_t n, stats::Rng& rng) const
+{
+    ClickBatch b;
+    b.n = n;
+    b.categorical.resize(static_cast<std::size_t>(n * num_tables_));
+    b.dense = Tensor({n, dense_dim_});
+    b.labels.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        double logit = -0.4; // base CTR below 50%
+        for (int t = 0; t < num_tables_; ++t) {
+            // Zipf-ish draw: squash a uniform through a power law.
+            double u = rng.uniform();
+            int id = static_cast<int>(std::pow(u, 2.2) * vocab_);
+            id = std::min(id, vocab_ - 1);
+            b.categorical[static_cast<std::size_t>(i * num_tables_ + t)] =
+                id;
+            logit += id_weights_[static_cast<std::size_t>(t * vocab_ + id)];
+        }
+        for (int j = 0; j < dense_dim_; ++j) {
+            float v = static_cast<float>(rng.normal(0.0, 1.0));
+            b.dense.data()[i * dense_dim_ + j] = v;
+            logit += dense_weights_[static_cast<std::size_t>(j)] * v;
+        }
+        double p = 1.0 / (1.0 + std::exp(-logit * 0.55));
+        b.labels[static_cast<std::size_t>(i)] = rng.bernoulli(p) ? 1 : 0;
+    }
+    return b;
+}
+
+} // namespace data
+} // namespace mx

@@ -1,0 +1,191 @@
+#pragma once
+
+/**
+ * @file
+ * Seeded synthetic datasets standing in for the paper's proprietary /
+ * large-scale corpora (see DESIGN.md, substitution table).  Every
+ * generator plants learnable structure so that FP32-vs-MX quality deltas
+ * are measurable, and is deterministic given its seed so paired
+ * comparisons across formats see identical data.
+ */
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "stats/rng.h"
+#include "tensor/tensor.h"
+
+namespace mx {
+namespace data {
+
+/** Dense-feature classification batch. */
+struct ClassificationBatch
+{
+    tensor::Tensor x;        ///< [n, dim]
+    std::vector<int> labels; ///< size n
+};
+
+/** Integer-sequence batch (LM / encoder tasks). */
+struct SequenceBatch
+{
+    std::vector<int> tokens; ///< [n * seq_len], row-major
+    std::vector<int> labels; ///< task-dependent
+    std::int64_t n = 0;
+    std::int64_t seq_len = 0;
+
+    /** Row @p i as a span into tokens. */
+    std::vector<int>
+    row(std::int64_t i) const
+    {
+        auto b = tokens.begin() + i * seq_len;
+        return std::vector<int>(b, b + seq_len);
+    }
+};
+
+/**
+ * Gaussian clusters (ImageNet-classification stand-in for MLPs):
+ * `classes` anisotropic Gaussians with unit-order separation.
+ */
+class GaussianClusters
+{
+  public:
+    GaussianClusters(int classes, int dim, std::uint64_t seed);
+    ClassificationBatch sample(std::int64_t n, stats::Rng& rng) const;
+    int classes() const { return classes_; }
+    int dim() const { return dim_; }
+
+  private:
+    int classes_, dim_;
+    tensor::Tensor centers_; // [classes, dim]
+};
+
+/**
+ * Cluster images for the CNN benchmarks: 1x`size`x`size` images whose
+ * class determines the location/orientation of a bright blob, plus
+ * Gaussian pixel noise.
+ */
+class ClusterImages
+{
+  public:
+    ClusterImages(int classes, int size, std::uint64_t seed);
+    /** Returns x with shape [n, 1, size, size]. */
+    ClassificationBatch sample(std::int64_t n, stats::Rng& rng) const;
+    int classes() const { return classes_; }
+    int size() const { return size_; }
+
+  private:
+    int classes_, size_;
+    std::uint64_t seed_;
+};
+
+/**
+ * Pattern sequences for encoder-style classification (BERT stand-in):
+ * each sequence carries one of `classes` planted bigram patterns at a
+ * random position in a background of uniform tokens.
+ */
+class PatternSequences
+{
+  public:
+    PatternSequences(int classes, int vocab, int seq_len,
+                     std::uint64_t seed);
+    SequenceBatch sample(std::int64_t n, stats::Rng& rng) const;
+    int classes() const { return classes_; }
+    int vocab() const { return vocab_; }
+
+  private:
+    int classes_, vocab_, seq_len_;
+    std::vector<std::pair<int, int>> patterns_;
+};
+
+/**
+ * Span-extraction QA (SQuAD stand-in, Table V): the first token names a
+ * "question id"; the answer is the contiguous run of tokens from that
+ * id's alphabet planted somewhere in the sequence.  Labels are
+ * (start, end) pairs encoded as labels[2i], labels[2i+1].
+ */
+class SpanQa
+{
+  public:
+    SpanQa(int num_questions, int vocab, int seq_len, std::uint64_t seed);
+    SequenceBatch sample(std::int64_t n, stats::Rng& rng) const;
+    int vocab() const { return vocab_; }
+    int seq_len() const { return seq_len_; }
+
+  private:
+    int num_questions_, vocab_, seq_len_;
+};
+
+/**
+ * Order-2 Markov character stream (generative LM stand-in for the GPT
+ * and Fig 9 experiments): a random but fixed sparse transition table
+ * gives the stream ~2.5-3 bits/char of learnable structure.
+ */
+class MarkovText
+{
+  public:
+    MarkovText(int vocab, std::uint64_t seed);
+    /** Contiguous token stream of length n. */
+    std::vector<int> stream(std::int64_t n, stats::Rng& rng) const;
+    /** Windows of seq_len+1 tokens (input + next-token targets). */
+    SequenceBatch windows(std::int64_t n, std::int64_t seq_len,
+                          stats::Rng& rng) const;
+    int vocab() const { return vocab_; }
+
+  private:
+    int vocab_;
+    std::vector<std::vector<std::pair<int, double>>> table_; // cdf rows
+};
+
+/**
+ * Deterministic token-mapped reversal "translation" (WMT stand-in for
+ * the seq2seq benchmark): target = reverse(pi(source)) for a fixed
+ * random permutation pi.  labels holds the target sequence.
+ */
+class TranslationPairs
+{
+  public:
+    TranslationPairs(int vocab, int seq_len, std::uint64_t seed);
+    SequenceBatch sample(std::int64_t n, stats::Rng& rng) const;
+    /** The gold target for one source row (for BLEU scoring). */
+    std::vector<int> translate(const std::vector<int>& source) const;
+    int vocab() const { return vocab_; }
+
+  private:
+    int vocab_, seq_len_;
+    std::vector<int> mapping_;
+};
+
+/** One click-through sample: categorical ids + dense features + label. */
+struct ClickBatch
+{
+    std::vector<int> categorical; ///< [n * num_tables]
+    tensor::Tensor dense;         ///< [n, dense_dim]
+    std::vector<int> labels;      ///< size n
+    std::int64_t n = 0;
+};
+
+/**
+ * Power-law click logs (Criteo stand-in, Tables III/VI): categorical
+ * features drawn Zipf-style; the label follows a logistic model over
+ * planted per-id weights and the dense features — so embedding-table and
+ * MLP quantization both matter, as in production DLRM.
+ */
+class ClickLogs
+{
+  public:
+    ClickLogs(int num_tables, int vocab_per_table, int dense_dim,
+              std::uint64_t seed);
+    ClickBatch sample(std::int64_t n, stats::Rng& rng) const;
+    int num_tables() const { return num_tables_; }
+    int vocab_per_table() const { return vocab_; }
+    int dense_dim() const { return dense_dim_; }
+
+  private:
+    int num_tables_, vocab_, dense_dim_;
+    std::vector<float> id_weights_;    // [num_tables * vocab]
+    std::vector<float> dense_weights_; // [dense_dim]
+};
+
+} // namespace data
+} // namespace mx

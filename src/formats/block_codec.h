@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Packed tensor codecs for every BDR family.
+ *
+ * These produce the exact bit streams a native implementation would store
+ * in memory, and are what the memory model's packing numbers are derived
+ * from.  Encoding goes through the same numerical path as
+ * core::fake_quantize, so `decode(encode(x)) == fake_quantize(x)`
+ * bit-for-bit — a property the test suite asserts for every format.
+ *
+ * Stream layouts (all fields LSB-first):
+ *  - MX / BFP block (n <= k1 elements):
+ *      [d1-bit biased shared exponent]
+ *      [ceil(n/k2) x d2-bit sub-shifts]
+ *      [n x (sign bit + m-bit mantissa)]
+ *  - INT span: [32-bit FP32 scale per sw-chunk][chunk x (m+1)-bit codes]
+ *  - VSQ span: [32-bit FP32 global scale]
+ *              per 16-vector: [d2-bit integer scale][16 x (m+1)-bit codes]
+ *  - scalar FP span: [32-bit FP32 tensor scale][n x (1+e+m)-bit codes]
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bdr_format.h"
+#include "core/quantize.h"
+#include "core/rounding.h"
+
+namespace mx {
+namespace formats {
+
+/** A packed tensor: byte stream + element count + format. */
+struct PackedTensor
+{
+    core::BdrFormat format;
+    std::size_t num_elements = 0;
+    std::vector<std::uint8_t> bytes;
+
+    /** Exact payload size in bits (excludes final byte padding). */
+    std::size_t bit_size = 0;
+
+    /** Storage bits per element for this concrete tensor. */
+    double
+    bits_per_element() const
+    {
+        return num_elements == 0
+            ? 0.0
+            : static_cast<double>(bit_size) / num_elements;
+    }
+};
+
+/**
+ * Encode @p values into the packed representation of @p fmt.
+ *
+ * Software-scaled formats (INT/VSQ/FP) use just-in-time scaling here —
+ * packed storage is an inference-side concern and the scale travels with
+ * the data.
+ */
+PackedTensor pack(const core::BdrFormat& fmt, std::span<const float> values,
+                  core::RoundingMode rounding =
+                      core::RoundingMode::NearestEven);
+
+/** Decode a packed tensor back to float values. */
+std::vector<float> unpack(const PackedTensor& packed);
+
+/**
+ * Bits needed to store @p n elements of @p fmt, from the codec's own
+ * field widths (the memory model uses this for tile packing).
+ */
+std::size_t packed_bits(const core::BdrFormat& fmt, std::size_t n);
+
+} // namespace formats
+} // namespace mx

@@ -1,0 +1,253 @@
+#include "hw/area_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace mx {
+namespace hw {
+
+namespace {
+
+using core::BdrFormat;
+using core::ElementKind;
+using core::ScaleKind;
+
+// NAND2-equivalent unit costs (Weste & Harris, 4th ed., ch. 11 ballpark
+// figures).  Only ratios matter: both the format under evaluation and the
+// FP8 baseline are priced from this same table.
+constexpr double kFullAdder = 4.5;
+constexpr double kXor = 2.25;
+constexpr double kMux2 = 2.5;
+constexpr double kCmpBit = 3.0;  // subtract + carry chain per bit
+constexpr double kLzcBit = 1.5;
+constexpr double kRegBit = 4.0;
+constexpr double kFp32Accumulate = 1200.0; // FP32 add + convert macro
+
+int
+ceil_log2(int n)
+{
+    int b = 0;
+    while ((1 << b) < n)
+        ++b;
+    return b;
+}
+
+/** Area of an n-input adder tree whose leaves are w bits wide. */
+double
+adder_tree(int n, int w)
+{
+    double area = 0;
+    int count = n;
+    int width = w;
+    while (count > 1) {
+        area += (count / 2) * width * kFullAdder;
+        count = (count + 1) / 2;
+        width += 1;
+    }
+    return area;
+}
+
+/** Area of a barrel shifter: w-bit word, shift range [0, max_shift]. */
+double
+barrel_shifter(int w, int max_shift)
+{
+    if (max_shift <= 0)
+        return 0;
+    int stages = ceil_log2(max_shift + 1);
+    return static_cast<double>(w) * stages * kMux2;
+}
+
+} // namespace
+
+double
+AreaBreakdown::total() const
+{
+    return sign_xor + multipliers + tc_convert + sub_scale + intra_tree +
+           exponent_path + lzc + align_shift + inter_tree + int_rescale +
+           fp32_accum + io_regs;
+}
+
+std::string
+AreaBreakdown::to_string() const
+{
+    std::ostringstream os;
+    auto row = [&](const char* name, double v) {
+        os << "  " << name << ": " << v << "\n";
+    };
+    os << "AreaBreakdown (NAND2-equivalents):\n";
+    row("sign_xor", sign_xor);
+    row("multipliers", multipliers);
+    row("tc_convert", tc_convert);
+    row("sub_scale", sub_scale);
+    row("intra_tree", intra_tree);
+    row("exponent_path", exponent_path);
+    row("lzc", lzc);
+    row("align_shift", align_shift);
+    row("inter_tree", inter_tree);
+    row("int_rescale", int_rescale);
+    row("fp32_accum", fp32_accum);
+    row("io_regs", io_regs);
+    row("TOTAL", total());
+    return os.str();
+}
+
+AreaModel::AreaModel(AreaModelConfig cfg) : cfg_(cfg)
+{
+    MX_CHECK_ARG(cfg_.r >= 1, "AreaModel: r must be positive");
+    MX_CHECK_ARG(cfg_.f_cap >= 4, "AreaModel: f cap too small");
+}
+
+int
+AreaModel::accumulator_width(const BdrFormat& fmt) const
+{
+    // "f = min(25, the maximum possible dynamic range for each format)".
+    // The dynamic range of a single product, in bits: exponent span of a
+    // product plus the product mantissa width.
+    int dyn;
+    if (fmt.elem == ElementKind::FloatingPoint) {
+        int bias = fmt.fp_bias();
+        int emax = (1 << fmt.e) - 1 - bias;
+        int emin_sub = (1 - bias) - fmt.m; // smallest subnormal exponent
+        int mant_w = fmt.m + 1;
+        dyn = 2 * (emax - emin_sub) + 2 * mant_w;
+    } else if (fmt.s_kind == ScaleKind::Pow2Hw) {
+        // Blocks are aligned by their (wide-range) shared exponents; the
+        // per-block result itself carries 2m + 2*beta + log2(k1) bits.
+        dyn = 2 * fmt.m + 2 * fmt.beta() + ceil_log2(fmt.k1) + 2 +
+              (1 << fmt.d1) / 8; // d1-driven exponent span, heavily capped
+    } else {
+        // Pure integer datapaths: products are 2m+1 bits, the tree adds
+        // log2(r): exact accumulation fits well under the cap.
+        dyn = 2 * fmt.m + 1 + ceil_log2(std::max(2, cfg_.r));
+        if (fmt.ss_kind == ScaleKind::IntHw)
+            dyn += 2 * fmt.d2;
+    }
+    return std::min(cfg_.f_cap, dyn);
+}
+
+AreaBreakdown
+AreaModel::breakdown(const BdrFormat& fmt) const
+{
+    fmt.validate();
+    AreaBreakdown a;
+    const int r = cfg_.r;
+    const int f = accumulator_width(fmt);
+
+    const bool is_fp = fmt.elem == ElementKind::FloatingPoint;
+    const bool is_pow2 = fmt.s_kind == ScaleKind::Pow2Hw;
+    const bool is_vsq = fmt.ss_kind == ScaleKind::IntHw;
+
+    // Element mantissa width at the multiplier inputs.
+    const int mw = fmt.m + (is_fp ? 1 : 0); // implicit leading one
+    const int pw = 2 * mw + 1;              // signed product width
+
+    // --- Element stage: signs, multipliers, product sign application.
+    a.sign_xor = r * kXor;
+    a.multipliers = r * static_cast<double>(mw) * mw * kFullAdder;
+    a.tc_convert = r * pw * (kXor + 0.5 * kFullAdder);
+
+    if (is_fp) {
+        // Scalar floating point (k1 = k2 = 1): every product carries a
+        // private exponent; all r products are max-aligned into f bits.
+        const int ew = fmt.e + 1;
+        a.exponent_path = r * ew * kFullAdder           // exponent adds
+                        + (r - 1) * ew * kCmpBit        // vector max
+                        + r * ew * kFullAdder;          // subtract
+        a.lzc = r * pw * kLzcBit;
+        a.align_shift = r * barrel_shifter(f, f);
+        a.inter_tree = adder_tree(r, f);
+    } else if (is_pow2) {
+        // BFP / MX: k1-element blocks with a shared exponent; optional
+        // k2-element microexponents handled by conditional right shifts
+        // inside the block reduction.
+        const int k1 = fmt.k1;
+        const int k2 = fmt.k2;
+        const int n1 = std::max(1, r / k1);
+        const int beta = fmt.beta();
+
+        if (fmt.d2 > 0) {
+            // Sub-scale adds: one (d2+1)-bit add per element pair's
+            // sub-block (two input tensors' taus combine).
+            a.sub_scale += (static_cast<double>(r) / k2) * (fmt.d2 + 1) *
+                           kFullAdder;
+            // Conditional right shift of each product by up to 2*beta.
+            a.sub_scale += r * barrel_shifter(pw + 2 * beta, 2 * beta);
+        }
+
+        const int wblock = pw + 2 * beta; // product grid inside a block
+        a.intra_tree = n1 * adder_tree(k1, wblock);
+
+        const int ew = fmt.d1 + 1;
+        a.exponent_path = n1 * ew * kFullAdder
+                        + std::max(0, n1 - 1) * ew * kCmpBit
+                        + n1 * ew * kFullAdder;
+        a.lzc = n1 * (wblock + ceil_log2(k1)) * kLzcBit;
+        a.align_shift = n1 * barrel_shifter(f, f);
+        a.inter_tree = adder_tree(n1, f);
+        (void)k2;
+    } else {
+        // Integer datapaths (scaled INT, VSQ): no exponent logic; exact
+        // integer accumulation, optionally with VSQ's integer rescale.
+        const int k = is_vsq ? fmt.k2 : cfg_.r;
+        const int nblk = std::max(1, r / k);
+        a.intra_tree = nblk * adder_tree(k, pw);
+        if (is_vsq) {
+            // Separate pipeline (Fig 6 caption): per block, the two d2-bit
+            // vector scales multiply, and the block sum is rescaled by the
+            // 2*d2-bit product before the final accumulation.
+            const int block_w = pw + ceil_log2(k);
+            a.int_rescale = nblk * (static_cast<double>(fmt.d2) * fmt.d2 *
+                                    kFullAdder +
+                                    static_cast<double>(block_w) * 2 *
+                                        fmt.d2 * kFullAdder);
+            a.inter_tree = adder_tree(nblk, std::min(f + 2 * fmt.d2,
+                                                     block_w + 2 * fmt.d2));
+        } else {
+            a.inter_tree = 0; // single full-width tree already counted
+        }
+    }
+
+    a.fp32_accum = kFp32Accumulate;
+
+    // I/O registers: the two input vectors (element payload incl. the
+    // amortized per-element share of hardware scale bits) and the 32-bit
+    // output.  The paper registers only inputs and outputs.
+    double in_bits = 2.0 * r * fmt.bits_per_element();
+    a.io_regs = (in_bits + 32.0) * kRegBit;
+
+    return a;
+}
+
+double
+AreaModel::area_nand2(const BdrFormat& fmt) const
+{
+    return breakdown(fmt).total();
+}
+
+double
+AreaModel::fp8_dual_baseline_nand2() const
+{
+    // A dual-mode unit shares one datapath sized for the worse of E4M3
+    // and E5M2 per stage: mantissa path from E4M3 (m = 3), exponent path
+    // from E5M2 (e = 5).  Priced by evaluating a synthetic E5M3 format
+    // (the per-stage max) plus a sharing/mode-mux overhead.
+    core::BdrFormat worst = core::fp8_e4m3();
+    worst.name = "FP8* (dual E4M3/E5M2)";
+    worst.e = 5;      // E5M2's exponent path
+    worst.m = 3;      // E4M3's mantissa path
+    worst.d2 = 5;
+    worst.specials = core::FpSpecials::InfAndNan;
+    return breakdown(worst).total() * cfg_.dual_mode_overhead;
+}
+
+double
+AreaModel::normalized_area(const BdrFormat& fmt) const
+{
+    return area_nand2(fmt) / fp8_dual_baseline_nand2();
+}
+
+} // namespace hw
+} // namespace mx

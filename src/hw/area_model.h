@@ -1,0 +1,99 @@
+#pragma once
+
+/**
+ * @file
+ * Analytical standard-cell area model of the Figure 6 dot-product pipeline.
+ *
+ * The paper synthesizes each configuration with Synopsys Design Compiler
+ * on a leading process node, with a relaxed 10ns constraint and only I/O
+ * registered, and reports standard-cell area *normalized to a dual-mode
+ * FP8 (E4M3 + E5M2) dot product*.  We cannot run DC here, so this model
+ * prices every block of the Figure 6 pipeline in NAND2-equivalent gate
+ * units from its datapath bit-widths:
+ *
+ *   signs -> XOR               mantissas -> multipliers -> TC convert
+ *   sub-block scale exponents -> add -> conditional right shift
+ *   -> intra-block vector sum  (k1 -> 1, width 2m + 2*beta + log2 k1)
+ *   block scale exponents -> add -> vector max -> subtract -> >> align
+ *   -> f-bit fixed-point vector sum (r/k1 -> 1) -> FP32 convert/accum
+ *
+ * Because both the numerator and the denominator (the FP8 baseline) come
+ * from the same gate table, the *relative* areas — which is all the paper
+ * reports — are insensitive to the absolute per-gate constants.  The
+ * constants themselves are standard textbook values (Weste & Harris).
+ */
+
+#include <string>
+
+#include "core/bdr_format.h"
+
+namespace mx {
+namespace hw {
+
+/** Per-stage area contributions in NAND2-equivalents (for reports). */
+struct AreaBreakdown
+{
+    double sign_xor = 0;       ///< Sign combination.
+    double multipliers = 0;    ///< Mantissa multiplier array.
+    double tc_convert = 0;     ///< Two's-complement conversion of products.
+    double sub_scale = 0;      ///< Sub-scale exponent adds + cond. shifts.
+    double intra_tree = 0;     ///< k1-element vector-sum tree.
+    double exponent_path = 0;  ///< Block exponent add/max/subtract.
+    double lzc = 0;            ///< Leading-zero counters.
+    double align_shift = 0;    ///< f-bit alignment barrel shifters.
+    double inter_tree = 0;     ///< Cross-block fixed-point vector sum.
+    double int_rescale = 0;    ///< VSQ-style integer rescale stage.
+    double fp32_accum = 0;     ///< FP32 convert + accumulate.
+    double io_regs = 0;        ///< Input/output registers.
+
+    /** Sum of all stages. */
+    double total() const;
+
+    /** Multi-line human-readable table. */
+    std::string to_string() const;
+};
+
+/** Model parameters (defaults follow the paper's evaluation setup). */
+struct AreaModelConfig
+{
+    /** Dot-product reduction length r (Fig 7 normalizes to a 64-element
+     *  FP8 unit). */
+    int r = 64;
+    /** Cap on the fixed-point accumulation width f (Fig 6 caption:
+     *  f = min(25, max dynamic range)). */
+    int f_cap = 25;
+    /** Multiplier applied to the dual-mode FP8 baseline to account for
+     *  sub-circuit sharing overhead between E4M3 and E5M2. */
+    double dual_mode_overhead = 1.10;
+};
+
+/** Area estimator for any BdrFormat's dot-product engine. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(AreaModelConfig cfg = AreaModelConfig{});
+
+    /** Fixed-point accumulator width for @p fmt: min(f_cap, dynamic range). */
+    int accumulator_width(const core::BdrFormat& fmt) const;
+
+    /** Stage-by-stage area of a length-r dot product for @p fmt. */
+    AreaBreakdown breakdown(const core::BdrFormat& fmt) const;
+
+    /** Total area in NAND2-equivalents. */
+    double area_nand2(const core::BdrFormat& fmt) const;
+
+    /** Area of the dual-mode FP8 (E4M3 + E5M2) baseline unit. */
+    double fp8_dual_baseline_nand2() const;
+
+    /** area(fmt) / area(dual-mode FP8) — the paper's normalization. */
+    double normalized_area(const core::BdrFormat& fmt) const;
+
+    /** The model configuration. */
+    const AreaModelConfig& config() const { return cfg_; }
+
+  private:
+    AreaModelConfig cfg_;
+};
+
+} // namespace hw
+} // namespace mx

@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * Combined hardware cost metric for Figure 7's x-axis: the normalized
+ * area–memory efficiency product.  The paper gives equal weight to dot
+ * product area and memory footprint because both matter for training and
+ * inference; both factors are normalized to the dual-mode FP8 baseline,
+ * so FP8 sits at 1.0 by construction.
+ */
+
+#include "core/bdr_format.h"
+#include "hw/area_model.h"
+#include "hw/memory_model.h"
+
+namespace mx {
+namespace hw {
+
+/** One format's position in the Figure 7 cost/fidelity plane. */
+struct CostPoint
+{
+    double normalized_area = 0;   ///< dot-product area / FP8 dual.
+    double normalized_memory = 0; ///< tile beats / FP8 tile beats.
+    double area_memory_product = 0; ///< the Fig 7 x-axis value.
+};
+
+/** Evaluates the combined cost for formats under shared model configs. */
+class CostModel
+{
+  public:
+    CostModel(AreaModelConfig area_cfg = AreaModelConfig{},
+              MemoryModelConfig mem_cfg = MemoryModelConfig{})
+        : area_(area_cfg), memory_(mem_cfg)
+    {
+    }
+
+    /** Compute the cost point of @p fmt. */
+    CostPoint
+    evaluate(const core::BdrFormat& fmt) const
+    {
+        CostPoint p;
+        p.normalized_area = area_.normalized_area(fmt);
+        p.normalized_memory = memory_.normalized_cost(fmt);
+        p.area_memory_product = p.normalized_area * p.normalized_memory;
+        return p;
+    }
+
+    /** The underlying area model. */
+    const AreaModel& area_model() const { return area_; }
+    /** The underlying memory model. */
+    const MemoryModel& memory_model() const { return memory_; }
+
+  private:
+    AreaModel area_;
+    MemoryModel memory_;
+};
+
+} // namespace hw
+} // namespace mx

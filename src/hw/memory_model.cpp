@@ -1,0 +1,40 @@
+#include "hw/memory_model.h"
+
+#include "core/check.h"
+#include "formats/block_codec.h"
+
+namespace mx {
+namespace hw {
+
+TilePacking
+MemoryModel::pack_tile(const core::BdrFormat& fmt) const
+{
+    TilePacking t;
+    // For storage purposes the software FP32 scale of INT/VSQ/FP formats
+    // is amortized over sw_granularity (>= a tile) elements, so it does
+    // not consume tile bits; the codec's 32-bit header is dropped here.
+    std::size_t bits = formats::packed_bits(fmt, cfg_.tile_elements);
+    if (fmt.has_sw_scale())
+        bits -= 32;
+    t.payload_bits = bits;
+    t.beats = (bits + cfg_.interface_bits - 1) / cfg_.interface_bits;
+    t.interface_bits = t.beats * cfg_.interface_bits;
+    t.packing_efficiency = t.interface_bits == 0
+        ? 0.0
+        : static_cast<double>(t.payload_bits) / t.interface_bits;
+    return t;
+}
+
+double
+MemoryModel::normalized_cost(const core::BdrFormat& fmt) const
+{
+    TilePacking t = pack_tile(fmt);
+    std::size_t fp8_bits = cfg_.tile_elements * 8;
+    std::size_t fp8_beats =
+        (fp8_bits + cfg_.interface_bits - 1) / cfg_.interface_bits;
+    MX_CHECK(fp8_beats > 0, "memory model: degenerate FP8 baseline");
+    return static_cast<double>(t.beats) / static_cast<double>(fp8_beats);
+}
+
+} // namespace hw
+} // namespace mx

@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Memory-footprint model (paper Section IV-B, "Memory Footprint").
+ *
+ * DRAM/HBM interfaces are fixed-width; if a tile of tensor data does not
+ * pack into whole interface beats, effective capacity and bandwidth are
+ * lost.  Following the paper, the model packs a typical 256-element tile
+ * into a 64-byte (512-bit) memory interface and reports the number of
+ * beats and the packing efficiency.  The Figure 7 x-axis uses the
+ * resulting footprint normalized to FP8's (256 x 8 bits = exactly 4
+ * beats).
+ */
+
+#include <cstddef>
+
+#include "core/bdr_format.h"
+
+namespace mx {
+namespace hw {
+
+/** Result of packing one tile into the memory interface. */
+struct TilePacking
+{
+    std::size_t payload_bits = 0;   ///< Exact encoded bits for the tile.
+    std::size_t interface_bits = 0; ///< Bits actually transferred.
+    std::size_t beats = 0;          ///< Interface transactions.
+    double packing_efficiency = 0;  ///< payload / transferred.
+};
+
+/** Parameters of the memory interface model. */
+struct MemoryModelConfig
+{
+    std::size_t tile_elements = 256; ///< Paper: typical tile size.
+    std::size_t interface_bits = 512; ///< Paper: 64B interface.
+};
+
+/** Computes tile packing and normalized memory cost for BDR formats. */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(MemoryModelConfig cfg = MemoryModelConfig{})
+        : cfg_(cfg)
+    {
+    }
+
+    /** Pack one tile of @p fmt and report the transfer breakdown. */
+    TilePacking pack_tile(const core::BdrFormat& fmt) const;
+
+    /**
+     * Memory cost normalized to FP8 (Fig 7): beats needed by @p fmt over
+     * the beats needed by an 8-bit/element format for the same tile.
+     */
+    double normalized_cost(const core::BdrFormat& fmt) const;
+
+    /** The model configuration. */
+    const MemoryModelConfig& config() const { return cfg_; }
+
+  private:
+    MemoryModelConfig cfg_;
+};
+
+} // namespace hw
+} // namespace mx

@@ -1,0 +1,213 @@
+#include "hw/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/scalar_fp.h"
+
+namespace mx {
+namespace hw {
+
+namespace {
+
+using core::BdrFormat;
+using core::ElementKind;
+using core::Pow2BlockEncoding;
+using core::Rounder;
+using core::ScaleKind;
+
+int
+bit_length(std::int64_t v)
+{
+    std::uint64_t a = static_cast<std::uint64_t>(v < 0 ? -v : v);
+    int b = 0;
+    while (a) {
+        ++b;
+        a >>= 1;
+    }
+    return b;
+}
+
+/**
+ * Decompose a scalar-FP quantized value into (integer mantissa, grid
+ * exponent) such that v == mant * 2^grid.
+ */
+void
+decompose_fp(const BdrFormat& fmt, double v, std::int64_t& mant, int& grid)
+{
+    if (v == 0.0) {
+        mant = 0;
+        grid = 0;
+        return;
+    }
+    int bias = fmt.fp_bias();
+    int emin = 1 - bias;
+    int ex;
+    std::frexp(std::fabs(v), &ex);
+    ex -= 1;
+    int q_exp = std::max(ex, emin);
+    grid = q_exp - fmt.m;
+    double scaled = v / std::ldexp(1.0, grid);
+    mant = static_cast<std::int64_t>(std::llround(scaled));
+    MX_CHECK(std::fabs(scaled - static_cast<double>(mant)) < 1e-9,
+             fmt.name << ": FP value not on its quantization grid");
+}
+
+} // namespace
+
+DotProductPipeline::DotProductPipeline(PipelineConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    const BdrFormat& fmt = cfg_.format;
+    fmt.validate();
+    MX_CHECK_ARG(fmt.elem == ElementKind::SignMagnitude ||
+                 fmt.elem == ElementKind::FloatingPoint,
+                 fmt.name << ": pipeline supports pow2-scaled and scalar FP "
+                          << "formats (VSQ uses a separate pipeline)");
+    if (fmt.elem == ElementKind::SignMagnitude)
+        MX_CHECK_ARG(fmt.s_kind == ScaleKind::Pow2Hw,
+                     fmt.name << ": block path needs a HW pow2 scale");
+    MX_CHECK_ARG(cfg_.r >= 1 && cfg_.r % std::max(1, fmt.k1) == 0,
+                 "pipeline: r must be a positive multiple of k1");
+    MX_CHECK_ARG(cfg_.f >= 2 && cfg_.f <= 56,
+                 "pipeline: f out of simulatable range");
+}
+
+DotProductPipeline::BlockProduct
+DotProductPipeline::reduce_block(const Pow2BlockEncoding& ea,
+                                 const Pow2BlockEncoding& eb,
+                                 std::size_t n) const
+{
+    const BdrFormat& fmt = cfg_.format;
+    const int beta = fmt.beta();
+    const std::size_t k2 = static_cast<std::size_t>(fmt.k2);
+
+    // All products live on the grid 2^(Ea + Eb - 2(m-1) - 2*beta); a
+    // product with sub-shifts (ta, tb) contributes
+    // Ma*Mb << (2*beta - ta - tb), which is exactly the conditional
+    // right-shift-while-summing of the hardware, done losslessly on the
+    // expanded grid.
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::int64_t p = static_cast<std::int64_t>(ea.mantissa[i]) *
+                         static_cast<std::int64_t>(eb.mantissa[i]);
+        int ta = ea.sub_shift.empty() ? 0 : ea.sub_shift[i / k2];
+        int tb = eb.sub_shift.empty() ? 0 : eb.sub_shift[i / k2];
+        int up = 2 * beta - ta - tb;
+        MX_CHECK(up >= 0 && up <= 2 * beta, "pipeline: bad sub-shift");
+        acc += p << up;
+    }
+
+    BlockProduct bp;
+    bp.mant = acc;
+    bp.grid_exp = ea.shared_exp + eb.shared_exp - 2 * (fmt.m - 1) -
+                  2 * beta;
+    bp.zero = acc == 0;
+    return bp;
+}
+
+PipelineResult
+DotProductPipeline::run(std::span<const float> a,
+                        std::span<const float> b) const
+{
+    const BdrFormat& fmt = cfg_.format;
+    MX_CHECK_ARG(a.size() == static_cast<std::size_t>(cfg_.r) &&
+                 b.size() == a.size(),
+                 "pipeline: input length must equal r");
+
+    Rounder rounder(core::RoundingMode::NearestEven);
+    std::vector<BlockProduct> blocks;
+
+    if (fmt.elem == ElementKind::FloatingPoint) {
+        blocks.reserve(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            double qa = core::fp_cast(fmt, a[i], rounder);
+            double qb = core::fp_cast(fmt, b[i], rounder);
+            std::int64_t ma, mb;
+            int ga, gb;
+            decompose_fp(fmt, qa, ma, ga);
+            decompose_fp(fmt, qb, mb, gb);
+            BlockProduct bp;
+            bp.mant = ma * mb;
+            bp.grid_exp = ga + gb;
+            bp.zero = bp.mant == 0;
+            blocks.push_back(bp);
+        }
+    } else {
+        const std::size_t k1 = static_cast<std::size_t>(fmt.k1);
+        std::vector<float> scratch(k1);
+        for (std::size_t off = 0; off < a.size(); off += k1) {
+            std::size_t n = std::min(k1, a.size() - off);
+            Pow2BlockEncoding ea, eb;
+            scratch.resize(n);
+            core::quantize_pow2_block(fmt, a.subspan(off, n),
+                                      std::span<float>(scratch), rounder,
+                                      &ea);
+            core::quantize_pow2_block(fmt, b.subspan(off, n),
+                                      std::span<float>(scratch), rounder,
+                                      &eb);
+            blocks.push_back(reduce_block(ea, eb, n));
+        }
+    }
+
+    PipelineResult res;
+    for (const BlockProduct& bp : blocks) {
+        if (!bp.zero)
+            res.exact_quantized_dot +=
+                static_cast<double>(bp.mant) * std::ldexp(1.0, bp.grid_exp);
+    }
+
+    // Normalize to the largest block result and reduce in f-bit
+    // fixed point (vector max -> subtract -> right shift -> vector sum).
+    int ref_pos = 0;
+    bool any = false;
+    for (const BlockProduct& bp : blocks) {
+        if (bp.zero)
+            continue;
+        int pos = bp.grid_exp + bit_length(bp.mant);
+        if (!any || pos > ref_pos)
+            ref_pos = pos;
+        any = true;
+    }
+    if (!any) {
+        res.value = 0;
+        return res;
+    }
+
+    const int grid = ref_pos - cfg_.f;
+    std::int64_t sum = 0;
+    for (const BlockProduct& bp : blocks) {
+        if (bp.zero)
+            continue;
+        int s = grid - bp.grid_exp;
+        if (s <= 0) {
+            MX_CHECK(bit_length(bp.mant) - s < 62,
+                     "pipeline: fixed-point overflow");
+            sum += bp.mant << (-s);
+        } else if (s >= 63) {
+            if (bp.mant != 0)
+                res.truncated_bits = std::max(res.truncated_bits,
+                                              bit_length(bp.mant));
+        } else {
+            std::int64_t kept = bp.mant >> s; // arithmetic: truncation
+            std::int64_t lost = bp.mant - (kept << s);
+            if (lost != 0)
+                res.truncated_bits = std::max(res.truncated_bits,
+                                              bit_length(lost));
+            sum += kept;
+        }
+    }
+    res.value = static_cast<double>(sum) * std::ldexp(1.0, grid);
+    return res;
+}
+
+double
+DotProductPipeline::dot(std::span<const float> a,
+                        std::span<const float> b) const
+{
+    return run(a, b).value;
+}
+
+} // namespace hw
+} // namespace mx

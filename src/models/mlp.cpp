@@ -1,0 +1,57 @@
+#include "models/mlp.h"
+
+namespace mx {
+namespace models {
+
+using tensor::Tensor;
+
+MlpClassifier::MlpClassifier(std::int64_t input_dim,
+                             const std::vector<std::int64_t>& hidden_dims,
+                             std::int64_t num_classes, nn::QuantSpec spec,
+                             std::uint64_t seed)
+    : rng_(seed)
+{
+    std::int64_t prev = input_dim;
+    for (std::int64_t h : hidden_dims) {
+        linears_.push_back(net_.emplace<nn::Linear>(prev, h, spec, rng_));
+        net_.emplace<nn::ActivationLayer>(nn::Activation::ReLU);
+        prev = h;
+    }
+    linears_.push_back(
+        net_.emplace<nn::Linear>(prev, num_classes, spec, rng_));
+}
+
+Tensor
+MlpClassifier::logits(const Tensor& x, bool train)
+{
+    return net_.forward(x, train);
+}
+
+Tensor
+MlpClassifier::backward(const Tensor& grad)
+{
+    return net_.backward(grad);
+}
+
+std::vector<nn::Param*>
+MlpClassifier::params()
+{
+    std::vector<nn::Param*> ps;
+    net_.collect_params(ps);
+    return ps;
+}
+
+void
+MlpClassifier::set_spec(const nn::QuantSpec& spec,
+                        bool keep_first_last_fp32)
+{
+    for (std::size_t i = 0; i < linears_.size(); ++i) {
+        bool edge = i == 0 || i + 1 == linears_.size();
+        linears_[i]->spec() = (edge && keep_first_last_fp32)
+            ? nn::QuantSpec::fp32()
+            : spec;
+    }
+}
+
+} // namespace models
+} // namespace mx

@@ -1,0 +1,87 @@
+#pragma once
+
+/**
+ * @file
+ * Small training-loop helpers shared by the experiment benches: running
+ * averages, simple schedules, and the precision recipes of Section V
+ * (uniform MX training, direct cast, quantization-aware fine-tuning).
+ */
+
+#include <functional>
+#include <string>
+
+#include "core/bdr_format.h"
+#include "nn/quant.h"
+
+namespace mx {
+namespace models {
+
+/** The paper's Section V precision recipes. */
+enum class Recipe
+{
+    Fp32Baseline,     ///< Everything in FP32.
+    UniformTraining,  ///< One MX format for forward and backward.
+    DirectCast,       ///< Trained high-precision, cast for inference.
+    FineTune,         ///< Cast + a few QAT iterations (FP32 backward).
+};
+
+/** Human-readable name of a recipe. */
+inline const char*
+to_string(Recipe r)
+{
+    switch (r) {
+      case Recipe::Fp32Baseline: return "FP32";
+      case Recipe::UniformTraining: return "MX training";
+      case Recipe::DirectCast: return "direct cast";
+      case Recipe::FineTune: return "QA fine-tune";
+    }
+    return "?";
+}
+
+/**
+ * QuantSpec for a recipe:
+ *  - UniformTraining: fmt in both passes (MX9 training, Table III).
+ *  - DirectCast / FineTune: fmt forward, FP32 backward (the paper uses
+ *    FP32 for the backward pass in all fine-tuning experiments).
+ */
+inline nn::QuantSpec
+recipe_spec(Recipe r, const core::BdrFormat& fmt)
+{
+    switch (r) {
+      case Recipe::Fp32Baseline:
+        return nn::QuantSpec::fp32();
+      case Recipe::UniformTraining:
+        return nn::QuantSpec::uniform(fmt);
+      case Recipe::DirectCast:
+      case Recipe::FineTune:
+        return nn::QuantSpec::mixed(fmt, std::nullopt);
+    }
+    return nn::QuantSpec::fp32();
+}
+
+/** Exponential running average (for smoothed training-loss reporting). */
+class RunningAverage
+{
+  public:
+    explicit RunningAverage(double alpha = 0.05) : alpha_(alpha) {}
+
+    /** Fold in one observation; returns the updated average. */
+    double
+    update(double x)
+    {
+        value_ = initialized_ ? (1.0 - alpha_) * value_ + alpha_ * x : x;
+        initialized_ = true;
+        return value_;
+    }
+
+    double value() const { return value_; }
+    bool initialized() const { return initialized_; }
+
+  private:
+    double alpha_;
+    double value_ = 0;
+    bool initialized_ = false;
+};
+
+} // namespace models
+} // namespace mx

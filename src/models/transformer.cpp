@@ -1,0 +1,333 @@
+#include "models/transformer.h"
+
+#include "core/check.h"
+
+namespace mx {
+namespace models {
+
+using tensor::Tensor;
+
+TransformerBlock::TransformerBlock(std::int64_t d_model, std::int64_t heads,
+                                   std::int64_t seq_len, bool causal,
+                                   nn::QuantSpec spec, bool bf16_vector,
+                                   stats::Rng& rng)
+{
+    ln1_ = std::make_unique<nn::LayerNorm>(d_model, bf16_vector);
+    ln2_ = std::make_unique<nn::LayerNorm>(d_model, bf16_vector);
+    attn_ = std::make_unique<nn::MultiHeadAttention>(d_model, heads, seq_len,
+                                                     causal, spec, rng);
+    ff1_ = std::make_unique<nn::Linear>(d_model, 4 * d_model, spec, rng);
+    ff2_ = std::make_unique<nn::Linear>(4 * d_model, d_model, spec, rng);
+    act_ = std::make_unique<nn::ActivationLayer>(nn::Activation::GELU,
+                                                 bf16_vector);
+}
+
+void
+TransformerBlock::set_spec(const nn::QuantSpec& spec)
+{
+    attn_->set_spec(spec);
+    ff1_->spec() = spec;
+    ff2_->spec() = spec;
+}
+
+Tensor
+TransformerBlock::forward(const Tensor& x, bool train)
+{
+    Tensor h = x;
+    Tensor a = attn_->forward(ln1_->forward(h, train), train);
+    tensor::axpy(h, 1.0f, a); // residual
+
+    Tensor f = ff2_->forward(
+        act_->forward(ff1_->forward(ln2_->forward(h, train), train), train),
+        train);
+    tensor::axpy(h, 1.0f, f); // residual
+    return h;
+}
+
+Tensor
+TransformerBlock::backward(const Tensor& grad_out)
+{
+    // Second residual: dh = g + dFFN(g).
+    Tensor g = grad_out;
+    Tensor df = ln2_->backward(
+        ff1_->backward(act_->backward(ff2_->backward(g))));
+    Tensor dh = g;
+    tensor::axpy(dh, 1.0f, df);
+
+    // First residual: dx = dh + dAttn(dh).
+    Tensor da = ln1_->backward(attn_->backward(dh));
+    Tensor dx = dh;
+    tensor::axpy(dx, 1.0f, da);
+    return dx;
+}
+
+void
+TransformerBlock::collect_params(std::vector<nn::Param*>& out)
+{
+    ln1_->collect_params(out);
+    attn_->collect_params(out);
+    ln2_->collect_params(out);
+    ff1_->collect_params(out);
+    ff2_->collect_params(out);
+}
+
+namespace {
+
+/** Position index vector [0..T-1] repeated for each row of a batch. */
+std::vector<int>
+position_ids(std::int64_t n, std::int64_t seq_len)
+{
+    std::vector<int> ids(static_cast<std::size_t>(n * seq_len));
+    for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t t = 0; t < seq_len; ++t)
+            ids[static_cast<std::size_t>(i * seq_len + t)] =
+                static_cast<int>(t);
+    return ids;
+}
+
+} // namespace
+
+BertMini::BertMini(TransformerConfig cfg, int num_classes)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    tok_emb_ = std::make_unique<nn::Embedding>(cfg_.vocab, cfg_.d_model,
+                                               rng_);
+    pos_emb_ = std::make_unique<nn::Embedding>(cfg_.seq_len, cfg_.d_model,
+                                               rng_);
+    for (int l = 0; l < cfg_.layers; ++l)
+        blocks_.push_back(std::make_unique<TransformerBlock>(
+            cfg_.d_model, cfg_.heads, cfg_.seq_len, /*causal=*/false,
+            cfg_.spec, cfg_.bf16_vector, rng_));
+    final_ln_ = std::make_unique<nn::LayerNorm>(cfg_.d_model,
+                                                cfg_.bf16_vector);
+    cls_head_ = std::make_unique<nn::Linear>(cfg_.d_model, num_classes,
+                                             cfg_.spec, rng_);
+    qa_head_ = std::make_unique<nn::Linear>(cfg_.d_model, 2, cfg_.spec,
+                                            rng_);
+}
+
+Tensor
+BertMini::encode(const data::SequenceBatch& batch, bool train)
+{
+    MX_CHECK_ARG(batch.seq_len == cfg_.seq_len,
+                 "BertMini: sequence length mismatch");
+    cached_n_ = batch.n;
+    Tensor h = tok_emb_->forward(batch.tokens, train);
+    Tensor p = pos_emb_->forward(position_ids(batch.n, cfg_.seq_len), train);
+    tensor::axpy(h, 1.0f, p);
+    for (auto& b : blocks_)
+        h = b->forward(h, train);
+    return final_ln_->forward(h, train);
+}
+
+Tensor
+BertMini::encode_backward(const Tensor& grad)
+{
+    Tensor g = final_ln_->backward(grad);
+    for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it)
+        g = (*it)->backward(g);
+    tok_emb_->backward(g);
+    pos_emb_->backward(g);
+    return g;
+}
+
+Tensor
+BertMini::class_logits(const data::SequenceBatch& batch, bool train)
+{
+    Tensor h = encode(batch, train); // [n*T, d]
+    // Pool position 0 of each sequence ([CLS]-style).
+    Tensor pooled({batch.n, cfg_.d_model});
+    for (std::int64_t i = 0; i < batch.n; ++i) {
+        const float* src = h.data() + (i * cfg_.seq_len) * cfg_.d_model;
+        std::copy(src, src + cfg_.d_model,
+                  pooled.data() + i * cfg_.d_model);
+    }
+    last_head_ = 1;
+    return cls_head_->forward(pooled, train);
+}
+
+void
+BertMini::class_backward(const Tensor& grad)
+{
+    MX_CHECK_ARG(last_head_ == 1, "BertMini: class_backward head mismatch");
+    Tensor dpooled = cls_head_->backward(grad);
+    Tensor dh = Tensor::zeros({cached_n_ * cfg_.seq_len, cfg_.d_model});
+    for (std::int64_t i = 0; i < cached_n_; ++i) {
+        float* dst = dh.data() + (i * cfg_.seq_len) * cfg_.d_model;
+        const float* src = dpooled.data() + i * cfg_.d_model;
+        std::copy(src, src + cfg_.d_model, dst);
+    }
+    encode_backward(dh);
+}
+
+Tensor
+BertMini::qa_logits(const data::SequenceBatch& batch, bool train)
+{
+    Tensor h = encode(batch, train);
+    last_head_ = 2;
+    return qa_head_->forward(h, train); // [n*T, 2]
+}
+
+void
+BertMini::qa_backward(const Tensor& grad)
+{
+    MX_CHECK_ARG(last_head_ == 2, "BertMini: qa_backward head mismatch");
+    encode_backward(qa_head_->backward(grad));
+}
+
+std::vector<std::pair<int, int>>
+BertMini::predict_spans(const data::SequenceBatch& batch)
+{
+    Tensor logits = qa_logits(batch, /*train=*/false);
+    std::vector<std::pair<int, int>> spans;
+    spans.reserve(static_cast<std::size_t>(batch.n));
+    for (std::int64_t i = 0; i < batch.n; ++i) {
+        int best_s = 0, best_e = 0;
+        float bs = -1e30f, be = -1e30f;
+        for (std::int64_t t = 0; t < cfg_.seq_len; ++t) {
+            float s = logits.data()[(i * cfg_.seq_len + t) * 2 + 0];
+            float e = logits.data()[(i * cfg_.seq_len + t) * 2 + 1];
+            if (s > bs) {
+                bs = s;
+                best_s = static_cast<int>(t);
+            }
+            if (e > be) {
+                be = e;
+                best_e = static_cast<int>(t);
+            }
+        }
+        if (best_e < best_s)
+            best_e = best_s;
+        spans.emplace_back(best_s, best_e);
+    }
+    return spans;
+}
+
+std::vector<nn::Param*>
+BertMini::params()
+{
+    std::vector<nn::Param*> ps;
+    tok_emb_->collect_params(ps);
+    pos_emb_->collect_params(ps);
+    for (auto& b : blocks_)
+        b->collect_params(ps);
+    final_ln_->collect_params(ps);
+    cls_head_->collect_params(ps);
+    qa_head_->collect_params(ps);
+    return ps;
+}
+
+std::int64_t
+BertMini::param_count()
+{
+    std::int64_t n = 0;
+    for (nn::Param* p : params())
+        n += p->value.numel();
+    return n;
+}
+
+void
+BertMini::set_spec(const nn::QuantSpec& spec)
+{
+    cfg_.spec = spec;
+    for (auto& b : blocks_)
+        b->set_spec(spec);
+    cls_head_->spec() = spec;
+    qa_head_->spec() = spec;
+}
+
+GptMini::GptMini(TransformerConfig cfg) : cfg_(cfg), rng_(cfg.seed)
+{
+    tok_emb_ = std::make_unique<nn::Embedding>(cfg_.vocab, cfg_.d_model,
+                                               rng_);
+    pos_emb_ = std::make_unique<nn::Embedding>(cfg_.seq_len, cfg_.d_model,
+                                               rng_);
+    for (int l = 0; l < cfg_.layers; ++l)
+        blocks_.push_back(std::make_unique<TransformerBlock>(
+            cfg_.d_model, cfg_.heads, cfg_.seq_len, /*causal=*/true,
+            cfg_.spec, cfg_.bf16_vector, rng_));
+    final_ln_ = std::make_unique<nn::LayerNorm>(cfg_.d_model,
+                                                cfg_.bf16_vector);
+    lm_head_ = std::make_unique<nn::Linear>(cfg_.d_model, cfg_.vocab,
+                                            cfg_.spec, rng_, false);
+}
+
+Tensor
+GptMini::encode(const data::SequenceBatch& batch, bool train)
+{
+    MX_CHECK_ARG(batch.seq_len == cfg_.seq_len,
+                 "GptMini: sequence length mismatch");
+    cached_n_ = batch.n;
+    Tensor h = tok_emb_->forward(batch.tokens, train);
+    Tensor p = pos_emb_->forward(position_ids(batch.n, cfg_.seq_len), train);
+    tensor::axpy(h, 1.0f, p);
+    for (auto& b : blocks_)
+        h = b->forward(h, train);
+    return final_ln_->forward(h, train);
+}
+
+Tensor
+GptMini::logits(const data::SequenceBatch& batch, bool train)
+{
+    return lm_head_->forward(encode(batch, train), train);
+}
+
+void
+GptMini::backward(const Tensor& grad)
+{
+    Tensor g = final_ln_->backward(lm_head_->backward(grad));
+    for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it)
+        g = (*it)->backward(g);
+    tok_emb_->backward(g);
+    pos_emb_->backward(g);
+}
+
+double
+GptMini::eval_loss(const data::SequenceBatch& batch)
+{
+    Tensor l = logits(batch, /*train=*/false);
+    return nn::softmax_cross_entropy(l, batch.labels).loss;
+}
+
+double
+GptMini::train_loss(const data::SequenceBatch& batch)
+{
+    Tensor l = logits(batch, /*train=*/true);
+    nn::LossResult res = nn::softmax_cross_entropy(l, batch.labels);
+    backward(res.grad);
+    return res.loss;
+}
+
+std::vector<nn::Param*>
+GptMini::params()
+{
+    std::vector<nn::Param*> ps;
+    tok_emb_->collect_params(ps);
+    pos_emb_->collect_params(ps);
+    for (auto& b : blocks_)
+        b->collect_params(ps);
+    final_ln_->collect_params(ps);
+    lm_head_->collect_params(ps);
+    return ps;
+}
+
+std::int64_t
+GptMini::param_count()
+{
+    std::int64_t n = 0;
+    for (nn::Param* p : params())
+        n += p->value.numel();
+    return n;
+}
+
+void
+GptMini::set_spec(const nn::QuantSpec& spec)
+{
+    cfg_.spec = spec;
+    for (auto& b : blocks_)
+        b->set_spec(spec);
+    lm_head_->spec() = spec;
+}
+
+} // namespace models
+} // namespace mx

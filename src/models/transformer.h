@@ -1,0 +1,142 @@
+#pragma once
+
+/**
+ * @file
+ * Transformer miniatures: a pre-LN block, an encoder-only model with
+ * classification and QA heads (BERT stand-ins, Tables III/V), and a
+ * decoder-only LM (GPT stand-in, Tables IV/VII, Figure 9).
+ */
+
+#include <memory>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "nn/losses.h"
+
+namespace mx {
+namespace models {
+
+/** Pre-LN transformer block: x + Attn(LN(x)), then x + FFN(LN(x)). */
+class TransformerBlock : public nn::Layer
+{
+  public:
+    TransformerBlock(std::int64_t d_model, std::int64_t heads,
+                     std::int64_t seq_len, bool causal, nn::QuantSpec spec,
+                     bool bf16_vector, stats::Rng& rng);
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    void collect_params(std::vector<nn::Param*>& out) override;
+
+    /** Re-point every contraction at a new quantization policy. */
+    void set_spec(const nn::QuantSpec& spec);
+
+  private:
+    std::unique_ptr<nn::LayerNorm> ln1_, ln2_;
+    std::unique_ptr<nn::MultiHeadAttention> attn_;
+    std::unique_ptr<nn::Linear> ff1_, ff2_;
+    std::unique_ptr<nn::ActivationLayer> act_;
+};
+
+/** Shared sizing/precision knobs for the transformer miniatures. */
+struct TransformerConfig
+{
+    int vocab = 64;
+    int d_model = 64;
+    int heads = 4;
+    int layers = 2;
+    int seq_len = 16;
+    nn::QuantSpec spec;        ///< contraction quantization policy
+    bool bf16_vector = true;   ///< BF16-round element-wise ops (Fig 8)
+    std::uint64_t seed = 7;
+};
+
+/** Encoder-only model with a [CLS]-style classification head and a
+ *  span-extraction QA head (both heads always exist; use either). */
+class BertMini
+{
+  public:
+    /** @param num_classes classification head width */
+    BertMini(TransformerConfig cfg, int num_classes);
+
+    /** Per-sequence class logits [n, num_classes]. */
+    tensor::Tensor class_logits(const data::SequenceBatch& batch,
+                                bool train);
+    /** Backward from class-logit gradients. */
+    void class_backward(const tensor::Tensor& grad);
+
+    /** QA span logits: [n*T, 2] (column 0 start, column 1 end). */
+    tensor::Tensor qa_logits(const data::SequenceBatch& batch, bool train);
+    /** Backward from QA-logit gradients. */
+    void qa_backward(const tensor::Tensor& grad);
+
+    /** Greedy span predictions from QA logits. */
+    std::vector<std::pair<int, int>>
+    predict_spans(const data::SequenceBatch& batch);
+
+    /** All trainable parameters. */
+    std::vector<nn::Param*> params();
+    /** Total parameter count. */
+    std::int64_t param_count();
+    /** Swap the quantization policy on every contraction. */
+    void set_spec(const nn::QuantSpec& spec);
+    /** The configuration. */
+    const TransformerConfig& config() const { return cfg_; }
+
+  private:
+    tensor::Tensor encode(const data::SequenceBatch& batch, bool train);
+    tensor::Tensor encode_backward(const tensor::Tensor& grad);
+
+    TransformerConfig cfg_;
+    stats::Rng rng_;
+    std::unique_ptr<nn::Embedding> tok_emb_, pos_emb_;
+    std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+    std::unique_ptr<nn::LayerNorm> final_ln_;
+    std::unique_ptr<nn::Linear> cls_head_; // [d_model -> classes]
+    std::unique_ptr<nn::Linear> qa_head_;  // [d_model -> 2]
+    std::int64_t cached_n_ = 0;
+    int last_head_ = 0; // 1 = cls, 2 = qa
+};
+
+/** Decoder-only causal LM. */
+class GptMini
+{
+  public:
+    explicit GptMini(TransformerConfig cfg);
+
+    /** Next-token logits [n*T, vocab]. */
+    tensor::Tensor logits(const data::SequenceBatch& batch, bool train);
+    /** Backward from logit gradients. */
+    void backward(const tensor::Tensor& grad);
+
+    /** Mean LM loss (natural log) of a batch, no caching. */
+    double eval_loss(const data::SequenceBatch& batch);
+
+    /** One training step's loss + gradient accumulation (caller steps
+     *  the optimizer). */
+    double train_loss(const data::SequenceBatch& batch);
+
+    std::vector<nn::Param*> params();
+    std::int64_t param_count();
+    void set_spec(const nn::QuantSpec& spec);
+    const TransformerConfig& config() const { return cfg_; }
+
+  private:
+    tensor::Tensor encode(const data::SequenceBatch& batch, bool train);
+
+    TransformerConfig cfg_;
+    stats::Rng rng_;
+    std::unique_ptr<nn::Embedding> tok_emb_, pos_emb_;
+    std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+    std::unique_ptr<nn::LayerNorm> final_ln_;
+    std::unique_ptr<nn::Linear> lm_head_;
+    std::int64_t cached_n_ = 0;
+};
+
+} // namespace models
+} // namespace mx

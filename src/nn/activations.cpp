@@ -1,0 +1,112 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace mx {
+namespace nn {
+
+using tensor::Tensor;
+
+namespace {
+
+constexpr double kGeluC = 0.7978845608028654; // sqrt(2/pi)
+
+double
+gelu(double x)
+{
+    return 0.5 * x * (1.0 + std::tanh(kGeluC * (x + 0.044715 * x * x * x)));
+}
+
+double
+gelu_grad(double x)
+{
+    double u = kGeluC * (x + 0.044715 * x * x * x);
+    double t = std::tanh(u);
+    double du = kGeluC * (1.0 + 3.0 * 0.044715 * x * x);
+    return 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du;
+}
+
+} // namespace
+
+Tensor
+ActivationLayer::forward(const Tensor& x, bool train)
+{
+    if (train)
+        cached_input_ = x;
+    Tensor y(x.shape());
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+        double v = x.data()[i];
+        double r = 0;
+        switch (kind_) {
+          case Activation::ReLU: r = v > 0 ? v : 0; break;
+          case Activation::GELU: r = gelu(v); break;
+          case Activation::Sigmoid: r = 1.0 / (1.0 + std::exp(-v)); break;
+          case Activation::Tanh: r = std::tanh(v); break;
+        }
+        y.data()[i] = static_cast<float>(r);
+    }
+    if (bf16_output_)
+        round_bf16_inplace(y);
+    return y;
+}
+
+Tensor
+ActivationLayer::backward(const Tensor& grad_out)
+{
+    MX_CHECK_ARG(cached_input_.same_shape(grad_out),
+                 "activation backward: shape mismatch");
+    Tensor dx(grad_out.shape());
+    for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+        double v = cached_input_.data()[i];
+        double g = 0;
+        switch (kind_) {
+          case Activation::ReLU: g = v > 0 ? 1.0 : 0.0; break;
+          case Activation::GELU: g = gelu_grad(v); break;
+          case Activation::Sigmoid: {
+            double s = 1.0 / (1.0 + std::exp(-v));
+            g = s * (1.0 - s);
+            break;
+          }
+          case Activation::Tanh: {
+            double t = std::tanh(v);
+            g = 1.0 - t * t;
+            break;
+          }
+        }
+        dx.data()[i] = static_cast<float>(g * grad_out.data()[i]);
+    }
+    return dx;
+}
+
+Tensor
+Dropout::forward(const Tensor& x, bool train)
+{
+    if (!train || p_ <= 0.0) {
+        mask_ = Tensor();
+        return x;
+    }
+    mask_ = Tensor(x.shape());
+    Tensor y(x.shape());
+    float keep = static_cast<float>(1.0 - p_);
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+        float m = rng_.bernoulli(p_) ? 0.0f : 1.0f / keep;
+        mask_.data()[i] = m;
+        y.data()[i] = x.data()[i] * m;
+    }
+    return y;
+}
+
+Tensor
+Dropout::backward(const Tensor& grad_out)
+{
+    if (mask_.numel() == 0)
+        return grad_out;
+    MX_CHECK_ARG(mask_.same_shape(grad_out),
+                 "dropout backward: shape mismatch");
+    return tensor::mul(grad_out, mask_);
+}
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * Element-wise activation layers.
+ *
+ * Per the paper's compute flow, element-wise operations run in scalar
+ * floating point, BF16 by default (Section V); each activation can
+ * optionally round its output to the BF16 grid to emulate that.
+ */
+
+#include "nn/layer.h"
+#include "nn/quant.h"
+
+namespace mx {
+namespace nn {
+
+/** Supported pointwise nonlinearities. */
+enum class Activation
+{
+    ReLU,
+    GELU,    ///< tanh approximation, as used by transformer stacks.
+    Sigmoid,
+    Tanh,
+};
+
+/** Stateless activation layer with analytic backward. */
+class ActivationLayer : public Layer
+{
+  public:
+    /**
+     * @param kind the nonlinearity
+     * @param bf16_output round outputs to BF16 (paper's vector-op format)
+     */
+    explicit ActivationLayer(Activation kind, bool bf16_output = false)
+        : kind_(kind), bf16_output_(bf16_output)
+    {
+    }
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+  private:
+    Activation kind_;
+    bool bf16_output_;
+    tensor::Tensor cached_input_;
+};
+
+/** Inverted dropout. Identity when p == 0 or in eval mode. */
+class Dropout : public Layer
+{
+  public:
+    Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+    /** Change the drop probability (fine-tuning recipes disable dropout). */
+    void set_p(double p) { p_ = p; }
+
+  private:
+    double p_;
+    stats::Rng rng_;
+    tensor::Tensor mask_;
+};
+
+} // namespace nn
+} // namespace mx

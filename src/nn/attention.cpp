@@ -1,0 +1,201 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace mx {
+namespace nn {
+
+using tensor::Tensor;
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
+                                       std::int64_t heads,
+                                       std::int64_t seq_len, bool causal,
+                                       QuantSpec spec, stats::Rng& rng)
+    : d_model_(d_model),
+      heads_(heads),
+      head_dim_(d_model / heads),
+      seq_len_(seq_len),
+      causal_(causal),
+      spec_(std::move(spec))
+{
+    MX_CHECK_ARG(d_model % heads == 0,
+                 "MultiHeadAttention: d_model must be divisible by heads");
+    wq_ = std::make_unique<Linear>(d_model, d_model, spec_, rng, false);
+    wk_ = std::make_unique<Linear>(d_model, d_model, spec_, rng, false);
+    wv_ = std::make_unique<Linear>(d_model, d_model, spec_, rng, false);
+    wo_ = std::make_unique<Linear>(d_model, d_model, spec_, rng, false);
+}
+
+void
+MultiHeadAttention::set_spec(const QuantSpec& spec)
+{
+    spec_ = spec;
+    wq_->spec() = spec;
+    wk_->spec() = spec;
+    wv_->spec() = spec;
+    wo_->spec() = spec;
+}
+
+Tensor
+MultiHeadAttention::slice_head(const Tensor& packed, std::int64_t b,
+                               std::int64_t h) const
+{
+    Tensor out({seq_len_, head_dim_});
+    for (std::int64_t t = 0; t < seq_len_; ++t) {
+        const float* row = packed.data() + (b * seq_len_ + t) * d_model_ +
+                           h * head_dim_;
+        std::copy(row, row + head_dim_, out.data() + t * head_dim_);
+    }
+    return out;
+}
+
+void
+MultiHeadAttention::scatter_head(Tensor& packed, const Tensor& head,
+                                 std::int64_t b, std::int64_t h) const
+{
+    for (std::int64_t t = 0; t < seq_len_; ++t) {
+        float* row = packed.data() + (b * seq_len_ + t) * d_model_ +
+                     h * head_dim_;
+        const float* src = head.data() + t * head_dim_;
+        for (std::int64_t j = 0; j < head_dim_; ++j)
+            row[j] += src[j];
+    }
+}
+
+Tensor
+MultiHeadAttention::forward(const Tensor& x, bool train)
+{
+    MX_CHECK_ARG(x.ndim() == 2 && x.dim(1) == d_model_ &&
+                 x.dim(0) % seq_len_ == 0,
+                 "MultiHeadAttention: input " << x.shape_string());
+    const std::int64_t batch = x.dim(0) / seq_len_;
+    cached_batch_ = batch;
+
+    Tensor q = wq_->forward(x, train);
+    Tensor k = wk_->forward(x, train);
+    Tensor v = wv_->forward(x, train);
+
+    if (train)
+        cache_.assign(static_cast<std::size_t>(batch * heads_), HeadCache{});
+
+    const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+    Tensor concat = Tensor::zeros({batch * seq_len_, d_model_});
+
+    for (std::int64_t b = 0; b < batch; ++b) {
+        for (std::int64_t h = 0; h < heads_; ++h) {
+            Tensor qh = slice_head(q, b, h);
+            Tensor kh = slice_head(k, b, h);
+            Tensor vh = slice_head(v, b, h);
+
+            // scores = (Q K^T) * scale: reduction over head_dim (rows of
+            // both operands), so qmatmul_nt quantizes along the right dim.
+            Tensor scores =
+                qmatmul_nt(qh, kh, spec_.forward, spec_.rounding);
+            for (std::int64_t i = 0; i < seq_len_; ++i) {
+                for (std::int64_t j = 0; j < seq_len_; ++j) {
+                    float& s = scores.data()[i * seq_len_ + j];
+                    s *= scale;
+                    if (causal_ && j > i)
+                        s = -std::numeric_limits<float>::infinity();
+                }
+            }
+            Tensor probs = tensor::softmax_rows(scores);
+
+            // ctx = P V: reduction over keys; V is transposed before
+            // quantization so its rows run along the reduction dim.
+            Tensor vt = tensor::transpose2d(vh);
+            Tensor ctx = qmatmul_nt(probs, vt, spec_.forward,
+                                    spec_.rounding);
+            scatter_head(concat, ctx, b, h);
+
+            if (train) {
+                HeadCache& c = cache_[static_cast<std::size_t>(
+                    b * heads_ + h)];
+                c.q = std::move(qh);
+                c.k = std::move(kh);
+                c.v = std::move(vh);
+                c.probs = std::move(probs);
+            }
+        }
+    }
+    return wo_->forward(concat, train);
+}
+
+Tensor
+MultiHeadAttention::backward(const Tensor& grad_out)
+{
+    MX_CHECK_ARG(!cache_.empty(),
+                 "MultiHeadAttention: backward before forward(train)");
+    const std::int64_t batch = cached_batch_;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+    Tensor d_concat = wo_->backward(grad_out);
+    Tensor dq = Tensor::zeros({batch * seq_len_, d_model_});
+    Tensor dk = Tensor::zeros({batch * seq_len_, d_model_});
+    Tensor dv = Tensor::zeros({batch * seq_len_, d_model_});
+
+    for (std::int64_t b = 0; b < batch; ++b) {
+        for (std::int64_t h = 0; h < heads_; ++h) {
+            const HeadCache& c =
+                cache_[static_cast<std::size_t>(b * heads_ + h)];
+            Tensor dctx = slice_head(d_concat, b, h); // [T, dh]
+
+            // dP = dctx V^T: reduction over head_dim.
+            Tensor dp = qmatmul_nt(dctx, c.v, spec_.backward,
+                                   spec_.rounding);
+            // dV = P^T dctx: reduction over queries; transpose first.
+            Tensor pt = tensor::transpose2d(c.probs);
+            Tensor dctx_t = tensor::transpose2d(dctx);
+            Tensor dvh = qmatmul_nt(pt, dctx_t, spec_.backward,
+                                    spec_.rounding);
+
+            // Softmax backward: dS = P * (dP - rowsum(dP * P)).
+            Tensor ds({seq_len_, seq_len_});
+            for (std::int64_t i = 0; i < seq_len_; ++i) {
+                double dot = 0;
+                for (std::int64_t j = 0; j < seq_len_; ++j)
+                    dot += static_cast<double>(
+                               dp.data()[i * seq_len_ + j]) *
+                           c.probs.data()[i * seq_len_ + j];
+                for (std::int64_t j = 0; j < seq_len_; ++j) {
+                    double g = (dp.data()[i * seq_len_ + j] - dot) *
+                               c.probs.data()[i * seq_len_ + j];
+                    ds.data()[i * seq_len_ + j] =
+                        static_cast<float>(g * scale);
+                }
+            }
+
+            // dQ = dS K (reduce over keys); dK = dS^T Q (reduce queries).
+            Tensor kt = tensor::transpose2d(c.k);
+            Tensor dqh = qmatmul_nt(ds, kt, spec_.backward, spec_.rounding);
+            Tensor dst = tensor::transpose2d(ds);
+            Tensor qt = tensor::transpose2d(c.q);
+            Tensor dkh = qmatmul_nt(dst, qt, spec_.backward,
+                                    spec_.rounding);
+
+            scatter_head(dq, dqh, b, h);
+            scatter_head(dk, dkh, b, h);
+            scatter_head(dv, dvh, b, h);
+        }
+    }
+
+    Tensor dx = wq_->backward(dq);
+    tensor::axpy(dx, 1.0f, wk_->backward(dk));
+    tensor::axpy(dx, 1.0f, wv_->backward(dv));
+    return dx;
+}
+
+void
+MultiHeadAttention::collect_params(std::vector<Param*>& out)
+{
+    wq_->collect_params(out);
+    wk_->collect_params(out);
+    wv_->collect_params(out);
+    wo_->collect_params(out);
+}
+
+} // namespace nn
+} // namespace mx

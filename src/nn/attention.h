@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * Multi-head self-attention with MX-quantized contractions.
+ *
+ * All four projections and both attention matmuls (Q K^T and P V) go
+ * through the Figure 8 quantization discipline; softmax itself is an
+ * element-wise op and stays in scalar float, matching the paper's
+ * compute flow.
+ */
+
+#include <memory>
+
+#include "nn/linear.h"
+
+namespace mx {
+namespace nn {
+
+/**
+ * Self-attention over fixed-length sequences.
+ *
+ * Inputs are packed [B*T, D]; the batch/sequence factorization is given
+ * at construction (fixed-shape training, as all our benchmarks use).
+ */
+class MultiHeadAttention : public Layer
+{
+  public:
+    /**
+     * @param d_model model width (divisible by heads)
+     * @param heads   number of attention heads
+     * @param seq_len fixed sequence length T
+     * @param causal  apply a causal (autoregressive) mask
+     * @param spec    quantization policy for every contraction
+     * @param rng     weight init stream
+     */
+    MultiHeadAttention(std::int64_t d_model, std::int64_t heads,
+                       std::int64_t seq_len, bool causal, QuantSpec spec,
+                       stats::Rng& rng);
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    void collect_params(std::vector<Param*>& out) override;
+
+    /** Mutable access to the shared quantization policy. */
+    void set_spec(const QuantSpec& spec);
+
+  private:
+    /** Per-(batch, head) cached activations for backward. */
+    struct HeadCache
+    {
+        tensor::Tensor q, k, v; // [T, dh]
+        tensor::Tensor probs;   // [T, T] post-softmax
+    };
+
+    tensor::Tensor slice_head(const tensor::Tensor& packed, std::int64_t b,
+                              std::int64_t h) const;
+    void scatter_head(tensor::Tensor& packed, const tensor::Tensor& head,
+                      std::int64_t b, std::int64_t h) const;
+
+    std::int64_t d_model_, heads_, head_dim_, seq_len_;
+    bool causal_;
+    QuantSpec spec_;
+    std::unique_ptr<Linear> wq_, wk_, wv_, wo_;
+    std::vector<HeadCache> cache_;
+    std::int64_t cached_batch_ = 0;
+};
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,100 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace mx {
+namespace nn {
+
+using tensor::Tensor;
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               QuantSpec spec, stats::Rng& rng)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      spec_(std::move(spec))
+{
+    const std::int64_t fan_in = in_channels * kernel * kernel;
+    float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+    weight_ = Param("conv.weight",
+                    Tensor::rand_uniform({out_channels, fan_in}, rng, bound));
+    bias_ = Param("conv.bias", Tensor::rand_uniform({out_channels}, rng,
+                                                    bound));
+}
+
+Tensor
+Conv2d::forward(const Tensor& x, bool train)
+{
+    MX_CHECK_ARG(x.ndim() == 4 && x.dim(1) == in_c_,
+                 "Conv2d: input " << x.shape_string());
+    geom_ = tensor::Conv2dGeometry{x.dim(0), in_c_, x.dim(2), x.dim(3),
+                                   out_c_, kernel_, stride_, pad_};
+    Tensor cols = tensor::im2col(x, geom_); // [B*oh*ow, C*k*k]
+    if (train)
+        cached_cols_ = cols;
+
+    // out_rows = Q(cols) Q(W)^T: reduction over the patch dim.
+    Tensor rows = qmatmul_nt(cols, weight_.value, spec_.forward,
+                             spec_.rounding); // [B*oh*ow, outC]
+    const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+    Tensor out({geom_.batch, out_c_, oh, ow});
+    for (std::int64_t b = 0; b < geom_.batch; ++b)
+        for (std::int64_t y = 0; y < oh; ++y)
+            for (std::int64_t xx = 0; xx < ow; ++xx)
+                for (std::int64_t c = 0; c < out_c_; ++c)
+                    out.data()[((b * out_c_ + c) * oh + y) * ow + xx] =
+                        rows.data()[((b * oh + y) * ow + xx) * out_c_ + c] +
+                        bias_.value.data()[c];
+    return out;
+}
+
+Tensor
+Conv2d::backward(const Tensor& grad_out)
+{
+    MX_CHECK_ARG(cached_cols_.numel() > 0,
+                 "Conv2d: backward before forward(train)");
+    const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+    MX_CHECK_ARG(grad_out.ndim() == 4 && grad_out.dim(1) == out_c_ &&
+                 grad_out.dim(2) == oh && grad_out.dim(3) == ow,
+                 "Conv2d backward: grad shape " << grad_out.shape_string());
+
+    // Repack grad to row layout [B*oh*ow, outC].
+    Tensor grows({geom_.batch * oh * ow, out_c_});
+    for (std::int64_t b = 0; b < geom_.batch; ++b)
+        for (std::int64_t y = 0; y < oh; ++y)
+            for (std::int64_t xx = 0; xx < ow; ++xx)
+                for (std::int64_t c = 0; c < out_c_; ++c)
+                    grows.data()[((b * oh + y) * ow + xx) * out_c_ + c] =
+                        grad_out.data()[((b * out_c_ + c) * oh + y) * ow +
+                                        xx];
+
+    // dCols = E W (reduce outC): transpose W before quantization.
+    Tensor w_t = tensor::transpose2d(weight_.value);
+    Tensor dcols = qmatmul_nt(grows, w_t, spec_.backward, spec_.rounding);
+
+    // dW = E^T cols (reduce batch*positions).
+    Tensor e_t = tensor::transpose2d(grows);
+    Tensor cols_t = tensor::transpose2d(cached_cols_);
+    Tensor dw = qmatmul_nt(e_t, cols_t, spec_.backward, spec_.rounding);
+    tensor::axpy(weight_.grad, 1.0f, dw);
+
+    Tensor db = tensor::sum_rows(grows);
+    tensor::axpy(bias_.grad, 1.0f, db);
+
+    return tensor::col2im(dcols, geom_);
+}
+
+void
+Conv2d::collect_params(std::vector<Param*>& out)
+{
+    out.push_back(&weight_);
+    out.push_back(&bias_);
+}
+
+} // namespace nn
+} // namespace mx

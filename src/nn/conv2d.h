@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * 2-d convolution lowered to an MX-quantized matmul via im2col.
+ *
+ * The paper performs convolutions in MX during both passes (Section V:
+ * "tensor reduction operations, such as matrix multiplications and
+ * convolutions, are performed in MX"); lowering to im2col makes the
+ * reduction dimension (C * k * k) contiguous so quantize-along-reduction
+ * is the same row quantization used by Linear.
+ */
+
+#include "nn/linear.h"
+#include "tensor/tensor.h"
+
+namespace mx {
+namespace nn {
+
+/** Convolution on NCHW inputs packed as 4-d tensors. */
+class Conv2d : public Layer
+{
+  public:
+    /**
+     * @param in_channels / out_channels channel counts
+     * @param kernel  square kernel size
+     * @param stride / pad  geometry
+     * @param spec  quantization policy
+     * @param rng   init stream
+     */
+    Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+           std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+           QuantSpec spec, stats::Rng& rng);
+
+    /** Input [B, C, H, W] -> output [B, outC, outH, outW]. */
+    tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    void collect_params(std::vector<Param*>& out) override;
+
+    /** The quantization policy. */
+    QuantSpec& spec() { return spec_; }
+
+  private:
+    std::int64_t in_c_, out_c_, kernel_, stride_, pad_;
+    QuantSpec spec_;
+    Param weight_; // [outC, C * k * k]
+    Param bias_;   // [outC]
+    tensor::Conv2dGeometry geom_{};
+    tensor::Tensor cached_cols_;
+};
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,69 @@
+#include "nn/embedding.h"
+
+#include "core/check.h"
+#include "core/quantize.h"
+
+namespace mx {
+namespace nn {
+
+using tensor::Tensor;
+
+Embedding::Embedding(std::int64_t vocab, std::int64_t dim, stats::Rng& rng)
+    : vocab_(vocab), dim_(dim)
+{
+    MX_CHECK_ARG(vocab >= 1 && dim >= 1, "Embedding: bad shape");
+    table_ = Param("embedding.table",
+                   Tensor::randn({vocab, dim}, rng, 0.02f));
+}
+
+Tensor
+Embedding::forward(const std::vector<int>& ids, bool train)
+{
+    if (train)
+        cached_ids_ = ids;
+    Tensor out({static_cast<std::int64_t>(ids.size()), dim_});
+
+    const Tensor* src = &table_.value;
+    Tensor quantized;
+    if (storage_format_) {
+        // Emulate an MX-resident table: reads see format-grid values.
+        quantized = quantize_rows(table_.value, *storage_format_);
+        src = &quantized;
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        MX_CHECK_ARG(ids[i] >= 0 && ids[i] < vocab_,
+                     "Embedding: id " << ids[i] << " out of range");
+        const float* row = src->data() +
+                           static_cast<std::int64_t>(ids[i]) * dim_;
+        std::copy(row, row + dim_,
+                  out.data() + static_cast<std::int64_t>(i) * dim_);
+    }
+    return out;
+}
+
+void
+Embedding::backward(const Tensor& grad_out)
+{
+    MX_CHECK_ARG(grad_out.ndim() == 2 &&
+                 grad_out.dim(0) ==
+                     static_cast<std::int64_t>(cached_ids_.size()) &&
+                 grad_out.dim(1) == dim_,
+                 "Embedding backward: shape mismatch");
+    for (std::size_t i = 0; i < cached_ids_.size(); ++i) {
+        float* g = table_.grad.data() +
+                   static_cast<std::int64_t>(cached_ids_[i]) * dim_;
+        const float* src = grad_out.data() +
+                           static_cast<std::int64_t>(i) * dim_;
+        for (std::int64_t j = 0; j < dim_; ++j)
+            g[j] += src[j];
+    }
+}
+
+void
+Embedding::set_storage_format(std::optional<core::BdrFormat> fmt)
+{
+    storage_format_ = std::move(fmt);
+}
+
+} // namespace nn
+} // namespace mx

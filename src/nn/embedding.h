@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Token/categorical embedding table.
+ *
+ * Embeddings are lookups, not contractions, so MX quantization applies to
+ * their *storage*: Section V's DLRM evaluation quantizes the embedding
+ * tables themselves.  With storage_format set, lookups read values that
+ * round-trip through the format's value grid (rows are re-quantized on
+ * read, emulating MX-resident tables).
+ */
+
+#include <optional>
+
+#include "core/bdr_format.h"
+#include "nn/layer.h"
+#include "nn/quant.h"
+#include "stats/rng.h"
+
+namespace mx {
+namespace nn {
+
+/** Embedding lookup layer; input is an index list, not a float tensor. */
+class Embedding
+{
+  public:
+    /**
+     * @param vocab rows in the table
+     * @param dim   embedding width
+     * @param rng   init stream (N(0, 0.02), transformer-style)
+     */
+    Embedding(std::int64_t vocab, std::int64_t dim, stats::Rng& rng);
+
+    /** Gather rows for @p ids -> [ids.size(), dim]. */
+    tensor::Tensor forward(const std::vector<int>& ids, bool train);
+
+    /** Scatter-add gradients for the last forward's ids. */
+    void backward(const tensor::Tensor& grad_out);
+
+    /** Quantize table storage (MX-resident tables, e.g. for DLRM). */
+    void set_storage_format(std::optional<core::BdrFormat> fmt);
+
+    /** The table parameter. */
+    Param& table() { return table_; }
+
+    void collect_params(std::vector<Param*>& out) { out.push_back(&table_); }
+
+  private:
+    std::int64_t vocab_, dim_;
+    Param table_;
+    std::optional<core::BdrFormat> storage_format_;
+    std::vector<int> cached_ids_;
+};
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,75 @@
+#pragma once
+
+/**
+ * @file
+ * Layer abstraction for the training substrate.
+ *
+ * Layers own their parameters and implement explicit forward/backward
+ * passes (no tape autograd): forward caches whatever backward needs,
+ * backward consumes the output gradient, accumulates parameter gradients
+ * and returns the input gradient.  This mirrors how a quantization-aware
+ * training framework like the paper's CUDA emulation library slots Q ops
+ * into individual tensor contractions.
+ */
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mx {
+namespace nn {
+
+/** A trainable parameter: value plus accumulated gradient. */
+struct Param
+{
+    std::string name;
+    tensor::Tensor value;
+    tensor::Tensor grad;
+
+    Param() = default;
+    Param(std::string n, tensor::Tensor v)
+        : name(std::move(n)), value(std::move(v)), grad(value.shape())
+    {
+    }
+
+    /** Clear the accumulated gradient. */
+    void zero_grad() { grad.fill(0.0f); }
+};
+
+/** Base class of all layers. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Compute the layer output.
+     * @param x     input activations
+     * @param train when true, caches for backward and enables dropout
+     */
+    virtual tensor::Tensor forward(const tensor::Tensor& x, bool train) = 0;
+
+    /**
+     * Back-propagate.  Must be called after a forward(x, true).
+     * @param grad_out gradient w.r.t. the forward output
+     * @return gradient w.r.t. the forward input
+     */
+    virtual tensor::Tensor backward(const tensor::Tensor& grad_out) = 0;
+
+    /** Append non-owning pointers to this layer's parameters. */
+    virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+    /** Zero all parameter gradients. */
+    void
+    zero_grad()
+    {
+        std::vector<Param*> ps;
+        collect_params(ps);
+        for (Param* p : ps)
+            p->zero_grad();
+    }
+};
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,96 @@
+#include "nn/layernorm.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace mx {
+namespace nn {
+
+using tensor::Tensor;
+
+LayerNorm::LayerNorm(std::int64_t dim, bool bf16_output, float eps)
+    : dim_(dim), bf16_output_(bf16_output), eps_(eps)
+{
+    MX_CHECK_ARG(dim >= 1, "LayerNorm: bad dim");
+    gamma_ = Param("ln.gamma", Tensor::full({dim}, 1.0f));
+    beta_ = Param("ln.beta", Tensor::zeros({dim}));
+}
+
+Tensor
+LayerNorm::forward(const Tensor& x, bool train)
+{
+    MX_CHECK_ARG(x.ndim() == 2 && x.dim(1) == dim_,
+                 "LayerNorm: input " << x.shape_string());
+    const std::int64_t rows = x.dim(0);
+    Tensor norm(x.shape());
+    Tensor invstd({rows});
+    Tensor y(x.shape());
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float* row = x.data() + r * dim_;
+        double mean = 0;
+        for (std::int64_t j = 0; j < dim_; ++j)
+            mean += row[j];
+        mean /= static_cast<double>(dim_);
+        double var = 0;
+        for (std::int64_t j = 0; j < dim_; ++j)
+            var += (row[j] - mean) * (row[j] - mean);
+        var /= static_cast<double>(dim_);
+        double is = 1.0 / std::sqrt(var + eps_);
+        invstd.data()[r] = static_cast<float>(is);
+        for (std::int64_t j = 0; j < dim_; ++j) {
+            float n = static_cast<float>((row[j] - mean) * is);
+            norm.data()[r * dim_ + j] = n;
+            y.data()[r * dim_ + j] =
+                gamma_.value.data()[j] * n + beta_.value.data()[j];
+        }
+    }
+    if (train) {
+        cached_norm_ = norm;
+        cached_invstd_ = invstd;
+    }
+    if (bf16_output_)
+        round_bf16_inplace(y);
+    return y;
+}
+
+Tensor
+LayerNorm::backward(const Tensor& grad_out)
+{
+    MX_CHECK_ARG(cached_norm_.same_shape(grad_out),
+                 "LayerNorm backward: shape mismatch");
+    const std::int64_t rows = grad_out.dim(0);
+    Tensor dx(grad_out.shape());
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float* g = grad_out.data() + r * dim_;
+        const float* n = cached_norm_.data() + r * dim_;
+        double is = cached_invstd_.data()[r];
+        // dnorm = g * gamma; dx = (dnorm - mean(dnorm) - n * mean(dnorm*n)) * invstd
+        double mean_dn = 0, mean_dnn = 0;
+        for (std::int64_t j = 0; j < dim_; ++j) {
+            double dn = static_cast<double>(g[j]) * gamma_.value.data()[j];
+            mean_dn += dn;
+            mean_dnn += dn * n[j];
+        }
+        mean_dn /= static_cast<double>(dim_);
+        mean_dnn /= static_cast<double>(dim_);
+        for (std::int64_t j = 0; j < dim_; ++j) {
+            double dn = static_cast<double>(g[j]) * gamma_.value.data()[j];
+            dx.data()[r * dim_ + j] =
+                static_cast<float>((dn - mean_dn - n[j] * mean_dnn) * is);
+            gamma_.grad.data()[j] += g[j] * n[j];
+            beta_.grad.data()[j] += g[j];
+        }
+    }
+    return dx;
+}
+
+void
+LayerNorm::collect_params(std::vector<Param*>& out)
+{
+    out.push_back(&gamma_);
+    out.push_back(&beta_);
+}
+
+} // namespace nn
+} // namespace mx

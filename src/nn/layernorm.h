@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * Layer normalization over the last dimension, with learnable gain/bias.
+ * An element-wise op in the paper's taxonomy — runs in scalar float
+ * (optionally BF16-rounded), never in MX.
+ */
+
+#include "nn/layer.h"
+#include "nn/quant.h"
+
+namespace mx {
+namespace nn {
+
+/** y = gamma * (x - mean) / sqrt(var + eps) + beta, per row. */
+class LayerNorm : public Layer
+{
+  public:
+    /**
+     * @param dim normalized feature width (last dimension)
+     * @param bf16_output round outputs to BF16
+     * @param eps variance floor
+     */
+    explicit LayerNorm(std::int64_t dim, bool bf16_output = false,
+                       float eps = 1e-5f);
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    void collect_params(std::vector<Param*>& out) override;
+
+  private:
+    std::int64_t dim_;
+    bool bf16_output_;
+    float eps_;
+    Param gamma_, beta_;
+    tensor::Tensor cached_norm_;   // (x - mean) / std
+    tensor::Tensor cached_invstd_; // [rows]
+};
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,76 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace mx {
+namespace nn {
+
+using tensor::Tensor;
+
+Linear::Linear(std::int64_t in, std::int64_t out, QuantSpec spec,
+               stats::Rng& rng, bool with_bias)
+    : in_(in), out_(out), spec_(std::move(spec)), with_bias_(with_bias)
+{
+    MX_CHECK_ARG(in >= 1 && out >= 1, "Linear: bad dimensions");
+    float bound = 1.0f / std::sqrt(static_cast<float>(in));
+    weight_ = Param("linear.weight",
+                    Tensor::rand_uniform({out, in}, rng, bound));
+    if (with_bias_)
+        bias_ = Param("linear.bias",
+                      Tensor::rand_uniform({out}, rng, bound));
+}
+
+Tensor
+Linear::forward(const Tensor& x, bool train)
+{
+    MX_CHECK_ARG(x.ndim() == 2 && x.dim(1) == in_,
+                 "Linear: input " << x.shape_string() << " expects [*, "
+                                  << in_ << "]");
+    if (train)
+        cached_input_ = x;
+    // Y = Q(X along K) Q(W along K)^T: both row dims are the reduction.
+    Tensor y = qmatmul_nt2(x, spec_.forward, weight_.value,
+                           spec_.weight_format(), spec_.rounding);
+    if (with_bias_)
+        y = tensor::add_row_bias(y, bias_.value);
+    return y;
+}
+
+Tensor
+Linear::backward(const Tensor& grad_out)
+{
+    MX_CHECK_ARG(cached_input_.numel() > 0,
+                 "Linear: backward before forward(train=true)");
+    MX_CHECK_ARG(grad_out.ndim() == 2 && grad_out.dim(1) == out_,
+                 "Linear: grad shape mismatch");
+
+    // dX[B, in] = E[B, out] * W[out, in]: reduce over `out`.
+    // Per Figure 8 the weight is transposed *before* quantization.
+    Tensor w_t = tensor::transpose2d(weight_.value); // [in, out]
+    Tensor dx = qmatmul_nt(grad_out, w_t, spec_.backward, spec_.rounding);
+
+    // dW[out, in] = E^T[out, B] * X[B, in]: reduce over the batch.
+    Tensor e_t = tensor::transpose2d(grad_out);          // [out, B]
+    Tensor x_t = tensor::transpose2d(cached_input_);     // [in, B]
+    Tensor dw = qmatmul_nt(e_t, x_t, spec_.backward, spec_.rounding);
+    tensor::axpy(weight_.grad, 1.0f, dw);
+
+    if (with_bias_) {
+        Tensor db = tensor::sum_rows(grad_out);
+        tensor::axpy(bias_.grad, 1.0f, db);
+    }
+    return dx;
+}
+
+void
+Linear::collect_params(std::vector<Param*>& out)
+{
+    out.push_back(&weight_);
+    if (with_bias_)
+        out.push_back(&bias_);
+}
+
+} // namespace nn
+} // namespace mx

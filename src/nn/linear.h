@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Fully-connected layer with MX-quantized contractions (Figure 8).
+ */
+
+#include "nn/layer.h"
+#include "nn/quant.h"
+#include "stats/rng.h"
+
+namespace mx {
+namespace nn {
+
+/**
+ * y = x W^T + b with x[B, in], W[out, in].
+ *
+ * All three contractions (forward, dX, dW) follow the paper's compute
+ * flow: each operand is quantized along the contraction's reduction
+ * dimension, with transposes applied *before* quantization.
+ */
+class Linear : public Layer
+{
+  public:
+    /**
+     * @param in        input features
+     * @param out       output features
+     * @param spec      quantization policy for this layer's matmuls
+     * @param rng       weight init stream (Kaiming-uniform)
+     * @param with_bias include the additive bias
+     */
+    Linear(std::int64_t in, std::int64_t out, QuantSpec spec,
+           stats::Rng& rng, bool with_bias = true);
+
+    tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
+    tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+    void collect_params(std::vector<Param*>& out) override;
+
+    /** The layer's quantization policy (mutable for cast experiments). */
+    QuantSpec& spec() { return spec_; }
+
+    /** Weight parameter [out, in]. */
+    Param& weight() { return weight_; }
+    /** Bias parameter [out] (valid only when constructed with bias). */
+    Param& bias() { return bias_; }
+
+  private:
+    std::int64_t in_, out_;
+    QuantSpec spec_;
+    bool with_bias_;
+    Param weight_;
+    Param bias_;
+    tensor::Tensor cached_input_;
+};
+
+} // namespace nn
+} // namespace mx

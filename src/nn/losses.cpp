@@ -1,0 +1,101 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace mx {
+namespace nn {
+
+using tensor::Tensor;
+
+LossResult
+softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                      int ignore_index)
+{
+    MX_CHECK_ARG(logits.ndim() == 2 &&
+                 logits.dim(0) == static_cast<std::int64_t>(labels.size()),
+                 "softmax_cross_entropy: shape mismatch");
+    const std::int64_t n = logits.dim(0), c = logits.dim(1);
+    LossResult res;
+    res.grad = Tensor::zeros(logits.shape());
+    std::int64_t counted = 0;
+    double total = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        if (labels[static_cast<std::size_t>(i)] == ignore_index)
+            continue;
+        ++counted;
+    }
+    MX_CHECK_ARG(counted > 0, "softmax_cross_entropy: all labels ignored");
+    const double inv = 1.0 / static_cast<double>(counted);
+
+    for (std::int64_t i = 0; i < n; ++i) {
+        int label = labels[static_cast<std::size_t>(i)];
+        if (label == ignore_index)
+            continue;
+        MX_CHECK_ARG(label >= 0 && label < c,
+                     "softmax_cross_entropy: label out of range");
+        const float* row = logits.data() + i * c;
+        float* grow = res.grad.data() + i * c;
+        double mx = row[0];
+        for (std::int64_t j = 1; j < c; ++j)
+            mx = std::max<double>(mx, row[j]);
+        double denom = 0;
+        for (std::int64_t j = 0; j < c; ++j)
+            denom += std::exp(row[j] - mx);
+        double logz = mx + std::log(denom);
+        total += (logz - row[label]) * inv;
+        for (std::int64_t j = 0; j < c; ++j) {
+            double p = std::exp(row[j] - logz);
+            grow[j] = static_cast<float>((p - (j == label ? 1.0 : 0.0)) *
+                                         inv);
+        }
+    }
+    res.loss = total;
+    return res;
+}
+
+LossResult
+bce_with_logits(const Tensor& logits, const std::vector<int>& labels)
+{
+    MX_CHECK_ARG(logits.numel() ==
+                 static_cast<std::int64_t>(labels.size()),
+                 "bce_with_logits: shape mismatch");
+    LossResult res;
+    res.grad = Tensor::zeros(logits.shape());
+    const std::int64_t n = logits.numel();
+    const double inv = 1.0 / static_cast<double>(n);
+    double total = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        double z = logits.data()[i];
+        double y = labels[static_cast<std::size_t>(i)] == 1 ? 1.0 : 0.0;
+        // Numerically stable: log(1 + e^-|z|) + max(z, 0) - y*z.
+        total += (std::log1p(std::exp(-std::fabs(z))) + std::max(z, 0.0) -
+                  y * z) * inv;
+        double p = 1.0 / (1.0 + std::exp(-z));
+        res.grad.data()[i] = static_cast<float>((p - y) * inv);
+    }
+    res.loss = total;
+    return res;
+}
+
+LossResult
+mse(const Tensor& pred, const Tensor& target)
+{
+    MX_CHECK_ARG(pred.same_shape(target), "mse: shape mismatch");
+    LossResult res;
+    res.grad = Tensor::zeros(pred.shape());
+    const std::int64_t n = pred.numel();
+    const double inv = 1.0 / static_cast<double>(n);
+    double total = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        double d = static_cast<double>(pred.data()[i]) - target.data()[i];
+        total += d * d * inv;
+        res.grad.data()[i] = static_cast<float>(2.0 * d * inv);
+    }
+    res.loss = total;
+    return res;
+}
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * Losses with fused gradient computation.
+ */
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mx {
+namespace nn {
+
+/** Loss value plus the gradient w.r.t. the logits/predictions. */
+struct LossResult
+{
+    double loss = 0;          ///< mean loss over the batch
+    tensor::Tensor grad;      ///< d(loss)/d(input), already batch-averaged
+};
+
+/**
+ * Mean softmax cross-entropy over rows of @p logits [N, C] against
+ * integer labels.  Labels equal to @p ignore_index contribute nothing
+ * (used to mask padding in sequence models).
+ */
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<int>& labels,
+                                 int ignore_index = -1);
+
+/** Mean binary cross-entropy on logits [N] (or [N,1]) vs 0/1 labels. */
+LossResult bce_with_logits(const tensor::Tensor& logits,
+                           const std::vector<int>& labels);
+
+/** Mean squared error against a target tensor of the same shape. */
+LossResult mse(const tensor::Tensor& pred, const tensor::Tensor& target);
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,219 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace mx {
+namespace nn {
+
+using tensor::Tensor;
+
+namespace {
+
+float
+sigmoidf(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+/** Extract timestep t ([B, D]) from packed [B*T, D]. */
+Tensor
+slice_step(const Tensor& packed, std::int64_t batch, std::int64_t seq_len,
+           std::int64_t t, std::int64_t dim)
+{
+    Tensor out({batch, dim});
+    for (std::int64_t b = 0; b < batch; ++b) {
+        const float* src = packed.data() + (b * seq_len + t) * dim;
+        std::copy(src, src + dim, out.data() + b * dim);
+    }
+    return out;
+}
+
+/** Add a [B, D] step into packed [B*T, D] at timestep t. */
+void
+scatter_step(Tensor& packed, const Tensor& step, std::int64_t batch,
+             std::int64_t seq_len, std::int64_t t, std::int64_t dim)
+{
+    for (std::int64_t b = 0; b < batch; ++b) {
+        float* dst = packed.data() + (b * seq_len + t) * dim;
+        const float* src = step.data() + b * dim;
+        for (std::int64_t j = 0; j < dim; ++j)
+            dst[j] += src[j];
+    }
+}
+
+} // namespace
+
+Lstm::Lstm(std::int64_t input_dim, std::int64_t hidden_dim,
+           std::int64_t seq_len, QuantSpec spec, stats::Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      seq_len_(seq_len),
+      spec_(std::move(spec))
+{
+    float bound = 1.0f / std::sqrt(static_cast<float>(hidden_dim));
+    w_ih_ = Param("lstm.w_ih",
+                  Tensor::rand_uniform({4 * hidden_dim, input_dim}, rng,
+                                       bound));
+    w_hh_ = Param("lstm.w_hh",
+                  Tensor::rand_uniform({4 * hidden_dim, hidden_dim}, rng,
+                                       bound));
+    bias_ = Param("lstm.bias", Tensor::zeros({4 * hidden_dim}));
+    // Forget-gate bias init at 1 (standard practice for stable training).
+    for (std::int64_t j = hidden_dim; j < 2 * hidden_dim; ++j)
+        bias_.value.data()[j] = 1.0f;
+}
+
+LstmState
+Lstm::initial_state(std::int64_t batch) const
+{
+    return {Tensor::zeros({batch, hidden_dim_}),
+            Tensor::zeros({batch, hidden_dim_})};
+}
+
+Tensor
+Lstm::forward_seq(const Tensor& x, LstmState& state, bool train)
+{
+    MX_CHECK_ARG(x.ndim() == 2 && x.dim(1) == input_dim_ &&
+                 x.dim(0) % seq_len_ == 0,
+                 "Lstm: input " << x.shape_string());
+    const std::int64_t batch = x.dim(0) / seq_len_;
+    MX_CHECK_ARG(state.h.dim(0) == batch && state.c.dim(0) == batch,
+                 "Lstm: state batch mismatch");
+    cached_batch_ = batch;
+    if (train)
+        cache_.assign(static_cast<std::size_t>(seq_len_), StepCache{});
+
+    Tensor out = Tensor::zeros({batch * seq_len_, hidden_dim_});
+    const std::int64_t H = hidden_dim_;
+
+    for (std::int64_t t = 0; t < seq_len_; ++t) {
+        Tensor xt = slice_step(x, batch, seq_len_, t, input_dim_);
+        // Pre-activations: x W_ih^T + h W_hh^T + b, both MX-quantized.
+        Tensor pre = qmatmul_nt(xt, w_ih_.value, spec_.forward,
+                                spec_.rounding);
+        Tensor hpre = qmatmul_nt(state.h, w_hh_.value, spec_.forward,
+                                 spec_.rounding);
+        tensor::axpy(pre, 1.0f, hpre);
+        pre = tensor::add_row_bias(pre, bias_.value);
+
+        Tensor gates({batch, 4 * H});
+        Tensor c_new({batch, H});
+        Tensor h_new({batch, H});
+        for (std::int64_t b = 0; b < batch; ++b) {
+            const float* p = pre.data() + b * 4 * H;
+            float* g = gates.data() + b * 4 * H;
+            for (std::int64_t j = 0; j < H; ++j) {
+                float ig = sigmoidf(p[j]);
+                float fg = sigmoidf(p[H + j]);
+                float gg = std::tanh(p[2 * H + j]);
+                float og = sigmoidf(p[3 * H + j]);
+                g[j] = ig;
+                g[H + j] = fg;
+                g[2 * H + j] = gg;
+                g[3 * H + j] = og;
+                float c = fg * state.c.data()[b * H + j] + ig * gg;
+                c_new.data()[b * H + j] = c;
+                h_new.data()[b * H + j] = og * std::tanh(c);
+            }
+        }
+        if (train) {
+            StepCache& sc = cache_[static_cast<std::size_t>(t)];
+            sc.x = xt;
+            sc.h_prev = state.h;
+            sc.c_prev = state.c;
+            sc.gates = gates;
+            sc.c = c_new;
+        }
+        state.c = std::move(c_new);
+        state.h = h_new;
+        scatter_step(out, h_new, batch, seq_len_, t, H);
+    }
+    return out;
+}
+
+Tensor
+Lstm::backward_seq(const Tensor& grad_h_seq, const LstmState& grad_final,
+                   LstmState& grad_initial)
+{
+    MX_CHECK_ARG(!cache_.empty(), "Lstm: backward before forward(train)");
+    const std::int64_t batch = cached_batch_;
+    const std::int64_t H = hidden_dim_;
+
+    Tensor dx_seq = Tensor::zeros({batch * seq_len_, input_dim_});
+    Tensor dh = grad_final.h.numel() ? grad_final.h
+                                     : Tensor::zeros({batch, H});
+    Tensor dc = grad_final.c.numel() ? grad_final.c
+                                     : Tensor::zeros({batch, H});
+
+    for (std::int64_t t = seq_len_ - 1; t >= 0; --t) {
+        const StepCache& sc = cache_[static_cast<std::size_t>(t)];
+        // Add the per-step output gradient.
+        Tensor dht = slice_step(grad_h_seq, batch, seq_len_, t, H);
+        tensor::axpy(dh, 1.0f, dht);
+
+        Tensor dpre({batch, 4 * H});
+        Tensor dc_prev({batch, H});
+        for (std::int64_t b = 0; b < batch; ++b) {
+            const float* g = sc.gates.data() + b * 4 * H;
+            for (std::int64_t j = 0; j < H; ++j) {
+                float ig = g[j], fg = g[H + j], gg = g[2 * H + j],
+                      og = g[3 * H + j];
+                float c = sc.c.data()[b * H + j];
+                float tc = std::tanh(c);
+                float dh_ = dh.data()[b * H + j];
+                float dc_ = dc.data()[b * H + j] +
+                            dh_ * og * (1.0f - tc * tc);
+                float dig = dc_ * gg * ig * (1.0f - ig);
+                float dfg = dc_ * sc.c_prev.data()[b * H + j] * fg *
+                            (1.0f - fg);
+                float dgg = dc_ * ig * (1.0f - gg * gg);
+                float dog = dh_ * tc * og * (1.0f - og);
+                dpre.data()[b * 4 * H + j] = dig;
+                dpre.data()[b * 4 * H + H + j] = dfg;
+                dpre.data()[b * 4 * H + 2 * H + j] = dgg;
+                dpre.data()[b * 4 * H + 3 * H + j] = dog;
+                dc_prev.data()[b * H + j] = dc_ * fg;
+            }
+        }
+
+        // dX = dPre W_ih (reduce 4H); dH_prev = dPre W_hh.
+        Tensor wih_t = tensor::transpose2d(w_ih_.value);
+        Tensor dxt = qmatmul_nt(dpre, wih_t, spec_.backward,
+                                spec_.rounding);
+        Tensor whh_t = tensor::transpose2d(w_hh_.value);
+        Tensor dh_prev = qmatmul_nt(dpre, whh_t, spec_.backward,
+                                    spec_.rounding);
+
+        // dW_ih += dPre^T X; dW_hh += dPre^T H_prev (reduce batch).
+        Tensor dpre_t = tensor::transpose2d(dpre);
+        Tensor x_t = tensor::transpose2d(sc.x);
+        tensor::axpy(w_ih_.grad, 1.0f,
+                     qmatmul_nt(dpre_t, x_t, spec_.backward,
+                                spec_.rounding));
+        Tensor h_t = tensor::transpose2d(sc.h_prev);
+        tensor::axpy(w_hh_.grad, 1.0f,
+                     qmatmul_nt(dpre_t, h_t, spec_.backward,
+                                spec_.rounding));
+        tensor::axpy(bias_.grad, 1.0f, tensor::sum_rows(dpre));
+
+        scatter_step(dx_seq, dxt, batch, seq_len_, t, input_dim_);
+        dh = std::move(dh_prev);
+        dc = std::move(dc_prev);
+    }
+    grad_initial.h = std::move(dh);
+    grad_initial.c = std::move(dc);
+    return dx_seq;
+}
+
+void
+Lstm::collect_params(std::vector<Param*>& out)
+{
+    out.push_back(&w_ih_);
+    out.push_back(&w_hh_);
+    out.push_back(&bias_);
+}
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,95 @@
+#pragma once
+
+/**
+ * @file
+ * LSTM layer with full back-propagation through time.
+ *
+ * Covers the paper's recurrent benchmark family (GNMT, Table III).  The
+ * input/hidden contractions are MX-quantized like every other tensor op;
+ * the gate nonlinearities are element-wise and stay in scalar float.
+ */
+
+#include "nn/layer.h"
+#include "nn/quant.h"
+#include "stats/rng.h"
+
+namespace mx {
+namespace nn {
+
+/** (h, c) recurrent state for one batch. */
+struct LstmState
+{
+    tensor::Tensor h; ///< [B, H]
+    tensor::Tensor c; ///< [B, H]
+};
+
+/**
+ * Single-layer LSTM over fixed-length sequences packed [B*T, D].
+ *
+ * forward_seq returns all hidden states packed [B*T, H] and the final
+ * state; backward_seq consumes gradients for both and returns the input
+ * gradient plus the gradient w.r.t. the initial state (so encoder/decoder
+ * stacks can chain states, as the seq2seq translation benchmark does).
+ */
+class Lstm
+{
+  public:
+    /**
+     * @param input_dim / hidden_dim layer widths
+     * @param seq_len fixed sequence length
+     * @param spec quantization policy for the gate contractions
+     * @param rng init stream
+     */
+    Lstm(std::int64_t input_dim, std::int64_t hidden_dim,
+         std::int64_t seq_len, QuantSpec spec, stats::Rng& rng);
+
+    /** Zero state for a batch. */
+    LstmState initial_state(std::int64_t batch) const;
+
+    /**
+     * Run the sequence.
+     * @param x [B*T, D] inputs
+     * @param state initial (h, c); modified to the final state
+     * @param train cache for backward
+     * @return all hidden states [B*T, H]
+     */
+    tensor::Tensor forward_seq(const tensor::Tensor& x, LstmState& state,
+                               bool train);
+
+    /**
+     * BPTT.
+     * @param grad_h_seq  gradient w.r.t. every hidden output [B*T, H]
+     * @param grad_final  gradient w.r.t. the final (h, c) (may be empty)
+     * @param grad_initial out: gradient w.r.t. the initial (h, c)
+     * @return gradient w.r.t. the inputs [B*T, D]
+     */
+    tensor::Tensor backward_seq(const tensor::Tensor& grad_h_seq,
+                                const LstmState& grad_final,
+                                LstmState& grad_initial);
+
+    void collect_params(std::vector<Param*>& out);
+
+    /** The quantization policy. */
+    QuantSpec& spec() { return spec_; }
+
+  private:
+    struct StepCache
+    {
+        tensor::Tensor x;       // [B, D]
+        tensor::Tensor h_prev;  // [B, H]
+        tensor::Tensor c_prev;  // [B, H]
+        tensor::Tensor gates;   // [B, 4H] post-activation (i, f, g, o)
+        tensor::Tensor c;       // [B, H]
+    };
+
+    std::int64_t input_dim_, hidden_dim_, seq_len_;
+    QuantSpec spec_;
+    Param w_ih_; // [4H, D]
+    Param w_hh_; // [4H, H]
+    Param bias_; // [4H]
+    std::vector<StepCache> cache_;
+    std::int64_t cached_batch_ = 0;
+};
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,101 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace mx {
+namespace nn {
+
+double
+Optimizer::clip_grad_norm(double max_norm)
+{
+    double sq = 0;
+    for (Param* p : params_)
+        for (std::int64_t i = 0; i < p->grad.numel(); ++i)
+            sq += static_cast<double>(p->grad.data()[i]) * p->grad.data()[i];
+    double norm = std::sqrt(sq);
+    if (norm > max_norm && norm > 0) {
+        float s = static_cast<float>(max_norm / norm);
+        for (Param* p : params_)
+            for (std::int64_t i = 0; i < p->grad.numel(); ++i)
+                p->grad.data()[i] *= s;
+    }
+    return norm;
+}
+
+Sgd::Sgd(std::vector<Param*> params, double lr, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum)
+{
+    lr_ = lr;
+    velocity_.reserve(params_.size());
+    for (Param* p : params_)
+        velocity_.emplace_back(p->value.shape());
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t k = 0; k < params_.size(); ++k) {
+        Param* p = params_[k];
+        tensor::Tensor& v = velocity_[k];
+        for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+            float g = p->grad.data()[i];
+            if (momentum_ > 0) {
+                v.data()[i] = static_cast<float>(momentum_ * v.data()[i] + g);
+                g = v.data()[i];
+            }
+            p->value.data()[i] -= static_cast<float>(lr_ * g);
+        }
+    }
+}
+
+Adam::Adam(std::vector<Param*> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay)
+{
+    lr_ = lr;
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Param* p : params_) {
+        m_.emplace_back(p->value.shape());
+        v_.emplace_back(p->value.shape());
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (std::size_t k = 0; k < params_.size(); ++k) {
+        Param* p = params_[k];
+        for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+            double g = p->grad.data()[i];
+            double m = beta1_ * m_[k].data()[i] + (1.0 - beta1_) * g;
+            double v = beta2_ * v_[k].data()[i] + (1.0 - beta2_) * g * g;
+            m_[k].data()[i] = static_cast<float>(m);
+            v_[k].data()[i] = static_cast<float>(v);
+            double update = (m / bc1) / (std::sqrt(v / bc2) + eps_);
+            if (weight_decay_ > 0)
+                update += weight_decay_ * p->value.data()[i];
+            p->value.data()[i] -= static_cast<float>(lr_ * update);
+        }
+    }
+}
+
+void
+Adam::reset_state()
+{
+    t_ = 0;
+    for (auto& t : m_)
+        t.fill(0.0f);
+    for (auto& t : v_)
+        t.fill(0.0f);
+}
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,81 @@
+#pragma once
+
+/**
+ * @file
+ * Optimizers.  Per Figure 8 the optimizer state and weight master copies
+ * stay in FP32 regardless of the compute format — quantization happens on
+ * the way *into* each contraction, never in the update rule.
+ */
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace mx {
+namespace nn {
+
+/** Abstract optimizer over a fixed parameter set. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<Param*> params)
+        : params_(std::move(params))
+    {
+    }
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Zero all gradients. */
+    void
+    zero_grad()
+    {
+        for (Param* p : params_)
+            p->zero_grad();
+    }
+
+    /** Change the learning rate (schedules, fine-tune restarts). */
+    void set_lr(double lr) { lr_ = lr; }
+    double lr() const { return lr_; }
+
+    /** Clip gradients to a global L2 norm; returns the pre-clip norm. */
+    double clip_grad_norm(double max_norm);
+
+  protected:
+    std::vector<Param*> params_;
+    double lr_ = 1e-3;
+};
+
+/** SGD with optional momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Param*> params, double lr, double momentum = 0.0);
+    void step() override;
+
+  private:
+    double momentum_;
+    std::vector<tensor::Tensor> velocity_;
+};
+
+/** Adam / AdamW (decoupled weight decay when weight_decay > 0). */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Param*> params, double lr, double beta1 = 0.9,
+         double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+    void step() override;
+
+    /** Reset moments and step count (the paper's fine-tuning recipe
+     *  "resets the optimizer"). */
+    void reset_state();
+
+  private:
+    double beta1_, beta2_, eps_, weight_decay_;
+    std::int64_t t_ = 0;
+    std::vector<tensor::Tensor> m_, v_;
+};
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,79 @@
+#include "nn/quant.h"
+
+#include <bit>
+
+#include "core/check.h"
+
+namespace mx {
+namespace nn {
+
+using tensor::Tensor;
+
+Tensor
+quantize_rows(const Tensor& t, const core::BdrFormat& fmt,
+              core::RoundingMode rounding)
+{
+    MX_CHECK_ARG(t.ndim() == 2, "quantize_rows: needs a 2-d tensor");
+    Tensor out(t.shape());
+    if (fmt.s_kind == core::ScaleKind::Pow2Hw &&
+        fmt.elem == core::ElementKind::SignMagnitude) {
+        core::Rounder rounder(rounding);
+        const std::int64_t rows = t.dim(0), cols = t.dim(1);
+        for (std::int64_t r = 0; r < rows; ++r) {
+            std::span<const float> in(t.data() + r * cols,
+                                      static_cast<std::size_t>(cols));
+            std::span<float> dst(out.data() + r * cols,
+                                 static_cast<std::size_t>(cols));
+            core::quantize_pow2(fmt, in, dst, rounder);
+        }
+    } else {
+        // Per-tensor software scale (INT / FP / VSQ): one JIT scale for
+        // the whole tensor, matching per-tensor scaling practice.
+        core::Quantizer q(fmt, rounding, core::ScalingPolicy::JustInTime);
+        q(t.span(), out.span());
+    }
+    return out;
+}
+
+Tensor
+qmatmul_nt(const Tensor& a, const Tensor& b,
+           const std::optional<core::BdrFormat>& fmt,
+           core::RoundingMode rounding)
+{
+    return qmatmul_nt2(a, fmt, b, fmt, rounding);
+}
+
+Tensor
+qmatmul_nt2(const Tensor& a, const std::optional<core::BdrFormat>& fmt_a,
+            const Tensor& b, const std::optional<core::BdrFormat>& fmt_b,
+            core::RoundingMode rounding)
+{
+    if (!fmt_a.has_value() && !fmt_b.has_value())
+        return tensor::matmul_nt(a, b);
+    Tensor qa = fmt_a ? quantize_rows(a, *fmt_a, rounding) : a;
+    Tensor qb = fmt_b ? quantize_rows(b, *fmt_b, rounding) : b;
+    return tensor::matmul_nt(qa, qb);
+}
+
+void
+round_bf16_inplace(Tensor& t)
+{
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        float& f = t.data()[i];
+        std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+        // Round-to-nearest-even on the low 16 bits.
+        std::uint32_t rounded = u + 0x7fffu + ((u >> 16) & 1u);
+        f = std::bit_cast<float>(rounded & 0xffff0000u);
+    }
+}
+
+Tensor
+round_bf16(const Tensor& t)
+{
+    Tensor out = t;
+    round_bf16_inplace(out);
+    return out;
+}
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,137 @@
+#pragma once
+
+/**
+ * @file
+ * The Figure 8 compute flow: MX-quantized tensor contractions.
+ *
+ * MX is a *directional* format — tensors must be quantized along the
+ * reduction dimension of the contraction to get hardware benefit, so
+ * quantization and transposition do not commute (Section V).  These
+ * helpers implement exactly the paper's placement of Q blocks:
+ *
+ *   forward:   Y = Q(A, along K) * Q(W, along K)^T
+ *   backward:  dA = Q(E, along N) * Q(W^T, along N)^T   (transpose first!)
+ *              dW = Q(E^T, along M) * Q(A^T, along M)^T
+ *
+ * Both inputs of every tensor op are quantized; element-wise ops stay in
+ * scalar float (optionally rounded to BF16, the paper's vector-op format).
+ */
+
+#include <optional>
+
+#include "core/bdr_format.h"
+#include "core/quantize.h"
+#include "tensor/tensor.h"
+
+namespace mx {
+namespace nn {
+
+/** Quantization policy of one tensor contraction. */
+struct QuantSpec
+{
+    /** Format for the forward matmul operands (nullopt = FP32). */
+    std::optional<core::BdrFormat> forward;
+    /**
+     * Optional override for the *weight* operand of the forward pass;
+     * Table IV evaluates (w, a) pairs like (MX4, MX9) where weights and
+     * activations use different formats.  nullopt = same as `forward`.
+     */
+    std::optional<core::BdrFormat> weight_forward;
+    /** Format for the backward matmul operands (nullopt = FP32).
+     *  Quantization-aware fine-tuning keeps this wider than forward
+     *  (Section V: "the backward pass might use ... MX9, or FP32"). */
+    std::optional<core::BdrFormat> backward;
+    /** Mantissa rounding for both directions. */
+    core::RoundingMode rounding = core::RoundingMode::NearestEven;
+
+    /** No quantization anywhere (the FP32 baseline). */
+    static QuantSpec fp32() { return {}; }
+
+    /** Same format in forward and backward (uniform MX training). */
+    static QuantSpec
+    uniform(core::BdrFormat fmt)
+    {
+        QuantSpec s;
+        s.forward = fmt;
+        s.backward = std::move(fmt);
+        return s;
+    }
+
+    /** Different forward/backward formats (fine-tuning recipes). */
+    static QuantSpec
+    mixed(core::BdrFormat fwd, std::optional<core::BdrFormat> bwd)
+    {
+        QuantSpec s;
+        s.forward = std::move(fwd);
+        s.backward = std::move(bwd);
+        return s;
+    }
+
+    /** Forward-only quantization (direct-cast inference). */
+    static QuantSpec
+    forward_only(core::BdrFormat fwd)
+    {
+        QuantSpec s;
+        s.forward = std::move(fwd);
+        return s;
+    }
+
+    /** Direct cast with distinct weight/activation formats (Table IV). */
+    static QuantSpec
+    weights_activations(core::BdrFormat weights, core::BdrFormat acts)
+    {
+        QuantSpec s;
+        s.forward = std::move(acts);
+        s.weight_forward = std::move(weights);
+        return s;
+    }
+
+    /** Effective forward format of the weight operand. */
+    const std::optional<core::BdrFormat>&
+    weight_format() const
+    {
+        return weight_forward.has_value() ? weight_forward : forward;
+    }
+
+    bool any() const { return forward.has_value() || backward.has_value(); }
+};
+
+/**
+ * Fake-quantize a 2-d tensor along its rows (the contiguous last
+ * dimension).  Block formats quantize each row independently so blocks
+ * never straddle the reduction boundary; software-scaled formats use one
+ * just-in-time FP32 scale for the whole tensor (per-tensor scaling).
+ */
+tensor::Tensor quantize_rows(const tensor::Tensor& t,
+                             const core::BdrFormat& fmt,
+                             core::RoundingMode rounding =
+                                 core::RoundingMode::NearestEven);
+
+/**
+ * Quantized contraction C = A * B^T with A[M,K], B[N,K]; both operands
+ * quantized along K (their rows) when @p fmt is set.
+ */
+tensor::Tensor qmatmul_nt(const tensor::Tensor& a, const tensor::Tensor& b,
+                          const std::optional<core::BdrFormat>& fmt,
+                          core::RoundingMode rounding =
+                              core::RoundingMode::NearestEven);
+
+/**
+ * Asymmetric variant: operand A (activations) quantized with @p fmt_a,
+ * operand B (weights) with @p fmt_b.
+ */
+tensor::Tensor qmatmul_nt2(const tensor::Tensor& a,
+                           const std::optional<core::BdrFormat>& fmt_a,
+                           const tensor::Tensor& b,
+                           const std::optional<core::BdrFormat>& fmt_b,
+                           core::RoundingMode rounding =
+                               core::RoundingMode::NearestEven);
+
+/** Round every element to BF16 (the paper's element-wise op format). */
+void round_bf16_inplace(tensor::Tensor& t);
+
+/** BF16 rounding of a copy. */
+tensor::Tensor round_bf16(const tensor::Tensor& t);
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,75 @@
+#pragma once
+
+/**
+ * @file
+ * Ordered layer container with pass-through forward/backward.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace mx {
+namespace nn {
+
+/** Runs layers in order; backward in reverse order. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+
+    /** Append a layer; returns a non-owning typed pointer for config. */
+    template <typename L, typename... Args>
+    L*
+    emplace(Args&&... args)
+    {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L* raw = layer.get();
+        layers_.push_back(std::move(layer));
+        return raw;
+    }
+
+    /** Append an already-built layer. */
+    void add(std::unique_ptr<Layer> layer)
+    {
+        layers_.push_back(std::move(layer));
+    }
+
+    tensor::Tensor
+    forward(const tensor::Tensor& x, bool train) override
+    {
+        tensor::Tensor h = x;
+        for (auto& l : layers_)
+            h = l->forward(h, train);
+        return h;
+    }
+
+    tensor::Tensor
+    backward(const tensor::Tensor& grad_out) override
+    {
+        tensor::Tensor g = grad_out;
+        for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+            g = (*it)->backward(g);
+        return g;
+    }
+
+    void
+    collect_params(std::vector<Param*>& out) override
+    {
+        for (auto& l : layers_)
+            l->collect_params(out);
+    }
+
+    /** Number of layers. */
+    std::size_t size() const { return layers_.size(); }
+
+    /** Access layer @p i. */
+    Layer& operator[](std::size_t i) { return *layers_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,95 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+namespace mx {
+namespace stats {
+
+std::string
+to_string(Distribution d)
+{
+    switch (d) {
+      case Distribution::GaussianVariableVariance: return "gaussian-varvar";
+      case Distribution::GaussianUnit: return "gaussian-unit";
+      case Distribution::GaussianFixed: return "gaussian-fixed";
+      case Distribution::Laplace: return "laplace";
+      case Distribution::Uniform: return "uniform";
+      case Distribution::LogNormal: return "lognormal";
+      case Distribution::GaussianWithOutliers: return "gaussian-outliers";
+    }
+    return "unknown";
+}
+
+const std::vector<Distribution>&
+all_distributions()
+{
+    static const std::vector<Distribution> kAll = {
+        Distribution::GaussianVariableVariance,
+        Distribution::GaussianUnit,
+        Distribution::GaussianFixed,
+        Distribution::Laplace,
+        Distribution::Uniform,
+        Distribution::LogNormal,
+        Distribution::GaussianWithOutliers,
+    };
+    return kAll;
+}
+
+void
+make_vector(Distribution d, double param, std::size_t n, Rng& rng,
+            std::vector<float>& out)
+{
+    out.resize(n);
+    switch (d) {
+      case Distribution::GaussianVariableVariance: {
+        double sigma = std::fabs(rng.normal());
+        for (auto& v : out)
+            v = static_cast<float>(rng.normal(0.0, sigma));
+        break;
+      }
+      case Distribution::GaussianUnit:
+        for (auto& v : out)
+            v = static_cast<float>(rng.normal());
+        break;
+      case Distribution::GaussianFixed:
+        for (auto& v : out)
+            v = static_cast<float>(rng.normal(0.0, param));
+        break;
+      case Distribution::Laplace:
+        for (auto& v : out) {
+            // Inverse-CDF sampling: u in (-1/2, 1/2).
+            double u = rng.uniform() - 0.5;
+            double b = param > 0 ? param : 1.0;
+            double x = -b * std::copysign(std::log1p(-2.0 * std::fabs(u)), u);
+            v = static_cast<float>(x);
+        }
+        break;
+      case Distribution::Uniform: {
+        double a = param > 0 ? param : 1.0;
+        for (auto& v : out)
+            v = static_cast<float>(rng.uniform(-a, a));
+        break;
+      }
+      case Distribution::LogNormal: {
+        double s = param > 0 ? param : 1.0;
+        for (auto& v : out) {
+            double mag = std::exp(rng.normal(0.0, s));
+            v = static_cast<float>(rng.bernoulli(0.5) ? mag : -mag);
+        }
+        break;
+      }
+      case Distribution::GaussianWithOutliers: {
+        double frac = (param > 0 && param < 1) ? param : 0.01;
+        for (auto& v : out) {
+            double x = rng.normal();
+            if (rng.bernoulli(frac))
+                x *= 64.0;
+            v = static_cast<float>(x);
+        }
+        break;
+      }
+    }
+}
+
+} // namespace stats
+} // namespace mx

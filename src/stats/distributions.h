@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file
+ * Data distributions used by the paper's statistical QSNR methodology.
+ *
+ * Figure 7 of the paper evaluates every format on vectors drawn from a
+ * "normal Gaussian distribution with a variable variance",
+ * X ~ N(0, |N(0,1)|): each vector first draws a standard-deviation-like
+ * magnitude sigma = |N(0,1)| and then fills its elements from N(0, sigma^2).
+ * This models the range of variances seen across gradient, error, weight
+ * and activation tensors in one training cycle.  Additional distributions
+ * (fixed-sigma Gaussian, Laplace, uniform, lognormal, outlier-injected)
+ * exercise Theorem 1's "arbitrary distribution" claim in tests/benches.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace mx {
+namespace stats {
+
+/** Family tags for the distributions supported by make_vector(). */
+enum class Distribution
+{
+    /** Paper Fig 7: per-vector sigma = |N(0,1)|, elements ~ N(0, sigma^2). */
+    GaussianVariableVariance,
+    /** Elements ~ N(0, 1). */
+    GaussianUnit,
+    /** Elements ~ N(0, sigma^2) with sigma fixed by `param`. */
+    GaussianFixed,
+    /** Laplace(0, b) with b fixed by `param` (heavier tails than normal). */
+    Laplace,
+    /** Uniform in [-param, param]. */
+    Uniform,
+    /** |x| ~ LogNormal(0, param) with random sign (strongly skewed). */
+    LogNormal,
+    /**
+     * Gaussian N(0,1) with a fraction `param` of elements multiplied by
+     * 64x: the "numerical blast radius" outlier stress from Section I.
+     */
+    GaussianWithOutliers,
+};
+
+/** Human-readable name for a distribution tag. */
+std::string to_string(Distribution d);
+
+/** All distribution tags, for parameterized test sweeps. */
+const std::vector<Distribution>& all_distributions();
+
+/**
+ * Fill @p out with @p n samples of distribution @p d.
+ *
+ * @param d     distribution family
+ * @param param family parameter (see enum docs); ignored where unused
+ * @param n     number of elements
+ * @param rng   random stream
+ * @param out   resized to n and filled
+ */
+void make_vector(Distribution d, double param, std::size_t n, Rng& rng,
+                 std::vector<float>& out);
+
+} // namespace stats
+} // namespace mx

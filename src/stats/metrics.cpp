@@ -1,0 +1,311 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace mx {
+namespace stats {
+
+double
+qsnr_db(const std::vector<float>& original, const std::vector<float>& quantized)
+{
+    QsnrAccumulator acc;
+    acc.add(original, quantized);
+    return acc.qsnr_db();
+}
+
+void
+QsnrAccumulator::add(const std::vector<float>& original,
+                     const std::vector<float>& quantized)
+{
+    if (original.size() != quantized.size())
+        throw std::invalid_argument("QsnrAccumulator: size mismatch");
+    for (std::size_t i = 0; i < original.size(); ++i)
+        add_scalar(original[i], quantized[i]);
+    // add_scalar bumps count_ per element; we want per vector, so adjust.
+    count_ -= original.size();
+    ++count_;
+}
+
+void
+QsnrAccumulator::add_scalar(double original, double quantized)
+{
+    double e = quantized - original;
+    noise_power_ += e * e;
+    signal_power_ += original * original;
+    ++count_;
+}
+
+double
+QsnrAccumulator::qsnr_db() const
+{
+    if (noise_power_ == 0.0)
+        return std::numeric_limits<double>::infinity();
+    if (signal_power_ == 0.0)
+        return -std::numeric_limits<double>::infinity();
+    return -10.0 * std::log10(noise_power_ / signal_power_);
+}
+
+void
+QsnrAccumulator::reset()
+{
+    noise_power_ = 0.0;
+    signal_power_ = 0.0;
+    count_ = 0;
+}
+
+double
+pearson(const std::vector<double>& a, const std::vector<double>& b)
+{
+    if (a.size() != b.size() || a.empty())
+        throw std::invalid_argument("pearson: size mismatch or empty");
+    double ma = mean(a), mb = mean(b);
+    double num = 0, da = 0, db = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        num += (a[i] - ma) * (b[i] - mb);
+        da += (a[i] - ma) * (a[i] - ma);
+        db += (b[i] - mb) * (b[i] - mb);
+    }
+    if (da == 0 || db == 0)
+        return 0.0;
+    return num / std::sqrt(da * db);
+}
+
+double
+auc(const std::vector<int>& labels, const std::vector<double>& scores)
+{
+    if (labels.size() != scores.size() || labels.empty())
+        throw std::invalid_argument("auc: size mismatch or empty");
+    std::vector<std::size_t> idx(labels.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](std::size_t i, std::size_t j) {
+        return scores[i] < scores[j];
+    });
+
+    // Ranks with tie averaging.
+    std::vector<double> rank(labels.size());
+    std::size_t i = 0;
+    while (i < idx.size()) {
+        std::size_t j = i;
+        while (j + 1 < idx.size() && scores[idx[j + 1]] == scores[idx[i]])
+            ++j;
+        double avg_rank = 0.5 * (static_cast<double>(i) +
+                                 static_cast<double>(j)) + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            rank[idx[k]] = avg_rank;
+        i = j + 1;
+    }
+
+    double pos = 0, rank_sum = 0;
+    for (std::size_t k = 0; k < labels.size(); ++k) {
+        if (labels[k] == 1) {
+            pos += 1;
+            rank_sum += rank[k];
+        }
+    }
+    double neg = static_cast<double>(labels.size()) - pos;
+    if (pos == 0 || neg == 0)
+        return 0.5;
+    return (rank_sum - pos * (pos + 1) / 2.0) / (pos * neg);
+}
+
+namespace {
+
+double
+clamped_log(double p)
+{
+    constexpr double kEps = 1e-12;
+    return std::log(std::min(1.0 - kEps, std::max(kEps, p)));
+}
+
+} // namespace
+
+double
+binary_cross_entropy(const std::vector<int>& labels,
+                     const std::vector<double>& probs)
+{
+    if (labels.size() != probs.size() || labels.empty())
+        throw std::invalid_argument("bce: size mismatch or empty");
+    double sum = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        sum -= labels[i] == 1 ? clamped_log(probs[i])
+                              : clamped_log(1.0 - probs[i]);
+    }
+    return sum / static_cast<double>(labels.size());
+}
+
+double
+normalized_entropy(const std::vector<int>& labels,
+                   const std::vector<double>& probs)
+{
+    double ce = binary_cross_entropy(labels, probs);
+    double p = 0;
+    for (int l : labels)
+        p += l == 1 ? 1.0 : 0.0;
+    p /= static_cast<double>(labels.size());
+    double base = -(p * clamped_log(p) + (1.0 - p) * clamped_log(1.0 - p));
+    if (base == 0.0)
+        return ce == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    return ce / base;
+}
+
+double
+top1_accuracy(const std::vector<int>& labels, const std::vector<float>& logits,
+              std::size_t num_classes)
+{
+    if (num_classes == 0 || labels.empty() ||
+        logits.size() != labels.size() * num_classes) {
+        throw std::invalid_argument("top1_accuracy: shape mismatch");
+    }
+    std::size_t correct = 0;
+    for (std::size_t r = 0; r < labels.size(); ++r) {
+        const float* row = logits.data() + r * num_classes;
+        std::size_t argmax = 0;
+        for (std::size_t c = 1; c < num_classes; ++c) {
+            if (row[c] > row[argmax])
+                argmax = c;
+        }
+        if (static_cast<int>(argmax) == labels[r])
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double
+perplexity(const std::vector<int>& labels, const std::vector<float>& logits,
+           std::size_t num_classes)
+{
+    if (num_classes == 0 || labels.empty() ||
+        logits.size() != labels.size() * num_classes) {
+        throw std::invalid_argument("perplexity: shape mismatch");
+    }
+    double nll = 0;
+    for (std::size_t r = 0; r < labels.size(); ++r) {
+        const float* row = logits.data() + r * num_classes;
+        double mx = row[0];
+        for (std::size_t c = 1; c < num_classes; ++c)
+            mx = std::max<double>(mx, row[c]);
+        double denom = 0;
+        for (std::size_t c = 0; c < num_classes; ++c)
+            denom += std::exp(row[c] - mx);
+        nll -= (row[labels[r]] - mx) - std::log(denom);
+    }
+    return std::exp(nll / static_cast<double>(labels.size()));
+}
+
+double
+span_exact_match(const std::vector<std::pair<int, int>>& predicted,
+                 const std::vector<std::pair<int, int>>& gold)
+{
+    if (predicted.size() != gold.size() || predicted.empty())
+        throw std::invalid_argument("span_exact_match: size mismatch");
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        if (predicted[i] == gold[i])
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+
+double
+span_f1(const std::vector<std::pair<int, int>>& predicted,
+        const std::vector<std::pair<int, int>>& gold)
+{
+    if (predicted.size() != gold.size() || predicted.empty())
+        throw std::invalid_argument("span_f1: size mismatch");
+    double total = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        auto [ps, pe] = predicted[i];
+        auto [gs, ge] = gold[i];
+        int overlap = std::max(0, std::min(pe, ge) - std::max(ps, gs) + 1);
+        int plen = std::max(0, pe - ps + 1);
+        int glen = std::max(0, ge - gs + 1);
+        if (overlap == 0 || plen == 0 || glen == 0)
+            continue;
+        double prec = static_cast<double>(overlap) / plen;
+        double rec = static_cast<double>(overlap) / glen;
+        total += 2.0 * prec * rec / (prec + rec);
+    }
+    return total / static_cast<double>(predicted.size());
+}
+
+double
+bleu(const std::vector<std::vector<int>>& candidates,
+     const std::vector<std::vector<int>>& references, int max_order)
+{
+    if (candidates.size() != references.size() || candidates.empty())
+        throw std::invalid_argument("bleu: size mismatch or empty");
+
+    std::vector<double> matches(max_order, 0.0), totals(max_order, 0.0);
+    double cand_len = 0, ref_len = 0;
+
+    auto count_ngrams = [](const std::vector<int>& seq, int order) {
+        std::map<std::vector<int>, int> counts;
+        if (static_cast<int>(seq.size()) >= order) {
+            for (std::size_t i = 0; i + order <= seq.size(); ++i) {
+                std::vector<int> g(seq.begin() + i, seq.begin() + i + order);
+                ++counts[g];
+            }
+        }
+        return counts;
+    };
+
+    for (std::size_t s = 0; s < candidates.size(); ++s) {
+        cand_len += static_cast<double>(candidates[s].size());
+        ref_len += static_cast<double>(references[s].size());
+        for (int order = 1; order <= max_order; ++order) {
+            auto cand = count_ngrams(candidates[s], order);
+            auto ref = count_ngrams(references[s], order);
+            for (auto& [g, c] : cand) {
+                auto it = ref.find(g);
+                if (it != ref.end())
+                    matches[order - 1] += std::min(c, it->second);
+                totals[order - 1] += c;
+            }
+        }
+    }
+
+    double log_precision = 0;
+    for (int order = 0; order < max_order; ++order) {
+        if (totals[order] == 0)
+            return 0.0;
+        // +1 smoothing keeps short-corpus BLEU finite (standard smoothing-1).
+        double p = (matches[order] + (order > 0 ? 1.0 : 0.0)) /
+                   (totals[order] + (order > 0 ? 1.0 : 0.0));
+        if (p == 0)
+            return 0.0;
+        log_precision += std::log(p) / max_order;
+    }
+    double bp = cand_len >= ref_len
+        ? 1.0
+        : std::exp(1.0 - ref_len / std::max(1.0, cand_len));
+    return 100.0 * bp * std::exp(log_precision);
+}
+
+double
+mean(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    return std::accumulate(v.begin(), v.end(), 0.0) /
+           static_cast<double>(v.size());
+}
+
+double
+stddev(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    double m = mean(v);
+    double acc = 0;
+    for (double x : v)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+} // namespace stats
+} // namespace mx

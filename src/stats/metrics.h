@@ -1,0 +1,115 @@
+#pragma once
+
+/**
+ * @file
+ * Evaluation metrics used across the paper's benchmark suite.
+ *
+ * The paper reports: QSNR (dB) for the statistical study (Eq. 3), Pearson
+ * correlation (to validate QSNR against end-to-end loss, Sec. IV-A), top-1
+ * accuracy and perplexity for discriminative/LM benchmarks (Table III),
+ * Exact-Match / F1 for BERT QA (Table V), AUC and normalized cross-entropy
+ * (NE) for recommendation (Tables III/VI), and BLEU for translation.  All
+ * of those are implemented here, on plain float/double containers so every
+ * layer of the library can use them.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mx {
+namespace stats {
+
+/**
+ * Quantization signal-to-noise ratio in decibels (paper Eq. 3) for a
+ * single vector pair: -10*log10(||q - x||^2 / ||x||^2).
+ *
+ * Returns +inf when the reconstruction is exact and -inf when the signal
+ * is all-zero but the noise is not.
+ */
+double qsnr_db(const std::vector<float>& original,
+               const std::vector<float>& quantized);
+
+/**
+ * Accumulator matching the paper's definition of QSNR over an *ensemble*:
+ * expectations of noise power and signal power are summed over many
+ * vectors before the ratio is taken (Eq. 3 takes E[.] of both norms).
+ */
+class QsnrAccumulator
+{
+  public:
+    /** Add one (original, quantized) pair to the ensemble. */
+    void add(const std::vector<float>& original,
+             const std::vector<float>& quantized);
+
+    /** Add one scalar pair. */
+    void add_scalar(double original, double quantized);
+
+    /** Ensemble QSNR in dB. */
+    double qsnr_db() const;
+
+    /** Number of vectors accumulated. */
+    std::size_t count() const { return count_; }
+
+    /** Reset to empty. */
+    void reset();
+
+  private:
+    double noise_power_ = 0.0;
+    double signal_power_ = 0.0;
+    std::size_t count_ = 0;
+};
+
+/** Pearson correlation coefficient of two equal-length series. */
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/**
+ * Area under the ROC curve for binary labels (0/1) and scores.
+ * Implemented by rank statistics; ties get the average rank.
+ */
+double auc(const std::vector<int>& labels, const std::vector<double>& scores);
+
+/** Binary cross-entropy (natural log) of probabilities vs 0/1 labels. */
+double binary_cross_entropy(const std::vector<int>& labels,
+                            const std::vector<double>& probs);
+
+/**
+ * Normalized cross-entropy as used for recommendation models (Table VI):
+ * the model's binary cross-entropy divided by the entropy of the base
+ * positive rate (the best constant predictor).  Lower is better; an NE of
+ * 1.0 means no better than predicting the CTR prior.
+ */
+double normalized_entropy(const std::vector<int>& labels,
+                          const std::vector<double>& probs);
+
+/** Fraction of rows whose argmax prediction equals the label. */
+double top1_accuracy(const std::vector<int>& labels,
+                     const std::vector<float>& logits, std::size_t num_classes);
+
+/** exp(mean negative log-likelihood); logits are row-major [n, c]. */
+double perplexity(const std::vector<int>& labels,
+                  const std::vector<float>& logits, std::size_t num_classes);
+
+/** Exact-match score for predicted vs gold (start,end) spans, in [0,1]. */
+double span_exact_match(const std::vector<std::pair<int, int>>& predicted,
+                        const std::vector<std::pair<int, int>>& gold);
+
+/** Token-overlap F1 for predicted vs gold spans (SQuAD-style), in [0,1]. */
+double span_f1(const std::vector<std::pair<int, int>>& predicted,
+               const std::vector<std::pair<int, int>>& gold);
+
+/**
+ * Corpus BLEU with n-gram order up to 4 and brevity penalty, over integer
+ * token sequences.  Used by the translation rows of Table III.
+ */
+double bleu(const std::vector<std::vector<int>>& candidates,
+            const std::vector<std::vector<int>>& references, int max_order = 4);
+
+/** Mean of a series; 0 for empty input. */
+double mean(const std::vector<double>& v);
+
+/** Population standard deviation of a series. */
+double stddev(const std::vector<double>& v);
+
+} // namespace stats
+} // namespace mx

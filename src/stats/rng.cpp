@@ -1,0 +1,118 @@
+#include "stats/rng.h"
+
+#include <cmath>
+
+namespace mx {
+namespace stats {
+
+namespace {
+
+/** splitmix64 seed expander (recommended by the xoshiro authors). */
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto& s : s_)
+        s = splitmix64(x);
+    // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+    // zeros from any seed, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniform_u64(std::uint64_t n)
+{
+    // Lemire-style rejection-free-ish bounded draw; bias is negligible for
+    // the n << 2^64 values used in this library, but reject to be exact.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        std::uint64_t r = next_u64();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+std::int64_t
+Rng::uniform_int(std::int64_t lo, std::int64_t hi)
+{
+    return lo + static_cast<std::int64_t>(
+        uniform_u64(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+double
+Rng::normal()
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller. u1 in (0,1] to avoid log(0).
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+Rng
+Rng::split(std::uint64_t stream_id)
+{
+    Rng child(next_u64() ^ (stream_id * 0xd1342543de82ef95ULL + 1));
+    return child;
+}
+
+} // namespace stats
+} // namespace mx

@@ -1,0 +1,74 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation for mxlib.
+ *
+ * All stochastic components of the library (synthetic data, weight
+ * initialization, stochastic rounding, the QSNR Monte-Carlo harness) draw
+ * from this generator so that every experiment in the repository is
+ * bit-reproducible from a seed.
+ */
+
+#include <cstdint>
+
+namespace mx {
+namespace stats {
+
+/**
+ * xoshiro256++ pseudo-random generator.
+ *
+ * Chosen over std::mt19937_64 because its output sequence is specified
+ * (libstdc++'s normal_distribution is not), it is fast, and it supports
+ * cheap splitting via long-jumps so that parallel workloads can derive
+ * independent streams from one seed.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next_u64();
+
+    /** Next 32-bit value. */
+    std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    std::uint64_t uniform_u64(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box-Muller (cached pair). */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool bernoulli(double p) { return uniform() < p; }
+
+    /**
+     * Derive an independent child stream.
+     *
+     * Equivalent to a 2^128-step jump of this generator's sequence mixed
+     * with @p stream_id, so child streams never overlap in practice.
+     */
+    Rng split(std::uint64_t stream_id);
+
+  private:
+    std::uint64_t s_[4];
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+} // namespace stats
+} // namespace mx

@@ -1,0 +1,100 @@
+#include "sweep/design_space.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mx {
+namespace sweep {
+
+std::string
+DesignPoint::csv_header()
+{
+    return "name,m,d1,k1,d2,k2,bits_per_element,qsnr_db,"
+           "norm_area,norm_memory,area_memory_product,pareto";
+}
+
+std::string
+DesignPoint::csv_row() const
+{
+    std::ostringstream os;
+    os << '"' << format.name << "\"," << format.m << ',' << format.d1 << ','
+       << format.k1 << ',' << format.d2 << ',' << format.k2 << ','
+       << bits_per_element << ',' << qsnr_db << ','
+       << cost.normalized_area << ',' << cost.normalized_memory << ','
+       << cost.area_memory_product << ',' << (on_pareto_frontier ? 1 : 0);
+    return os.str();
+}
+
+std::vector<core::BdrFormat>
+enumerate_formats(const SweepSpec& spec)
+{
+    std::vector<core::BdrFormat> out;
+    for (int m : spec.mantissa_bits) {
+        for (int k1 : spec.k1_values) {
+            for (int k2 : spec.k2_values) {
+                if (k2 == 0) {
+                    // Plain BFP: no second level.
+                    out.push_back(core::mx_custom(m, spec.d1, k1, 0, 1));
+                    continue;
+                }
+                if (k2 > k1 || k1 % k2 != 0)
+                    continue;
+                for (int d2 : spec.d2_values)
+                    out.push_back(core::mx_custom(m, spec.d1, k1, d2, k2));
+            }
+        }
+    }
+    if (spec.include_named_formats) {
+        auto named = core::figure7_formats();
+        for (auto& f : named) {
+            // The MX/BFP members of figure7_formats() are already covered
+            // by the enumeration; keep only the non-pow2 families.
+            if (f.s_kind != core::ScaleKind::Pow2Hw)
+                out.push_back(f);
+        }
+    }
+    return out;
+}
+
+std::vector<DesignPoint>
+evaluate(const std::vector<core::BdrFormat>& formats,
+         const core::QsnrRunConfig& qsnr_cfg, const hw::CostModel& cost_model)
+{
+    std::vector<DesignPoint> points;
+    points.reserve(formats.size());
+    for (const auto& fmt : formats) {
+        DesignPoint p;
+        p.format = fmt;
+        p.qsnr_db = core::measure_qsnr_db(fmt, qsnr_cfg);
+        p.cost = cost_model.evaluate(fmt);
+        p.bits_per_element = fmt.bits_per_element();
+        points.push_back(std::move(p));
+    }
+    mark_pareto_frontier(points);
+    return points;
+}
+
+void
+mark_pareto_frontier(std::vector<DesignPoint>& points)
+{
+    // Sort an index by cost ascending, then QSNR descending; walk once
+    // keeping the running best QSNR.
+    std::vector<std::size_t> idx(points.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        double ca = points[a].cost.area_memory_product;
+        double cb = points[b].cost.area_memory_product;
+        if (ca != cb)
+            return ca < cb;
+        return points[a].qsnr_db > points[b].qsnr_db;
+    });
+    double best = -1e300;
+    for (std::size_t i : idx) {
+        points[i].on_pareto_frontier = points[i].qsnr_db > best;
+        best = std::max(best, points[i].qsnr_db);
+    }
+}
+
+} // namespace sweep
+} // namespace mx

@@ -1,0 +1,77 @@
+#pragma once
+
+/**
+ * @file
+ * Design-space exploration (paper Section IV): enumerate 800+ BDR
+ * configurations, evaluate each with the statistical QSNR harness and
+ * the hardware cost model, and extract the Pareto frontier of fidelity
+ * versus normalized area-memory cost (Figure 7).
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/bdr_format.h"
+#include "core/qsnr_harness.h"
+#include "hw/cost.h"
+
+namespace mx {
+namespace sweep {
+
+/** One evaluated design point. */
+struct DesignPoint
+{
+    core::BdrFormat format;
+    double qsnr_db = 0;
+    hw::CostPoint cost;
+    double bits_per_element = 0;
+    bool on_pareto_frontier = false;
+
+    /** CSV row (matches csv_header()). */
+    std::string csv_row() const;
+
+    /** CSV header line for sweep dumps. */
+    static std::string csv_header();
+};
+
+/** Which parts of the space to enumerate. */
+struct SweepSpec
+{
+    /** Mantissa bit-widths (explicit bits). */
+    std::vector<int> mantissa_bits = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    /** First-level block granularities. */
+    std::vector<int> k1_values = {8, 16, 32, 64, 128};
+    /** Second-level granularities (must divide k1; 0 = no second level). */
+    std::vector<int> k2_values = {0, 1, 2, 4, 8};
+    /** Second-level scale bit-widths (used when k2 > 0). */
+    std::vector<int> d2_values = {1, 2, 3, 4};
+    /** First-level scale bit-width (the paper fixes d1 = 8 for BDR). */
+    int d1 = 8;
+    /** Also include the named scalar FP / INT / VSQ comparison formats. */
+    bool include_named_formats = true;
+};
+
+/**
+ * Enumerate the BDR configurations of @p spec.  Invalid combinations
+ * (k2 not dividing k1, k2 > k1) are skipped.  The default spec yields
+ * 800+ configurations, matching the paper's sweep size.
+ */
+std::vector<core::BdrFormat> enumerate_formats(const SweepSpec& spec);
+
+/**
+ * Evaluate formats with the shared QSNR harness and cost model and mark
+ * the Pareto-optimal points (maximal QSNR at no greater cost).
+ */
+std::vector<DesignPoint> evaluate(const std::vector<core::BdrFormat>& formats,
+                                  const core::QsnrRunConfig& qsnr_cfg,
+                                  const hw::CostModel& cost_model);
+
+/**
+ * Mark Pareto-frontier members in-place: a point is on the frontier iff
+ * no other point has both lower-or-equal cost and strictly higher QSNR
+ * (or equal QSNR at strictly lower cost).
+ */
+void mark_pareto_frontier(std::vector<DesignPoint>& points);
+
+} // namespace sweep
+} // namespace mx

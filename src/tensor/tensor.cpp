@@ -1,0 +1,430 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace mx {
+namespace tensor {
+
+namespace {
+
+std::int64_t
+shape_numel(const std::vector<std::int64_t>& shape)
+{
+    std::int64_t n = 1;
+    for (std::int64_t d : shape) {
+        MX_CHECK_ARG(d >= 0, "Tensor: negative dimension");
+        n *= d;
+    }
+    return n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f)
+{
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    MX_CHECK_ARG(static_cast<std::int64_t>(data_.size()) ==
+                 shape_numel(shape_),
+                 "Tensor: data size does not match shape");
+}
+
+Tensor
+Tensor::zeros(std::vector<std::int64_t> shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::full(std::vector<std::int64_t> shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::randn(std::vector<std::int64_t> shape, stats::Rng& rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (float& v : t.data_)
+        v = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+Tensor
+Tensor::rand_uniform(std::vector<std::int64_t> shape, stats::Rng& rng,
+                     float bound)
+{
+    Tensor t(std::move(shape));
+    for (float& v : t.data_)
+        v = static_cast<float>(rng.uniform(-bound, bound));
+    return t;
+}
+
+std::int64_t
+Tensor::dim(int i) const
+{
+    int n = ndim();
+    if (i < 0)
+        i += n;
+    MX_CHECK_ARG(i >= 0 && i < n, "Tensor::dim: index out of range");
+    return shape_[static_cast<std::size_t>(i)];
+}
+
+float&
+Tensor::at(std::int64_t i)
+{
+    MX_CHECK_ARG(ndim() == 1 && i >= 0 && i < dim(0), "Tensor::at(i)");
+    return data_[static_cast<std::size_t>(i)];
+}
+
+float
+Tensor::at(std::int64_t i) const
+{
+    return const_cast<Tensor*>(this)->at(i);
+}
+
+float&
+Tensor::at(std::int64_t i, std::int64_t j)
+{
+    MX_CHECK_ARG(ndim() == 2 && i >= 0 && i < dim(0) && j >= 0 && j < dim(1),
+                 "Tensor::at(i,j)");
+    return data_[static_cast<std::size_t>(i * dim(1) + j)];
+}
+
+float
+Tensor::at(std::int64_t i, std::int64_t j) const
+{
+    return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float&
+Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k)
+{
+    MX_CHECK_ARG(ndim() == 3 && i >= 0 && i < dim(0) && j >= 0 &&
+                 j < dim(1) && k >= 0 && k < dim(2),
+                 "Tensor::at(i,j,k)");
+    return data_[static_cast<std::size_t>((i * dim(1) + j) * dim(2) + k)];
+}
+
+float
+Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) const
+{
+    return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+Tensor
+Tensor::reshape(std::vector<std::int64_t> new_shape) const
+{
+    MX_CHECK_ARG(shape_numel(new_shape) == numel(),
+                 "Tensor::reshape: element count mismatch");
+    return Tensor(std::move(new_shape), data_);
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+std::string
+Tensor::shape_string() const
+{
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < shape_.size(); ++i)
+        os << (i ? ", " : "") << shape_[i];
+    os << "] (" << numel() << " elements)";
+    return os.str();
+}
+
+Tensor
+matmul(const Tensor& a, const Tensor& b)
+{
+    MX_CHECK_ARG(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0),
+                 "matmul: shapes " << a.shape_string() << " x "
+                                   << b.shape_string());
+    const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    // ikj loop order: streams B rows, accumulates into C rows.
+    for (std::int64_t i = 0; i < m; ++i) {
+        float* crow = pc + i * n;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            float av = pa[i * k + kk];
+            if (av == 0.0f)
+                continue;
+            const float* brow = pb + kk * n;
+            for (std::int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmul_tn(const Tensor& a, const Tensor& b)
+{
+    MX_CHECK_ARG(a.ndim() == 2 && b.ndim() == 2 && a.dim(0) == b.dim(0),
+                 "matmul_tn: shapes " << a.shape_string() << " x "
+                                      << b.shape_string());
+    const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = pa + kk * m;
+        const float* brow = pb + kk * n;
+        for (std::int64_t i = 0; i < m; ++i) {
+            float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float* crow = pc + i * n;
+            for (std::int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmul_nt(const Tensor& a, const Tensor& b)
+{
+    MX_CHECK_ARG(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1),
+                 "matmul_nt: shapes " << a.shape_string() << " x "
+                                      << b.shape_string());
+    const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::int64_t i = 0; i < m; ++i) {
+        const float* arow = pa + i * k;
+        for (std::int64_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            double acc = 0;
+            for (std::int64_t kk = 0; kk < k; ++kk)
+                acc += static_cast<double>(arow[kk]) * brow[kk];
+            pc[i * n + j] = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+Tensor
+transpose2d(const Tensor& a)
+{
+    MX_CHECK_ARG(a.ndim() == 2, "transpose2d: needs a 2-d tensor");
+    const std::int64_t m = a.dim(0), n = a.dim(1);
+    Tensor t({n, m});
+    for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < n; ++j)
+            t.data()[j * m + i] = a.data()[i * n + j];
+    return t;
+}
+
+namespace {
+
+Tensor
+binary_op(const Tensor& a, const Tensor& b, float (*op)(float, float))
+{
+    MX_CHECK_ARG(a.same_shape(b), "elementwise op: shape mismatch "
+                 << a.shape_string() << " vs " << b.shape_string());
+    Tensor c(a.shape());
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        c.data()[i] = op(a.data()[i], b.data()[i]);
+    return c;
+}
+
+} // namespace
+
+Tensor
+add(const Tensor& a, const Tensor& b)
+{
+    return binary_op(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor
+sub(const Tensor& a, const Tensor& b)
+{
+    return binary_op(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor
+mul(const Tensor& a, const Tensor& b)
+{
+    return binary_op(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor
+scale(const Tensor& a, float s)
+{
+    Tensor c(a.shape());
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        c.data()[i] = a.data()[i] * s;
+    return c;
+}
+
+Tensor
+add_row_bias(const Tensor& a, const Tensor& bias)
+{
+    MX_CHECK_ARG(a.ndim() == 2 && bias.ndim() == 1 && bias.dim(0) == a.dim(1),
+                 "add_row_bias: shape mismatch");
+    Tensor c(a.shape());
+    const std::int64_t m = a.dim(0), n = a.dim(1);
+    for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < n; ++j)
+            c.data()[i * n + j] = a.data()[i * n + j] + bias.data()[j];
+    return c;
+}
+
+void
+axpy(Tensor& a, float s, const Tensor& b)
+{
+    MX_CHECK_ARG(a.same_shape(b), "axpy: shape mismatch");
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        a.data()[i] += s * b.data()[i];
+}
+
+Tensor
+sum_rows(const Tensor& a)
+{
+    MX_CHECK_ARG(a.ndim() == 2, "sum_rows: needs a 2-d tensor");
+    Tensor s({a.dim(1)});
+    for (std::int64_t i = 0; i < a.dim(0); ++i)
+        for (std::int64_t j = 0; j < a.dim(1); ++j)
+            s.data()[j] += a.data()[i * a.dim(1) + j];
+    return s;
+}
+
+Tensor
+softmax_rows(const Tensor& a)
+{
+    MX_CHECK_ARG(a.ndim() == 2, "softmax_rows: needs a 2-d tensor");
+    Tensor out(a.shape());
+    const std::int64_t m = a.dim(0), n = a.dim(1);
+    for (std::int64_t i = 0; i < m; ++i) {
+        const float* row = a.data() + i * n;
+        float* orow = out.data() + i * n;
+        float mx = row[0];
+        for (std::int64_t j = 1; j < n; ++j)
+            mx = std::max(mx, row[j]);
+        double denom = 0;
+        for (std::int64_t j = 0; j < n; ++j) {
+            orow[j] = std::exp(row[j] - mx);
+            denom += orow[j];
+        }
+        float inv = static_cast<float>(1.0 / denom);
+        for (std::int64_t j = 0; j < n; ++j)
+            orow[j] *= inv;
+    }
+    return out;
+}
+
+double
+frobenius_norm(const Tensor& a)
+{
+    double acc = 0;
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        acc += static_cast<double>(a.data()[i]) * a.data()[i];
+    return std::sqrt(acc);
+}
+
+double
+max_abs_diff(const Tensor& a, const Tensor& b)
+{
+    MX_CHECK_ARG(a.same_shape(b), "max_abs_diff: shape mismatch");
+    double mx = 0;
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        mx = std::max(mx, std::fabs(static_cast<double>(a.data()[i]) -
+                                    b.data()[i]));
+    return mx;
+}
+
+Tensor
+im2col(const Tensor& input, const Conv2dGeometry& g)
+{
+    MX_CHECK_ARG(input.ndim() == 4 && input.dim(0) == g.batch &&
+                 input.dim(1) == g.in_channels && input.dim(2) == g.in_h &&
+                 input.dim(3) == g.in_w,
+                 "im2col: input shape mismatch");
+    const std::int64_t oh = g.out_h(), ow = g.out_w();
+    const std::int64_t patch = g.in_channels * g.kernel * g.kernel;
+    Tensor cols({g.batch * oh * ow, patch});
+    for (std::int64_t b = 0; b < g.batch; ++b) {
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+                float* prow =
+                    cols.data() + ((b * oh + oy) * ow + ox) * patch;
+                std::int64_t idx = 0;
+                for (std::int64_t c = 0; c < g.in_channels; ++c) {
+                    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+                        for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+                            std::int64_t iy = oy * g.stride + ky - g.pad;
+                            std::int64_t ix = ox * g.stride + kx - g.pad;
+                            float v = 0;
+                            if (iy >= 0 && iy < g.in_h && ix >= 0 &&
+                                ix < g.in_w) {
+                                v = input.data()[((b * g.in_channels + c) *
+                                                  g.in_h + iy) * g.in_w + ix];
+                            }
+                            prow[idx++] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+Tensor
+col2im(const Tensor& cols, const Conv2dGeometry& g)
+{
+    const std::int64_t oh = g.out_h(), ow = g.out_w();
+    const std::int64_t patch = g.in_channels * g.kernel * g.kernel;
+    MX_CHECK_ARG(cols.ndim() == 2 && cols.dim(0) == g.batch * oh * ow &&
+                 cols.dim(1) == patch,
+                 "col2im: cols shape mismatch");
+    Tensor img({g.batch, g.in_channels, g.in_h, g.in_w});
+    for (std::int64_t b = 0; b < g.batch; ++b) {
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+                const float* prow =
+                    cols.data() + ((b * oh + oy) * ow + ox) * patch;
+                std::int64_t idx = 0;
+                for (std::int64_t c = 0; c < g.in_channels; ++c) {
+                    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+                        for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+                            std::int64_t iy = oy * g.stride + ky - g.pad;
+                            std::int64_t ix = ox * g.stride + kx - g.pad;
+                            if (iy >= 0 && iy < g.in_h && ix >= 0 &&
+                                ix < g.in_w) {
+                                img.data()[((b * g.in_channels + c) *
+                                            g.in_h + iy) * g.in_w + ix] +=
+                                    prow[idx];
+                            }
+                            ++idx;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return img;
+}
+
+} // namespace tensor
+} // namespace mx

@@ -1,0 +1,146 @@
+#pragma once
+
+/**
+ * @file
+ * A small dense float32 tensor for the deep-learning substrate.
+ *
+ * Row-major, value-semantic, CPU-only.  This is deliberately minimal:
+ * the experiments in the paper need matmul-centric models at laptop
+ * scale, not a general array library.  Shapes are validated eagerly and
+ * all indexing is bounds-checked through MX_CHECK_ARG in debug paths.
+ */
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "stats/rng.h"
+
+namespace mx {
+namespace tensor {
+
+/** Dense row-major float tensor. */
+class Tensor
+{
+  public:
+    /** Empty 0-d tensor. */
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(std::vector<std::int64_t> shape);
+
+    /** Tensor adopting @p data (size must match the shape product). */
+    Tensor(std::vector<std::int64_t> shape, std::vector<float> data);
+
+    /** @name Factories @{ */
+    static Tensor zeros(std::vector<std::int64_t> shape);
+    static Tensor full(std::vector<std::int64_t> shape, float value);
+    /** Gaussian init with the given stddev. */
+    static Tensor randn(std::vector<std::int64_t> shape, stats::Rng& rng,
+                        float stddev = 1.0f);
+    /** Uniform init in [-bound, bound]. */
+    static Tensor rand_uniform(std::vector<std::int64_t> shape,
+                               stats::Rng& rng, float bound);
+    /** @} */
+
+    /** Number of elements. */
+    std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+    /** Number of dimensions. */
+    int ndim() const { return static_cast<int>(shape_.size()); }
+    /** Size of dimension @p i (negative indices count from the end). */
+    std::int64_t dim(int i) const;
+    /** The full shape. */
+    const std::vector<std::int64_t>& shape() const { return shape_; }
+
+    /** @name Raw access @{ */
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+    std::span<float> span() { return {data_.data(), data_.size()}; }
+    std::span<const float> span() const { return {data_.data(), data_.size()}; }
+    std::vector<float>& vec() { return data_; }
+    const std::vector<float>& vec() const { return data_; }
+    /** @} */
+
+    /** @name 1/2/3-d element access (bounds-checked) @{ */
+    float& at(std::int64_t i);
+    float at(std::int64_t i) const;
+    float& at(std::int64_t i, std::int64_t j);
+    float at(std::int64_t i, std::int64_t j) const;
+    float& at(std::int64_t i, std::int64_t j, std::int64_t k);
+    float at(std::int64_t i, std::int64_t j, std::int64_t k) const;
+    /** @} */
+
+    /** Reinterpret with a new shape of equal element count. */
+    Tensor reshape(std::vector<std::int64_t> new_shape) const;
+
+    /** True when shapes match elementwise. */
+    bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+    /** Fill with a constant. */
+    void fill(float v);
+
+    /** "[2, 3] (6 elements)" style description. */
+    std::string shape_string() const;
+
+  private:
+    std::vector<std::int64_t> shape_;
+    std::vector<float> data_;
+};
+
+/** @name Matrix ops (2-d unless stated) @{ */
+
+/** C = A[M,K] * B[K,N]. */
+Tensor matmul(const Tensor& a, const Tensor& b);
+/** C = A^T * B with A[K,M], B[K,N] -> C[M,N]. */
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/** C = A * B^T with A[M,K], B[N,K] -> C[M,N]. */
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/** Transpose of a 2-d tensor. */
+Tensor transpose2d(const Tensor& a);
+/** @} */
+
+/** @name Elementwise / reduction helpers @{ */
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+/** y[i,j] = a[i,j] + bias[j]. */
+Tensor add_row_bias(const Tensor& a, const Tensor& bias);
+/** In-place a += s * b. */
+void axpy(Tensor& a, float s, const Tensor& b);
+/** Column-sum of a 2-d tensor -> [N]. */
+Tensor sum_rows(const Tensor& a);
+/** Row-wise softmax of a 2-d tensor. */
+Tensor softmax_rows(const Tensor& a);
+/** Frobenius norm. */
+double frobenius_norm(const Tensor& a);
+/** max |a - b| over all elements. */
+double max_abs_diff(const Tensor& a, const Tensor& b);
+/** @} */
+
+/** @name Convolution lowering (NCHW) @{ */
+
+/** Shape bundle for 2-d convolution lowering. */
+struct Conv2dGeometry
+{
+    std::int64_t batch, in_channels, in_h, in_w;
+    std::int64_t out_channels, kernel, stride, pad;
+    std::int64_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+    std::int64_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+};
+
+/**
+ * im2col: input [B, C, H, W] -> patches [B * outH * outW, C * k * k],
+ * so convolution becomes a matmul with the [outC, C * k * k] filter.
+ */
+Tensor im2col(const Tensor& input, const Conv2dGeometry& g);
+
+/** col2im: scatter-add the patch gradient back to input layout. */
+Tensor col2im(const Tensor& cols, const Conv2dGeometry& g);
+/** @} */
+
+} // namespace tensor
+} // namespace mx

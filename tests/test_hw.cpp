@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Hardware-model tests: the bit-exact Figure 6 pipeline against the
+ * reference quantized dot product, the area model's orderings, and the
+ * memory-packing numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/check.h"
+
+#include <cmath>
+
+#include "hw/area_model.h"
+#include "hw/cost.h"
+#include "hw/memory_model.h"
+#include "hw/pipeline.h"
+#include "stats/rng.h"
+
+using namespace mx;
+using namespace mx::core;
+using namespace mx::hw;
+
+namespace {
+
+std::vector<float>
+random_vec(std::size_t n, stats::Rng& rng, double sigma = 1.0)
+{
+    std::vector<float> v(n);
+    for (auto& x : v)
+        x = static_cast<float>(rng.normal(0.0, sigma));
+    return v;
+}
+
+} // namespace
+
+class PipelineExactness : public ::testing::TestWithParam<BdrFormat>
+{
+};
+
+TEST_P(PipelineExactness, WideAccumulatorMatchesReferenceExactly)
+{
+    // With f wide enough to hold every aligned product, the pipeline must
+    // equal the exact dot product of the quantized inputs bit-for-bit.
+    PipelineConfig cfg{GetParam(), 64, 52};
+    DotProductPipeline pipe(cfg);
+    stats::Rng rng(31);
+    for (int trial = 0; trial < 25; ++trial) {
+        auto a = random_vec(64, rng, std::exp(rng.normal()));
+        auto b = random_vec(64, rng, std::exp(rng.normal()));
+        PipelineResult res = pipe.run(a, b);
+        EXPECT_DOUBLE_EQ(res.value, res.exact_quantized_dot)
+            << cfg.format.name << " trial " << trial;
+        EXPECT_EQ(res.truncated_bits, 0);
+    }
+}
+
+TEST_P(PipelineExactness, F25TruncationErrorIsBounded)
+{
+    // At f = 25 the only inexactness is truncation below the f-bit
+    // window: |pipe - exact| <= n1 * 2^(ref_pos - f) <= |exact-ish
+    // magnitude| * n1 * 2^(1-f).  Verify a conservative relative bound.
+    PipelineConfig cfg{GetParam(), 64, 25};
+    DotProductPipeline pipe(cfg);
+    stats::Rng rng(37);
+    for (int trial = 0; trial < 25; ++trial) {
+        auto a = random_vec(64, rng);
+        auto b = random_vec(64, rng);
+        PipelineResult res = pipe.run(a, b);
+        // Scale of the largest block result bounds the grid step.
+        double mag = std::fabs(res.exact_quantized_dot);
+        double tol = std::max(mag, 1e-6) * 64.0 * std::ldexp(1.0, -20);
+        EXPECT_NEAR(res.value, res.exact_quantized_dot, tol)
+            << cfg.format.name << " trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, PipelineExactness,
+    ::testing::Values(mx9(), mx6(), mx4(), msfp16(), msfp12(), fp8_e4m3(),
+                      fp8_e5m2(), fp4_e2m1(), mx_custom(5, 8, 16, 2, 4)),
+    [](const ::testing::TestParamInfo<BdrFormat>& info) {
+        std::string n = info.param.name;
+        for (char& c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(Pipeline, ExactDotMatchesDequantizedReference)
+{
+    // The pipeline's internal "exact" value must equal the FP64 dot of
+    // the fake-quantized vectors (the paper's emulation equivalence).
+    PipelineConfig cfg{mx9(), 64, 52};
+    DotProductPipeline pipe(cfg);
+    stats::Rng rng(11);
+    auto a = random_vec(64, rng);
+    auto b = random_vec(64, rng);
+    auto qa = fake_quantize(mx9(), a);
+    auto qb = fake_quantize(mx9(), b);
+    double ref = 0;
+    for (int i = 0; i < 64; ++i)
+        ref += static_cast<double>(qa[static_cast<std::size_t>(i)]) *
+               qb[static_cast<std::size_t>(i)];
+    PipelineResult res = pipe.run(a, b);
+    EXPECT_NEAR(res.exact_quantized_dot, ref,
+                1e-12 * std::max(1.0, std::fabs(ref)));
+}
+
+TEST(Pipeline, ZeroInputsGiveZero)
+{
+    PipelineConfig cfg{mx6(), 32, 25};
+    DotProductPipeline pipe(cfg);
+    std::vector<float> z(32, 0.0f);
+    EXPECT_EQ(pipe.dot(z, z), 0.0);
+}
+
+TEST(Pipeline, RejectsBadConfig)
+{
+    EXPECT_THROW(DotProductPipeline({mx9(), 20, 25}), ArgumentError);
+    EXPECT_THROW(DotProductPipeline({scaled_int(8), 64, 25}),
+                 ArgumentError);
+    EXPECT_THROW(DotProductPipeline({mx9(), 64, 60}), ArgumentError);
+}
+
+TEST(AreaModel, MantissaWidthOrdersMxFamily)
+{
+    AreaModel am;
+    EXPECT_LT(am.area_nand2(mx4()), am.area_nand2(mx6()));
+    EXPECT_LT(am.area_nand2(mx6()), am.area_nand2(mx9()));
+}
+
+TEST(AreaModel, BlockScalingIsCheaperThanScalarFp)
+{
+    // At the same element payload, hardware-shared exponents amortize
+    // alignment logic: MX9 (8-bit payload) must be cheaper than the
+    // 8-bit scalar FP8 baseline.
+    AreaModel am;
+    EXPECT_LT(am.normalized_area(mx9()), 1.0);
+    EXPECT_LT(am.normalized_area(mx6()), am.normalized_area(mx9()));
+}
+
+TEST(AreaModel, MicroexponentsCostLittle)
+{
+    // Section IV-C: with d2 = 1, shrinking k2 from 8 to 2 adds only ~3%
+    // normalized cost.  Verify the model keeps that marginal.
+    AreaModel am;
+    double k2_8 = am.area_nand2(mx_custom(7, 8, 16, 1, 8));
+    double k2_2 = am.area_nand2(mx_custom(7, 8, 16, 1, 2));
+    EXPECT_LT((k2_2 - k2_8) / k2_8, 0.10);
+    // Whereas k2 = 1 (a microexponent per element) is markedly pricier.
+    double k2_1 = am.area_nand2(mx_custom(7, 8, 16, 1, 1));
+    EXPECT_GT(k2_1, k2_2);
+}
+
+TEST(AreaModel, BreakdownSumsToTotal)
+{
+    AreaModel am;
+    for (const auto& f : {mx9(), fp8_e4m3(), scaled_int(8), vsq(8, 8)}) {
+        AreaBreakdown b = am.breakdown(f);
+        EXPECT_NEAR(b.total(), am.area_nand2(f), 1e-9) << f.name;
+        EXPECT_GT(b.total(), 0.0) << f.name;
+    }
+}
+
+TEST(AreaModel, AccumulatorWidthCapsAt25)
+{
+    AreaModel am;
+    EXPECT_EQ(am.accumulator_width(fp8_e4m3()), 25);
+    EXPECT_EQ(am.accumulator_width(mx9()), 25);
+    // Narrow-range FP4 has less dynamic range than the cap.
+    EXPECT_LT(am.accumulator_width(fp4_e2m1()), 25);
+}
+
+TEST(MemoryModel, PaperTilePackings)
+{
+    MemoryModel mm;
+    // FP8: 2048 bits = exactly 4 beats -> cost 1.0.
+    EXPECT_DOUBLE_EQ(mm.normalized_cost(fp8_e4m3()), 1.0);
+    // MX9: 2304 bits -> 5 beats -> 1.25.
+    EXPECT_DOUBLE_EQ(mm.normalized_cost(mx9()), 1.25);
+    // MX6: 1536 bits -> 3 beats -> 0.75.
+    EXPECT_DOUBLE_EQ(mm.normalized_cost(mx6()), 0.75);
+    // MX4: 1024 bits -> 2 beats -> 0.5.
+    EXPECT_DOUBLE_EQ(mm.normalized_cost(mx4()), 0.5);
+    TilePacking t = mm.pack_tile(mx9());
+    EXPECT_EQ(t.beats, 5u);
+    EXPECT_DOUBLE_EQ(t.packing_efficiency, 2304.0 / 2560.0);
+}
+
+TEST(CostModel, PaperHeadlineRatios)
+{
+    // Table II / Section IV-C: MX6 ~2x and MX4 ~4x cheaper than FP8 on
+    // the area-memory product; MX9 comparable to FP8.
+    CostModel cm;
+    // Our analytical gate model reproduces the orderings and approximate
+    // magnitudes; it rewards narrow mantissas a little more than the
+    // paper's synthesis flow did (see EXPERIMENTS.md), so the ratio
+    // bounds here are deliberately generous.
+    double fp8 = 1.0; // by normalization
+    double m9 = cm.evaluate(mx9()).area_memory_product;
+    double m6 = cm.evaluate(mx6()).area_memory_product;
+    double m4 = cm.evaluate(mx4()).area_memory_product;
+    EXPECT_NEAR(m9, fp8, 0.35);           // MX9 comparable to FP8
+    EXPECT_GE(fp8 / m6, 1.8);             // MX6 >= ~2x cheaper
+    EXPECT_LE(fp8 / m6, 4.0);
+    EXPECT_GE(fp8 / m4, 3.5);             // MX4 >= ~4x cheaper
+    EXPECT_LE(fp8 / m4, 9.0);
+    EXPECT_LT(m4, m6);
+    EXPECT_LT(m6, m9);
+}

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Finite-difference gradient checks for every layer's hand-written
+ * backward pass (run in FP32 — quantization is deliberately off so the
+ * analytic gradient is exact up to float rounding).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/conv2d.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "nn/losses.h"
+#include "nn/lstm.h"
+#include "stats/rng.h"
+
+using namespace mx;
+using namespace mx::nn;
+using tensor::Tensor;
+
+namespace {
+
+/**
+ * Generic layer gradient check: loss = <forward(x), R> for fixed random
+ * R; compares backward() input gradients and parameter gradients against
+ * central differences.
+ */
+void
+check_layer(Layer& layer, const Tensor& x0, double eps = 1e-3,
+            double tol = 2e-2)
+{
+    stats::Rng rng(1234);
+    Tensor x = x0;
+    Tensor y0 = layer.forward(x, /*train=*/true);
+    Tensor r = Tensor::randn(y0.shape(), rng);
+
+    auto loss_at = [&](const Tensor& xin) {
+        Tensor y = layer.forward(xin, /*train=*/true);
+        double l = 0;
+        for (std::int64_t i = 0; i < y.numel(); ++i)
+            l += static_cast<double>(y.data()[i]) * r.data()[i];
+        return l;
+    };
+
+    // Analytic gradients.
+    layer.zero_grad();
+    (void)layer.forward(x, true);
+    Tensor dx = layer.backward(r);
+
+    // Input gradient check (subsample for speed).
+    for (std::int64_t i = 0; i < x.numel();
+         i += std::max<std::int64_t>(1, x.numel() / 24)) {
+        Tensor xp = x, xm = x;
+        xp.data()[i] += static_cast<float>(eps);
+        xm.data()[i] -= static_cast<float>(eps);
+        double num = (loss_at(xp) - loss_at(xm)) / (2 * eps);
+        EXPECT_NEAR(dx.data()[i], num,
+                    tol * (std::fabs(num) + std::fabs(dx.data()[i]) + 0.1))
+            << "input grad index " << i;
+    }
+
+    // Parameter gradient check.
+    std::vector<Param*> params;
+    layer.collect_params(params);
+    for (Param* p : params) {
+        for (std::int64_t i = 0; i < p->value.numel();
+             i += std::max<std::int64_t>(1, p->value.numel() / 12)) {
+            float saved = p->value.data()[i];
+            p->value.data()[i] = saved + static_cast<float>(eps);
+            double lp = loss_at(x);
+            p->value.data()[i] = saved - static_cast<float>(eps);
+            double lm = loss_at(x);
+            p->value.data()[i] = saved;
+            double num = (lp - lm) / (2 * eps);
+            EXPECT_NEAR(p->grad.data()[i], num,
+                        tol * (std::fabs(num) +
+                               std::fabs(p->grad.data()[i]) + 0.1))
+                << p->name << " index " << i;
+        }
+    }
+}
+
+} // namespace
+
+TEST(GradCheck, Linear)
+{
+    stats::Rng rng(1);
+    Linear layer(6, 4, QuantSpec::fp32(), rng);
+    check_layer(layer, Tensor::randn({5, 6}, rng));
+}
+
+TEST(GradCheck, LinearNoBias)
+{
+    stats::Rng rng(2);
+    Linear layer(5, 3, QuantSpec::fp32(), rng, false);
+    check_layer(layer, Tensor::randn({4, 5}, rng));
+}
+
+TEST(GradCheck, Activations)
+{
+    stats::Rng rng(3);
+    for (auto kind : {Activation::ReLU, Activation::GELU,
+                      Activation::Sigmoid, Activation::Tanh}) {
+        ActivationLayer layer(kind);
+        Tensor x = Tensor::randn({4, 6}, rng);
+        // Nudge values away from ReLU's kink.
+        for (std::int64_t i = 0; i < x.numel(); ++i)
+            if (std::fabs(x.data()[i]) < 0.05f)
+                x.data()[i] = 0.2f;
+        check_layer(layer, x);
+    }
+}
+
+TEST(GradCheck, LayerNorm)
+{
+    stats::Rng rng(4);
+    LayerNorm layer(8);
+    check_layer(layer, Tensor::randn({5, 8}, rng));
+}
+
+TEST(GradCheck, MultiHeadAttentionCausal)
+{
+    stats::Rng rng(5);
+    MultiHeadAttention layer(8, 2, 4, /*causal=*/true, QuantSpec::fp32(),
+                             rng);
+    check_layer(layer, Tensor::randn({2 * 4, 8}, rng)); // batch 2, T 4
+}
+
+TEST(GradCheck, MultiHeadAttentionBidirectional)
+{
+    stats::Rng rng(6);
+    MultiHeadAttention layer(8, 4, 3, /*causal=*/false, QuantSpec::fp32(),
+                             rng);
+    check_layer(layer, Tensor::randn({3, 8}, rng)); // batch 1, T 3
+}
+
+TEST(GradCheck, Conv2d)
+{
+    stats::Rng rng(7);
+    Conv2d layer(2, 3, 3, 1, 1, QuantSpec::fp32(), rng);
+    check_layer(layer, Tensor::randn({2, 2, 5, 5}, rng));
+}
+
+TEST(GradCheck, Conv2dStride2)
+{
+    stats::Rng rng(8);
+    Conv2d layer(1, 2, 3, 2, 1, QuantSpec::fp32(), rng);
+    check_layer(layer, Tensor::randn({1, 1, 6, 6}, rng));
+}
+
+TEST(GradCheck, LstmSequence)
+{
+    stats::Rng rng(9);
+    const std::int64_t B = 2, T = 3, D = 4, H = 5;
+    Lstm lstm(D, H, T, QuantSpec::fp32(), rng);
+    Tensor x = Tensor::randn({B * T, D}, rng);
+    Tensor r = Tensor::randn({B * T, H}, rng);
+
+    auto loss_at = [&](const Tensor& xin) {
+        LstmState st = lstm.initial_state(B);
+        Tensor y = lstm.forward_seq(xin, st, true);
+        double l = 0;
+        for (std::int64_t i = 0; i < y.numel(); ++i)
+            l += static_cast<double>(y.data()[i]) * r.data()[i];
+        return l;
+    };
+
+    std::vector<Param*> params;
+    lstm.collect_params(params);
+    for (Param* p : params)
+        p->zero_grad();
+    LstmState st = lstm.initial_state(B);
+    (void)lstm.forward_seq(x, st, true);
+    LstmState dinit;
+    Tensor dx = lstm.backward_seq(r, LstmState{}, dinit);
+
+    const double eps = 1e-3, tol = 3e-2;
+    for (std::int64_t i = 0; i < x.numel(); i += 3) {
+        Tensor xp = x, xm = x;
+        xp.data()[i] += static_cast<float>(eps);
+        xm.data()[i] -= static_cast<float>(eps);
+        double num = (loss_at(xp) - loss_at(xm)) / (2 * eps);
+        EXPECT_NEAR(dx.data()[i], num,
+                    tol * (std::fabs(num) + std::fabs(dx.data()[i]) + 0.1))
+            << "lstm input grad " << i;
+    }
+    for (Param* p : params) {
+        for (std::int64_t i = 0; i < p->value.numel();
+             i += std::max<std::int64_t>(1, p->value.numel() / 10)) {
+            float saved = p->value.data()[i];
+            p->value.data()[i] = saved + static_cast<float>(eps);
+            double lp = loss_at(x);
+            p->value.data()[i] = saved - static_cast<float>(eps);
+            double lm = loss_at(x);
+            p->value.data()[i] = saved;
+            double num = (lp - lm) / (2 * eps);
+            EXPECT_NEAR(p->grad.data()[i], num,
+                        tol * (std::fabs(num) +
+                               std::fabs(p->grad.data()[i]) + 0.1))
+                << p->name << " index " << i;
+        }
+    }
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyGradient)
+{
+    stats::Rng rng(10);
+    Tensor logits = Tensor::randn({4, 5}, rng);
+    std::vector<int> labels = {0, 2, 4, 1};
+    LossResult res = nn::softmax_cross_entropy(logits, labels);
+    const double eps = 1e-3;
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+        Tensor lp = logits, lm = logits;
+        lp.data()[i] += static_cast<float>(eps);
+        lm.data()[i] -= static_cast<float>(eps);
+        double num = (nn::softmax_cross_entropy(lp, labels).loss -
+                      nn::softmax_cross_entropy(lm, labels).loss) /
+                     (2 * eps);
+        EXPECT_NEAR(res.grad.data()[i], num, 1e-3);
+    }
+}
+
+TEST(GradCheck, BceWithLogitsGradient)
+{
+    stats::Rng rng(11);
+    Tensor logits = Tensor::randn({6}, rng);
+    std::vector<int> labels = {1, 0, 1, 1, 0, 0};
+    LossResult res = nn::bce_with_logits(logits, labels);
+    const double eps = 1e-3;
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+        Tensor lp = logits, lm = logits;
+        lp.data()[i] += static_cast<float>(eps);
+        lm.data()[i] -= static_cast<float>(eps);
+        double num = (nn::bce_with_logits(lp, labels).loss -
+                      nn::bce_with_logits(lm, labels).loss) /
+                     (2 * eps);
+        EXPECT_NEAR(res.grad.data()[i], num, 1e-3);
+    }
+}
+
+TEST(GradCheck, CrossEntropyIgnoreIndexMasks)
+{
+    stats::Rng rng(12);
+    Tensor logits = Tensor::randn({3, 4}, rng);
+    std::vector<int> labels = {1, -1, 2};
+    LossResult res = nn::softmax_cross_entropy(logits, labels, -1);
+    for (std::int64_t j = 0; j < 4; ++j)
+        EXPECT_EQ(res.grad.at(1, j), 0.0f); // ignored row has no grad
+}

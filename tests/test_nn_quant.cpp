@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the Figure 8 quantized compute flow: row-wise quantization,
+ * asymmetric weight/activation formats, BF16 vector rounding, and the
+ * non-commutativity of quantize and transpose that motivates the paper's
+ * transpose-before-quantize rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/quantize.h"
+#include "nn/linear.h"
+#include "nn/losses.h"
+#include "nn/sequential.h"
+#include "nn/optimizer.h"
+#include "nn/quant.h"
+#include "stats/rng.h"
+
+using namespace mx;
+using namespace mx::nn;
+using tensor::Tensor;
+
+TEST(QuantizeRows, RowsAreIndependentBlocks)
+{
+    // A huge value in row 0 must not disturb row 1's scaling.
+    stats::Rng rng(1);
+    Tensor t = Tensor::randn({2, 16}, rng);
+    t.at(0, 0) = 1e4f;
+    Tensor q = quantize_rows(t, core::mx9());
+
+    Tensor row1({1, 16});
+    std::copy(t.data() + 16, t.data() + 32, row1.data());
+    Tensor qrow1 = quantize_rows(row1, core::mx9());
+    for (int j = 0; j < 16; ++j)
+        EXPECT_EQ(q.at(1, j), qrow1.at(0, j));
+}
+
+TEST(QuantizeRows, MatchesCoreQuantizePerRow)
+{
+    stats::Rng rng(2);
+    Tensor t = Tensor::randn({3, 48}, rng);
+    Tensor q = quantize_rows(t, core::mx6());
+    core::Rounder r;
+    for (std::int64_t i = 0; i < 3; ++i) {
+        std::vector<float> row(t.data() + i * 48, t.data() + (i + 1) * 48);
+        std::vector<float> expect(48);
+        core::quantize_pow2(core::mx6(), row, expect, r);
+        for (int j = 0; j < 48; ++j)
+            EXPECT_EQ(q.at(i, j), expect[static_cast<std::size_t>(j)]);
+    }
+}
+
+TEST(QuantizeDirectionality, QuantizeAndTransposeDoNotCommute)
+{
+    // Section V: MX is directional.  Q(X)^T != Q(X^T) in general because
+    // blocks run along different axes.
+    stats::Rng rng(3);
+    Tensor t = Tensor::randn({16, 16}, rng, 4.0f);
+    Tensor a = tensor::transpose2d(quantize_rows(t, core::mx4()));
+    Tensor b = quantize_rows(tensor::transpose2d(t), core::mx4());
+    EXPECT_GT(tensor::max_abs_diff(a, b), 0.0);
+}
+
+TEST(QMatmul, Fp32PassthroughExact)
+{
+    stats::Rng rng(4);
+    Tensor a = Tensor::randn({4, 8}, rng);
+    Tensor b = Tensor::randn({3, 8}, rng);
+    Tensor q = qmatmul_nt(a, b, std::nullopt);
+    EXPECT_EQ(tensor::max_abs_diff(q, tensor::matmul_nt(a, b)), 0.0);
+}
+
+TEST(QMatmul, EqualsManualQuantizeThenMatmul)
+{
+    stats::Rng rng(5);
+    Tensor a = Tensor::randn({4, 32}, rng);
+    Tensor b = Tensor::randn({3, 32}, rng);
+    Tensor q = qmatmul_nt(a, b, core::mx6());
+    Tensor manual = tensor::matmul_nt(quantize_rows(a, core::mx6()),
+                                      quantize_rows(b, core::mx6()));
+    EXPECT_EQ(tensor::max_abs_diff(q, manual), 0.0);
+}
+
+TEST(QMatmul, AsymmetricFormats)
+{
+    stats::Rng rng(6);
+    Tensor a = Tensor::randn({4, 32}, rng);
+    Tensor b = Tensor::randn({3, 32}, rng);
+    Tensor q = qmatmul_nt2(a, core::mx9(), b, core::mx4());
+    Tensor manual = tensor::matmul_nt(quantize_rows(a, core::mx9()),
+                                      quantize_rows(b, core::mx4()));
+    EXPECT_EQ(tensor::max_abs_diff(q, manual), 0.0);
+}
+
+TEST(QuantSpecHelpers, WeightFormatFallback)
+{
+    QuantSpec s = QuantSpec::uniform(core::mx9());
+    EXPECT_EQ(s.weight_format()->name, "MX9");
+    QuantSpec wa = QuantSpec::weights_activations(core::mx4(), core::mx9());
+    EXPECT_EQ(wa.weight_format()->name, "MX4");
+    EXPECT_EQ(wa.forward->name, "MX9");
+    EXPECT_FALSE(QuantSpec::fp32().any());
+}
+
+TEST(Bf16Rounding, GridAndIdempotence)
+{
+    Tensor t({4}, {1.0f, 1.0000001f, 3.14159265f, -2.718281828f});
+    Tensor r = round_bf16(t);
+    EXPECT_FLOAT_EQ(r.at(0), 1.0f);
+    EXPECT_FLOAT_EQ(r.at(1), 1.0f); // collapses to the BF16 grid
+    Tensor r2 = round_bf16(r);
+    EXPECT_EQ(tensor::max_abs_diff(r, r2), 0.0);
+    // BF16 keeps ~3 significant decimal digits.
+    EXPECT_NEAR(r.at(2), 3.14159265f, 0.02f);
+}
+
+TEST(QuantizedLinear, Mx9ForwardIsCloseToFp32)
+{
+    stats::Rng rng(7);
+    Linear fp(32, 16, QuantSpec::fp32(), rng);
+    Linear q(32, 16, QuantSpec::uniform(core::mx9()), rng);
+    // Same weights for a paired comparison.
+    q.weight().value = fp.weight().value;
+    q.bias().value = fp.bias().value;
+    Tensor x = Tensor::randn({8, 32}, rng);
+    Tensor yf = fp.forward(x, false);
+    Tensor yq = q.forward(x, false);
+    double rel = tensor::max_abs_diff(yf, yq) /
+                 (tensor::frobenius_norm(yf) /
+                  std::sqrt(static_cast<double>(yf.numel())));
+    EXPECT_LT(rel, 0.1); // MX9 is a drop-in: sub-10% of RMS magnitude
+    EXPECT_GT(tensor::max_abs_diff(yf, yq), 0.0); // but not bit-identical
+}
+
+TEST(QuantizedLinear, TrainingStepReducesLossUnderMx9)
+{
+    // A single-layer regression must still optimize when both passes are
+    // MX9-quantized (the Table III "MX9 training" path in miniature).
+    stats::Rng rng(8);
+    Linear layer(16, 1, QuantSpec::uniform(core::mx9()), rng);
+    Tensor w_true = Tensor::randn({16, 1}, rng);
+    std::vector<Param*> params;
+    layer.collect_params(params);
+    Sgd opt(params, 0.05);
+
+    auto make_batch = [&](Tensor& x, Tensor& y) {
+        x = Tensor::randn({32, 16}, rng);
+        y = tensor::matmul(x, w_true);
+    };
+    double first = 0, last = 0;
+    for (int step = 0; step < 200; ++step) {
+        Tensor x, y;
+        make_batch(x, y);
+        opt.zero_grad();
+        Tensor pred = layer.forward(x, true);
+        auto res = nn::mse(pred, y);
+        layer.backward(res.grad);
+        opt.step();
+        if (step == 0)
+            first = res.loss;
+        last = res.loss;
+    }
+    EXPECT_LT(last, first * 0.05);
+}
+
+TEST(Optimizers, AdamAndSgdConvergeOnQuadratic)
+{
+    // min ||w - target||^2 from the gradient 2(w - target).
+    stats::Rng rng(9);
+    for (int which = 0; which < 2; ++which) {
+        Param w("w", Tensor::randn({8}, rng));
+        Tensor target = Tensor::randn({8}, rng);
+        std::vector<Param*> ps = {&w};
+        std::unique_ptr<Optimizer> opt;
+        if (which == 0)
+            opt = std::make_unique<Sgd>(ps, 0.1, 0.9);
+        else
+            opt = std::make_unique<Adam>(ps, 0.05);
+        for (int it = 0; it < 300; ++it) {
+            opt->zero_grad();
+            for (int i = 0; i < 8; ++i)
+                w.grad.data()[i] =
+                    2.0f * (w.value.data()[i] - target.data()[i]);
+            opt->step();
+        }
+        for (int i = 0; i < 8; ++i)
+            EXPECT_NEAR(w.value.data()[i], target.data()[i], 1e-2)
+                << "optimizer " << which;
+    }
+}
+
+TEST(Optimizers, ClipGradNorm)
+{
+    Param w("w", Tensor::zeros({4}));
+    w.grad = Tensor({4}, {3, 4, 0, 0}); // norm 5
+    std::vector<Param*> ps = {&w};
+    Sgd opt(ps, 0.1);
+    double norm = opt.clip_grad_norm(1.0);
+    EXPECT_NEAR(norm, 5.0, 1e-6);
+    EXPECT_NEAR(w.grad.at(0), 0.6f, 1e-6);
+    EXPECT_NEAR(w.grad.at(1), 0.8f, 1e-6);
+}

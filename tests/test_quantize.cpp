@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Unit and property tests for the core BDR quantization engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/check.h"
+
+#include <cmath>
+#include <cctype>
+
+#include "core/bdr_format.h"
+#include "core/quantize.h"
+#include "core/scalar_fp.h"
+#include "stats/distributions.h"
+#include "stats/metrics.h"
+
+using namespace mx;
+using namespace mx::core;
+
+namespace {
+
+std::vector<float>
+random_vec(std::size_t n, stats::Rng& rng, double sigma = 1.0)
+{
+    std::vector<float> v(n);
+    for (auto& x : v)
+        x = static_cast<float>(rng.normal(0.0, sigma));
+    return v;
+}
+
+} // namespace
+
+TEST(MaxAbsExponent, Basics)
+{
+    std::vector<float> v = {0.0f, -3.0f, 0.5f};
+    EXPECT_EQ(max_abs_exponent(v), 1); // |−3| in [2, 4)
+    v = {0.75f};
+    EXPECT_EQ(max_abs_exponent(v), -1); // 0.75 in [0.5, 1)
+    v = {0.0f, 0.0f};
+    EXPECT_EQ(max_abs_exponent(v), kAllZeroExponent);
+    v = {1.0f};
+    EXPECT_EQ(max_abs_exponent(v), 0);
+}
+
+TEST(Pow2Block, SharedExponentTracksMax)
+{
+    BdrFormat fmt = mx9();
+    std::vector<float> in(16, 0.1f);
+    in[5] = 12.0f; // exponent 3
+    std::vector<float> out(16);
+    Pow2BlockEncoding enc;
+    Rounder r;
+    quantize_pow2_block(fmt, in, out, r, &enc);
+    EXPECT_EQ(enc.shared_exp, 3);
+}
+
+TEST(Pow2Block, AllZeroBlock)
+{
+    BdrFormat fmt = mx9();
+    std::vector<float> in(16, 0.0f), out(16, 1.0f);
+    Pow2BlockEncoding enc;
+    Rounder r;
+    quantize_pow2_block(fmt, in, out, r, &enc);
+    for (float v : out)
+        EXPECT_EQ(v, 0.0f);
+    for (auto m : enc.mantissa)
+        EXPECT_EQ(m, 0);
+}
+
+TEST(Pow2Block, MicroexponentShiftsFollowSubBlocks)
+{
+    // Block of 16, k2 = 2, d2 = 1: a sub-block 8x smaller than the max
+    // should get the max shift tau = 1.
+    BdrFormat fmt = mx9();
+    std::vector<float> in(16, 8.0f);
+    in[14] = 0.25f;
+    in[15] = 0.25f; // sub-block 7 is far below the shared exponent
+    std::vector<float> out(16);
+    Pow2BlockEncoding enc;
+    Rounder r;
+    quantize_pow2_block(fmt, in, out, r, &enc);
+    EXPECT_EQ(enc.shared_exp, 3);
+    EXPECT_EQ(enc.sub_shift[0], 0);
+    EXPECT_EQ(enc.sub_shift[7], 1); // clamped at beta = 1
+}
+
+TEST(Pow2Block, MantissaSaturatesNotWraps)
+{
+    BdrFormat fmt = mx4(); // m = 2: mantissa max 3
+    std::vector<float> in(16, 0.0f);
+    in[0] = 1.0f;
+    in[1] = 1.999f; // just below 2^1: rounds above 2^m - 1 -> saturate
+    std::vector<float> out(16);
+    Pow2BlockEncoding enc;
+    Rounder r;
+    quantize_pow2_block(fmt, in, out, r, &enc);
+    for (auto m : enc.mantissa)
+        EXPECT_LE(std::abs(m), 3);
+    EXPECT_GT(out[1], 0.0f);
+}
+
+TEST(Pow2Block, DecodeMatchesOutput)
+{
+    stats::Rng rng(99);
+    BdrFormat fmt = mx6();
+    auto in = random_vec(16, rng);
+    std::vector<float> out(16);
+    Pow2BlockEncoding enc;
+    Rounder r;
+    quantize_pow2_block(fmt, in, out, r, &enc);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], static_cast<float>(enc.decode(fmt, i)));
+}
+
+TEST(Pow2Block, TailBlockSmallerThanK1)
+{
+    BdrFormat fmt = mx9();
+    stats::Rng rng(7);
+    auto in = random_vec(21, rng); // 16 + 5 tail
+    std::vector<float> out(21);
+    Rounder r;
+    quantize_pow2(fmt, in, out, r);
+    // The tail's shared exponent must come from the tail only.
+    std::vector<float> tail(in.begin() + 16, in.end());
+    std::vector<float> tail_out(5);
+    quantize_pow2_block(fmt, tail, tail_out, r);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FLOAT_EQ(out[16 + i], tail_out[i]);
+}
+
+class FormatIdempotence : public ::testing::TestWithParam<BdrFormat>
+{
+};
+
+TEST_P(FormatIdempotence, QuantizeTwiceEqualsOnce)
+{
+    const BdrFormat fmt = GetParam();
+    stats::Rng rng(123);
+    auto x = random_vec(256, rng, 2.0);
+    auto q1 = fake_quantize(fmt, x);
+    auto q2 = fake_quantize(fmt, q1);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(q1[i], q2[i], 1e-6f * (std::fabs(q1[i]) + 1e-3f))
+            << fmt.name << " index " << i;
+}
+
+TEST_P(FormatIdempotence, SignsAndZerosPreserved)
+{
+    const BdrFormat fmt = GetParam();
+    stats::Rng rng(321);
+    auto x = random_vec(256, rng);
+    x[0] = 0.0f;
+    x[1] = -0.0f;
+    auto q = fake_quantize(fmt, x);
+    EXPECT_EQ(q[0], 0.0f);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (q[i] != 0.0f)
+            EXPECT_EQ(std::signbit(q[i]), std::signbit(x[i]))
+                << fmt.name << " index " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, FormatIdempotence,
+    ::testing::Values(core::mx9(), core::mx6(), core::mx4(), core::msfp16(),
+                      core::msfp12(), core::fp8_e4m3(), core::fp8_e5m2(),
+                      core::fp8_e3m4(), core::fp6_e3m2(), core::fp6_e2m3(),
+                      core::fp4_e2m1(), core::fp4_e1m2(), core::fp4_e3m0(),
+                      core::scaled_int(4), core::scaled_int(8),
+                      core::vsq(4, 4), core::vsq(6, 6), core::vsq(8, 8)),
+    [](const ::testing::TestParamInfo<BdrFormat>& info) {
+        std::string n = info.param.name;
+        for (char& c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(QuantizeExactness, Mx9RepresentsSmallIntegersExactly)
+{
+    // With a 7-bit mantissa, integers up to 127 within one block scale
+    // are representable exactly.
+    BdrFormat fmt = mx9();
+    std::vector<float> x = {1, 2, 3, 5, 8, 13, 21, 34,
+                            55, 89, 127, 4, 6, 7, 9, 10};
+    auto q = fake_quantize(fmt, x);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_FLOAT_EQ(q[i], x[i]) << "index " << i;
+}
+
+TEST(QuantizeError, BoundedByBlockStep)
+{
+    // Per the Theorem 1 machinery, |q - x| <= 2^(E - tau - m + 1) for
+    // every element (saturation can at most double 2^(E-tau-m)).
+    BdrFormat fmt = mx6();
+    stats::Rng rng(55);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto x = random_vec(16, rng, std::exp(rng.normal()));
+        std::vector<float> out(16);
+        Pow2BlockEncoding enc;
+        Rounder r;
+        quantize_pow2_block(fmt, x, out, r, &enc);
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            int tau = enc.sub_shift[i / 2];
+            double step =
+                std::ldexp(1.0, enc.shared_exp - tau - (fmt.m - 1));
+            EXPECT_LE(std::fabs(out[i] - x[i]), step + 1e-12)
+                << "trial " << trial << " index " << i;
+        }
+    }
+}
+
+TEST(IntQuantizer, MaxMapsToMaxCode)
+{
+    BdrFormat fmt = scaled_int(8); // m = 7 -> codes in [-127, 127]
+    Quantizer q(fmt, RoundingMode::NearestEven, ScalingPolicy::JustInTime);
+    std::vector<float> x = {-1.0f, 0.5f, 127.0f};
+    auto out = q.quantize(x);
+    EXPECT_FLOAT_EQ(out[2], 127.0f);
+    EXPECT_NEAR(out[0], -1.0f, 0.51f);
+}
+
+TEST(VsqQuantizer, SubVectorScalesAdapt)
+{
+    // Two 16-element vectors with very different magnitudes should both
+    // be represented well thanks to the per-vector integer scale.
+    BdrFormat fmt = vsq(8, 8);
+    Quantizer q(fmt, RoundingMode::NearestEven, ScalingPolicy::JustInTime);
+    std::vector<float> x(32);
+    stats::Rng rng(77);
+    for (int i = 0; i < 16; ++i)
+        x[static_cast<std::size_t>(i)] =
+            static_cast<float>(rng.normal(0, 100.0));
+    for (int i = 16; i < 32; ++i)
+        x[static_cast<std::size_t>(i)] =
+            static_cast<float>(rng.normal(0, 1.0));
+    auto out = q.quantize(x);
+    double qsnr = stats::qsnr_db(x, out);
+    EXPECT_GT(qsnr, 25.0); // plain INT8 with one scale would crush the
+                           // small half to far lower fidelity
+}
+
+TEST(DelayedScaling, UsesHistoryNotCurrent)
+{
+    BdrFormat fmt = fp8_e4m3();
+    Quantizer q(fmt, RoundingMode::NearestEven, ScalingPolicy::Delayed);
+    // First call establishes history with amax 1.
+    std::vector<float> small(64, 1.0f);
+    (void)q.quantize(small);
+    // Second call has much larger values: with the stale scale they clip
+    // against the format max instead of rescaling.
+    std::vector<float> big(64, 448.0f * 4.0f);
+    auto out = q.quantize(big);
+    EXPECT_LT(out[0], big[0]); // clipped
+    // Just-in-time scaling has no such problem.
+    Quantizer jit(fmt, RoundingMode::NearestEven, ScalingPolicy::JustInTime);
+    auto out2 = jit.quantize(big);
+    EXPECT_NEAR(out2[0], big[0], 1e-3f * big[0]);
+}
+
+TEST(Rounding, StochasticIsUnbiasedNearestIsNot)
+{
+    stats::Rng rng(42);
+    Rounder sr(RoundingMode::Stochastic, &rng);
+    double acc = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        acc += sr.round(2.25);
+    EXPECT_NEAR(acc / n, 2.25, 0.02); // unbiased in expectation
+    Rounder rne(RoundingMode::NearestEven);
+    EXPECT_EQ(rne.round(2.5), 2.0); // ties to even
+    EXPECT_EQ(rne.round(3.5), 4.0);
+    Rounder away(RoundingMode::NearestAway);
+    EXPECT_EQ(away.round(2.5), 3.0);
+    Rounder trunc(RoundingMode::TowardZero);
+    EXPECT_EQ(trunc.round(2.9), 2.0);
+    EXPECT_EQ(trunc.round(-2.9), -2.0);
+}
+
+TEST(QuantizerErrors, RejectsSizeMismatch)
+{
+    Quantizer q(mx9());
+    std::vector<float> in(16), out(8);
+    EXPECT_THROW(q(std::span<const float>(in), std::span<float>(out)),
+                 ArgumentError);
+}
+
+TEST(BdrFormatValidation, RejectsInconsistentDescriptors)
+{
+    BdrFormat f = mx9();
+    f.k2 = 3; // does not divide k1 = 16
+    EXPECT_THROW(f.validate(), ArgumentError);
+    f = mx9();
+    f.d2 = 0; // d2 == 0 but ss_kind says Pow2Hw
+    EXPECT_THROW(f.validate(), ArgumentError);
+    f = fp8_e4m3();
+    f.k1 = 16; // scalar FP must have k1 == 1
+    EXPECT_THROW(f.validate(), ArgumentError);
+}
+
+TEST(BitsPerElement, MatchesPaperTableII)
+{
+    EXPECT_DOUBLE_EQ(mx9().bits_per_element(), 9.0);
+    EXPECT_DOUBLE_EQ(mx6().bits_per_element(), 6.0);
+    EXPECT_DOUBLE_EQ(mx4().bits_per_element(), 4.0);
+    EXPECT_DOUBLE_EQ(msfp16().bits_per_element(), 8.5);
+    EXPECT_DOUBLE_EQ(msfp12().bits_per_element(), 4.5);
+    EXPECT_DOUBLE_EQ(fp8_e4m3().bits_per_element(), 8.0);
+    EXPECT_DOUBLE_EQ(fp4_e2m1().bits_per_element(), 4.0);
+}

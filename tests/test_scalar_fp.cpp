@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the parameterized scalar floating-point codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/bdr_format.h"
+#include "core/scalar_fp.h"
+
+using namespace mx::core;
+
+TEST(ScalarFp, MaxFiniteMatchesIndustryValues)
+{
+    EXPECT_DOUBLE_EQ(fp8_e4m3().fp_max_finite(), 448.0);   // NVIDIA E4M3
+    EXPECT_DOUBLE_EQ(fp8_e5m2().fp_max_finite(), 57344.0); // IEEE-style
+    EXPECT_DOUBLE_EQ(fp4_e2m1().fp_max_finite(), 6.0);     // OCP FP4
+    EXPECT_DOUBLE_EQ(fp6_e3m2().fp_max_finite(), 28.0);    // OCP FP6
+    EXPECT_DOUBLE_EQ(fp6_e2m3().fp_max_finite(), 7.5);     // OCP FP6
+    EXPECT_DOUBLE_EQ(bf16().fp_max_finite(),
+                     (2.0 - std::ldexp(1.0, -7)) * std::ldexp(1.0, 127));
+}
+
+TEST(ScalarFp, ExactValuesRoundTrip)
+{
+    Rounder r;
+    BdrFormat f = fp8_e4m3();
+    for (double v : {0.0, 1.0, -1.0, 0.5, 448.0, -448.0, 0.015625}) {
+        EXPECT_DOUBLE_EQ(fp_cast(f, v, r), v) << v;
+    }
+}
+
+TEST(ScalarFp, SaturatesInsteadOfOverflowing)
+{
+    Rounder r;
+    EXPECT_DOUBLE_EQ(fp_cast(fp8_e4m3(), 1e6, r), 448.0);
+    EXPECT_DOUBLE_EQ(fp_cast(fp8_e4m3(), -1e6, r), -448.0);
+    EXPECT_DOUBLE_EQ(fp_cast(fp4_e2m1(), 100.0, r), 6.0);
+    EXPECT_DOUBLE_EQ(
+        fp_cast(fp8_e5m2(), std::numeric_limits<double>::infinity(), r),
+        57344.0);
+}
+
+TEST(ScalarFp, SubnormalsRepresented)
+{
+    Rounder r;
+    BdrFormat f = fp8_e4m3(); // emin = -6, subnormal step 2^-9
+    double tiny = std::ldexp(1.0, -9);
+    EXPECT_DOUBLE_EQ(fp_cast(f, tiny, r), tiny);
+    EXPECT_DOUBLE_EQ(fp_cast(f, tiny / 4.0, r), 0.0);      // rounds to 0
+    EXPECT_DOUBLE_EQ(fp_cast(f, 3.0 * tiny / 4.0, r), tiny);
+}
+
+TEST(ScalarFp, RoundToNearestEvenTies)
+{
+    Rounder r;
+    BdrFormat f = fp4_e2m1(); // values: 0, .5, 1, 1.5, 2, 3, 4, 6
+    EXPECT_DOUBLE_EQ(fp_cast(f, 1.25, r), 1.0);  // tie -> even mantissa
+    EXPECT_DOUBLE_EQ(fp_cast(f, 1.75, r), 2.0);
+    EXPECT_DOUBLE_EQ(fp_cast(f, 2.5, r), 2.0);   // tie between 2 and 3
+    EXPECT_DOUBLE_EQ(fp_cast(f, 3.5, r), 4.0);
+    EXPECT_DOUBLE_EQ(fp_cast(f, 5.0, r), 4.0);   // tie between 4 and 6
+}
+
+TEST(ScalarFp, ZeroMantissaFormatIsPowerOfTwoGrid)
+{
+    Rounder r;
+    BdrFormat f = fp4_e3m0(); // representable: 0 and 2^k
+    std::set<double> seen;
+    for (double v = 0.1; v < 20.0; v *= 1.07) {
+        double q = fp_cast(f, v, r);
+        if (q != 0.0) {
+            double l = std::log2(q);
+            EXPECT_DOUBLE_EQ(l, std::round(l)) << "v=" << v << " q=" << q;
+        }
+        seen.insert(q);
+    }
+    EXPECT_GE(seen.size(), 4u);
+}
+
+class FpRoundTrip : public ::testing::TestWithParam<BdrFormat>
+{
+};
+
+TEST_P(FpRoundTrip, EncodeDecodeIsIdentityOnCodes)
+{
+    // Every decodable value must encode back to itself (codec is a
+    // bijection on the value set, modulo -0).
+    const BdrFormat f = GetParam();
+    Rounder r;
+    const int bits = fp_code_bits(f);
+    for (std::uint32_t code = 0; code < (1u << bits); ++code) {
+        double v = fp_decode(f, code);
+        if (v > f.fp_max_finite() || -v > f.fp_max_finite())
+            continue; // reserved top codes (inf/NaN space)
+        std::uint32_t re = fp_encode(f, v, r);
+        EXPECT_DOUBLE_EQ(fp_decode(f, re), v)
+            << f.name << " code " << code;
+    }
+}
+
+TEST_P(FpRoundTrip, CastedValuesAreOnTheGrid)
+{
+    const BdrFormat f = GetParam();
+    Rounder r;
+    mx::stats::Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        double v = rng.normal(0.0, std::exp(rng.normal()));
+        double q = fp_cast(f, v, r);
+        std::uint32_t code = fp_encode(f, q, r);
+        EXPECT_DOUBLE_EQ(fp_decode(f, code), q) << f.name << " v=" << v;
+        // And casting is idempotent.
+        EXPECT_DOUBLE_EQ(fp_cast(f, q, r), q);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScalarFormats, FpRoundTrip,
+    ::testing::Values(fp8_e4m3(), fp8_e5m2(), fp8_e3m4(), fp6_e3m2(),
+                      fp6_e2m3(), fp4_e2m1(), fp4_e1m2(), fp4_e3m0(),
+                      fp16(), bf16()),
+    [](const ::testing::TestParamInfo<BdrFormat>& info) {
+        std::string n = info.param.name;
+        for (char& c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });

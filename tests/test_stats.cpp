@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the stats substrate: RNG, distributions, metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "stats/metrics.h"
+#include "stats/rng.h"
+
+using namespace mx::stats;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformMoments)
+{
+    Rng rng(7);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+        sq += u * u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+    EXPECT_NEAR(sq / n - 0.25, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(9);
+    double sum = 0, sq = 0, quad = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sq += x * x;
+        quad += x * x * x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+    EXPECT_NEAR(quad / n, 3.0, 0.15); // kurtosis of a Gaussian
+}
+
+TEST(Rng, SplitStreamsAreIndependentish)
+{
+    Rng root(5);
+    Rng a = root.split(1), b = root.split(2);
+    double corr_acc = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        corr_acc += (a.uniform() - 0.5) * (b.uniform() - 0.5);
+    EXPECT_NEAR(corr_acc / n, 0.0, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(3);
+    std::vector<int> counts(7, 0);
+    for (int i = 0; i < 7000; ++i)
+        ++counts[static_cast<std::size_t>(rng.uniform_int(0, 6))];
+    for (int c : counts)
+        EXPECT_GT(c, 700);
+}
+
+TEST(Distributions, VariableVarianceHasHeavyTailsVsUnit)
+{
+    // Mixing variances inflates kurtosis above the Gaussian's 3.
+    Rng rng(13);
+    std::vector<float> v;
+    double sq = 0, quad = 0;
+    std::size_t n = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        make_vector(Distribution::GaussianVariableVariance, 1.0, 512, rng,
+                    v);
+        for (float x : v) {
+            sq += static_cast<double>(x) * x;
+            quad += static_cast<double>(x) * x * x * x;
+            ++n;
+        }
+    }
+    double var = sq / static_cast<double>(n);
+    double kurt = quad / static_cast<double>(n) / (var * var);
+    EXPECT_GT(kurt, 4.0);
+}
+
+TEST(Distributions, EveryFamilyProducesFiniteValues)
+{
+    Rng rng(17);
+    std::vector<float> v;
+    for (auto d : all_distributions()) {
+        make_vector(d, 0.7, 1024, rng, v);
+        ASSERT_EQ(v.size(), 1024u);
+        for (float x : v)
+            ASSERT_TRUE(std::isfinite(x)) << to_string(d);
+    }
+}
+
+TEST(Metrics, QsnrKnownValues)
+{
+    std::vector<float> x = {1, 2, 3, 4};
+    EXPECT_TRUE(std::isinf(qsnr_db(x, x)));
+    std::vector<float> q = {1.1f, 2, 3, 4};
+    // noise = 0.01, signal = 30 -> 10*log10(3000) ~= 34.77 dB
+    EXPECT_NEAR(qsnr_db(x, q), 34.77, 0.05);
+}
+
+TEST(Metrics, QsnrAccumulatorPoolsPowerNotDb)
+{
+    // Eq. 3 takes expectations before the ratio: a perfect vector and a
+    // noisy vector pool their powers (not their dB values).
+    QsnrAccumulator acc;
+    std::vector<float> x = {10.0f, 10.0f};
+    acc.add(x, x);
+    std::vector<float> y = {1.0f, 1.0f}, yq = {2.0f, 2.0f};
+    acc.add(y, yq);
+    // noise 2, signal 202 -> -10 log10(2/202).
+    EXPECT_NEAR(acc.qsnr_db(), -10.0 * std::log10(2.0 / 202.0), 1e-9);
+}
+
+TEST(Metrics, PearsonPerfectAndInverse)
+{
+    std::vector<double> a = {1, 2, 3, 4, 5};
+    std::vector<double> b = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+    std::vector<double> c = {5, 4, 3, 2, 1};
+    EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Metrics, AucPerfectRandomInverted)
+{
+    std::vector<int> labels = {0, 0, 1, 1};
+    EXPECT_DOUBLE_EQ(auc(labels, {0.1, 0.2, 0.8, 0.9}), 1.0);
+    EXPECT_DOUBLE_EQ(auc(labels, {0.9, 0.8, 0.2, 0.1}), 0.0);
+    EXPECT_DOUBLE_EQ(auc(labels, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(Metrics, NormalizedEntropyOfPriorPredictorIsOne)
+{
+    std::vector<int> labels;
+    std::vector<double> probs;
+    Rng rng(23);
+    for (int i = 0; i < 5000; ++i) {
+        labels.push_back(rng.bernoulli(0.25) ? 1 : 0);
+        probs.push_back(0.25);
+    }
+    EXPECT_NEAR(normalized_entropy(labels, probs), 1.0, 0.02);
+}
+
+TEST(Metrics, Top1AndPerplexity)
+{
+    std::vector<int> labels = {0, 1};
+    std::vector<float> logits = {5, 0, 0, 5}; // both correct
+    EXPECT_DOUBLE_EQ(top1_accuracy(labels, logits, 2), 1.0);
+    // Uniform logits -> perplexity = #classes.
+    std::vector<float> uniform = {0, 0, 0, 0};
+    EXPECT_NEAR(perplexity(labels, uniform, 2), 2.0, 1e-9);
+}
+
+TEST(Metrics, SpanScores)
+{
+    std::vector<std::pair<int, int>> gold = {{2, 4}, {0, 0}};
+    std::vector<std::pair<int, int>> pred = {{2, 4}, {1, 1}};
+    EXPECT_DOUBLE_EQ(span_exact_match(pred, gold), 0.5);
+    std::vector<std::pair<int, int>> part = {{3, 5}, {0, 0}};
+    // Overlap 2 of 3 on the first span, exact on the second.
+    EXPECT_NEAR(span_f1(part, gold), (2.0 / 3.0 + 1.0) / 2.0, 1e-9);
+}
+
+TEST(Metrics, BleuIdentityAndDisjoint)
+{
+    std::vector<std::vector<int>> refs = {{1, 2, 3, 4, 5, 6}};
+    EXPECT_NEAR(bleu(refs, refs), 100.0, 1e-6);
+    std::vector<std::vector<int>> wrong = {{7, 8, 9, 10, 11, 12}};
+    EXPECT_DOUBLE_EQ(bleu(wrong, refs), 0.0);
+}

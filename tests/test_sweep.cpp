@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the design-space sweep and Pareto-frontier extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sweep/design_space.h"
+
+using namespace mx;
+using namespace mx::sweep;
+
+TEST(Enumeration, DefaultSpecCoversPaperScale)
+{
+    SweepSpec spec;
+    auto formats = enumerate_formats(spec);
+    // The paper sweeps 800+ configurations.
+    EXPECT_GE(formats.size(), 800u);
+    for (const auto& f : formats)
+        EXPECT_NO_THROW(f.validate());
+}
+
+TEST(Enumeration, SkipsInvalidK2Combos)
+{
+    SweepSpec spec;
+    spec.mantissa_bits = {3};
+    spec.k1_values = {8};
+    spec.k2_values = {0, 16}; // 16 > 8 must be skipped
+    spec.d2_values = {1};
+    spec.include_named_formats = false;
+    auto formats = enumerate_formats(spec);
+    ASSERT_EQ(formats.size(), 1u); // only the BFP (k2 = 0) point
+    EXPECT_EQ(formats[0].d2, 0);
+}
+
+TEST(Pareto, FrontierIsNonDominated)
+{
+    std::vector<DesignPoint> pts(4);
+    auto set = [&](int i, double cost, double qsnr) {
+        pts[static_cast<std::size_t>(i)].cost.area_memory_product = cost;
+        pts[static_cast<std::size_t>(i)].qsnr_db = qsnr;
+    };
+    set(0, 1.0, 30); // dominated by 3
+    set(1, 0.5, 20); // frontier
+    set(2, 0.7, 25); // frontier
+    set(3, 0.9, 35); // frontier
+    mark_pareto_frontier(pts);
+    EXPECT_FALSE(pts[0].on_pareto_frontier);
+    EXPECT_TRUE(pts[1].on_pareto_frontier);
+    EXPECT_TRUE(pts[2].on_pareto_frontier);
+    EXPECT_TRUE(pts[3].on_pareto_frontier);
+}
+
+TEST(Pareto, EqualCostKeepsOnlyBest)
+{
+    std::vector<DesignPoint> pts(2);
+    pts[0].cost.area_memory_product = 1.0;
+    pts[0].qsnr_db = 10;
+    pts[1].cost.area_memory_product = 1.0;
+    pts[1].qsnr_db = 20;
+    mark_pareto_frontier(pts);
+    EXPECT_FALSE(pts[0].on_pareto_frontier);
+    EXPECT_TRUE(pts[1].on_pareto_frontier);
+}
+
+TEST(Evaluate, SmallSweepProducesConsistentRecords)
+{
+    SweepSpec spec;
+    spec.mantissa_bits = {2, 7};
+    spec.k1_values = {16};
+    spec.k2_values = {0, 2};
+    spec.d2_values = {1};
+    spec.include_named_formats = false;
+    auto formats = enumerate_formats(spec);
+
+    core::QsnrRunConfig qcfg;
+    qcfg.num_vectors = 50;
+    qcfg.vector_length = 128;
+    hw::CostModel cost;
+    auto points = evaluate(formats, qcfg, cost);
+    ASSERT_EQ(points.size(), formats.size());
+    bool any_frontier = false;
+    for (const auto& p : points) {
+        EXPECT_GT(p.cost.area_memory_product, 0.0);
+        EXPECT_GT(p.bits_per_element, 0.0);
+        EXPECT_TRUE(std::isfinite(p.qsnr_db));
+        any_frontier |= p.on_pareto_frontier;
+        EXPECT_FALSE(p.csv_row().empty());
+    }
+    EXPECT_TRUE(any_frontier);
+    EXPECT_FALSE(DesignPoint::csv_header().empty());
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the tensor substrate: matmul variants against a reference
+ * triple loop, transpose, im2col/col2im adjointness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+#include "tensor/tensor.h"
+
+using namespace mx;
+using namespace mx::tensor;
+
+namespace {
+
+Tensor
+reference_matmul(const Tensor& a, const Tensor& b)
+{
+    Tensor c({a.dim(0), b.dim(1)});
+    for (std::int64_t i = 0; i < a.dim(0); ++i)
+        for (std::int64_t j = 0; j < b.dim(1); ++j) {
+            double acc = 0;
+            for (std::int64_t k = 0; k < a.dim(1); ++k)
+                acc += static_cast<double>(a.at(i, k)) * b.at(k, j);
+            c.at(i, j) = static_cast<float>(acc);
+        }
+    return c;
+}
+
+} // namespace
+
+TEST(Tensor, ShapeAndAccess)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6);
+    EXPECT_EQ(t.ndim(), 2);
+    EXPECT_EQ(t.dim(-1), 3);
+    t.at(1, 2) = 5.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+    EXPECT_THROW(t.at(2, 0), ArgumentError);
+    EXPECT_THROW(Tensor({2, 2}, std::vector<float>(3)), ArgumentError);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor r = t.reshape({3, 2});
+    EXPECT_FLOAT_EQ(r.at(2, 1), 6.0f);
+    EXPECT_THROW(t.reshape({4, 2}), ArgumentError);
+}
+
+TEST(Matmul, MatchesReference)
+{
+    stats::Rng rng(1);
+    Tensor a = Tensor::randn({7, 13}, rng);
+    Tensor b = Tensor::randn({13, 5}, rng);
+    Tensor c = matmul(a, b);
+    Tensor ref = reference_matmul(a, b);
+    EXPECT_LT(max_abs_diff(c, ref), 1e-4);
+}
+
+TEST(Matmul, VariantsAgree)
+{
+    stats::Rng rng(2);
+    Tensor a = Tensor::randn({6, 9}, rng);
+    Tensor b = Tensor::randn({9, 4}, rng);
+    Tensor c = matmul(a, b);
+    EXPECT_LT(max_abs_diff(matmul_tn(transpose2d(a), b), c), 1e-4);
+    EXPECT_LT(max_abs_diff(matmul_nt(a, transpose2d(b)), c), 1e-4);
+}
+
+TEST(Matmul, ShapeChecks)
+{
+    Tensor a({2, 3}), b({4, 5});
+    EXPECT_THROW(matmul(a, b), ArgumentError);
+    EXPECT_THROW(matmul_nt(a, b), ArgumentError);
+}
+
+TEST(Transpose, Involution)
+{
+    stats::Rng rng(3);
+    Tensor a = Tensor::randn({5, 8}, rng);
+    EXPECT_EQ(max_abs_diff(transpose2d(transpose2d(a)), a), 0.0);
+}
+
+TEST(Elementwise, AddSubMulScaleBias)
+{
+    Tensor a({2, 2}, {1, 2, 3, 4});
+    Tensor b({2, 2}, {5, 6, 7, 8});
+    EXPECT_FLOAT_EQ(add(a, b).at(1, 1), 12.0f);
+    EXPECT_FLOAT_EQ(sub(b, a).at(0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(mul(a, b).at(1, 0), 21.0f);
+    EXPECT_FLOAT_EQ(scale(a, 2.0f).at(0, 1), 4.0f);
+    Tensor bias({2}, {10, 20});
+    EXPECT_FLOAT_EQ(add_row_bias(a, bias).at(1, 1), 24.0f);
+    Tensor acc = a;
+    axpy(acc, 0.5f, b);
+    EXPECT_FLOAT_EQ(acc.at(0, 0), 3.5f);
+}
+
+TEST(Reductions, SumRowsAndSoftmax)
+{
+    Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor s = sum_rows(a);
+    EXPECT_FLOAT_EQ(s.at(0), 5.0f);
+    EXPECT_FLOAT_EQ(s.at(2), 9.0f);
+    Tensor sm = softmax_rows(a);
+    for (std::int64_t i = 0; i < 2; ++i) {
+        float total = 0;
+        for (std::int64_t j = 0; j < 3; ++j)
+            total += sm.at(i, j);
+        EXPECT_NEAR(total, 1.0f, 1e-6f);
+    }
+    EXPECT_GT(sm.at(0, 2), sm.at(0, 0));
+}
+
+TEST(Conv, Im2ColShapesAndValues)
+{
+    Conv2dGeometry g{1, 1, 4, 4, 1, 3, 1, 1};
+    Tensor img({1, 1, 4, 4});
+    for (std::int64_t i = 0; i < 16; ++i)
+        img.data()[i] = static_cast<float>(i);
+    Tensor cols = im2col(img, g);
+    EXPECT_EQ(cols.dim(0), 16);
+    EXPECT_EQ(cols.dim(1), 9);
+    // Center patch at output (1,1) sees pixels 0..10 around index 5.
+    EXPECT_FLOAT_EQ(cols.at(5, 4), 5.0f); // center of the patch
+    // Padding shows as zeros on the border patch.
+    EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0f);
+}
+
+TEST(Conv, Col2ImIsAdjointOfIm2Col)
+{
+    // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining
+    // property that makes the conv backward correct.
+    stats::Rng rng(4);
+    Conv2dGeometry g{2, 3, 5, 5, 4, 3, 2, 1};
+    Tensor x = Tensor::randn({2, 3, 5, 5}, rng);
+    Tensor y = Tensor::randn({2 * g.out_h() * g.out_w(), 3 * 3 * 3}, rng);
+    Tensor cx = im2col(x, g);
+    double lhs = 0;
+    for (std::int64_t i = 0; i < cx.numel(); ++i)
+        lhs += static_cast<double>(cx.data()[i]) * y.data()[i];
+    Tensor ay = col2im(y, g);
+    double rhs = 0;
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        rhs += static_cast<double>(x.data()[i]) * ay.data()[i];
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Property tests for Theorem 1: the QSNR lower bound must hold
+ * empirically for every pow2-scaled BDR format under every distribution
+ * in the library — including skewed and outlier-injected ones, since the
+ * theorem claims distribution independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/check.h"
+
+#include <cmath>
+
+#include "core/qsnr_harness.h"
+#include "core/theory.h"
+#include "stats/distributions.h"
+
+using namespace mx;
+using namespace mx::core;
+
+namespace {
+
+struct BoundCase
+{
+    BdrFormat format;
+    stats::Distribution dist;
+};
+
+std::string
+case_name(const ::testing::TestParamInfo<BoundCase>& info)
+{
+    std::string n =
+        info.param.format.name + "_" + stats::to_string(info.param.dist);
+    for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+std::vector<BoundCase>
+all_cases()
+{
+    std::vector<BdrFormat> formats = {
+        mx9(), mx6(), mx4(), msfp16(), msfp12(),
+        mx_custom(3, 8, 32, 2, 4), mx_custom(5, 8, 64, 1, 2),
+        mx_custom(1, 8, 8, 1, 1), bfp_custom(5, 8, 128),
+    };
+    std::vector<BoundCase> cases;
+    for (const auto& f : formats)
+        for (auto d : stats::all_distributions())
+            cases.push_back({f, d});
+    return cases;
+}
+
+} // namespace
+
+class TheoremBound : public ::testing::TestWithParam<BoundCase>
+{
+};
+
+TEST_P(TheoremBound, EmpiricalQsnrAboveLowerBound)
+{
+    const BoundCase& c = GetParam();
+    QsnrRunConfig cfg;
+    cfg.num_vectors = 400;
+    cfg.vector_length = 256;
+    cfg.distribution = c.dist;
+    cfg.dist_param = 1.0;
+    double measured = measure_qsnr_db(c.format, cfg);
+    double bound = qsnr_lower_bound_db(c.format, cfg.vector_length);
+    EXPECT_GE(measured, bound)
+        << c.format.summary() << " under " << stats::to_string(c.dist);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormatsAllDistributions, TheoremBound,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+TEST(TheoremBound, ClosedFormValues)
+{
+    // beta = 1 for d2 = 1: bound = 6.02 m + 10 log10(4 / (k1 + 3 k2)).
+    double b = qsnr_lower_bound_db(7, 16, 2, 1, 1024);
+    EXPECT_NEAR(b, 6.02 * 7 + 10.0 * std::log10(4.0 / 22.0), 1e-9);
+    // d2 = 0 degenerates to the classic BFP bound 6.02 m - 10 log10(k1).
+    double bfp = qsnr_lower_bound_db(7, 16, 1, 0, 1024);
+    EXPECT_NEAR(bfp, 6.02 * 7 - 10.0 * std::log10(16.0), 1e-9);
+    // Short vectors (N < k1) improve the bound.
+    EXPECT_GT(qsnr_lower_bound_db(7, 64, 2, 1, 8),
+              qsnr_lower_bound_db(7, 64, 2, 1, 1024));
+}
+
+TEST(TheoremBound, MonotonicInMantissa)
+{
+    for (int m = 1; m < 8; ++m) {
+        EXPECT_LT(qsnr_lower_bound_db(m, 16, 2, 1, 1024),
+                  qsnr_lower_bound_db(m + 1, 16, 2, 1, 1024));
+    }
+}
+
+TEST(TheoremBound, MicroexponentsImproveTheBound)
+{
+    // Adding a 1-bit shared microexponent (d2 = 1, k2 = 2) must beat the
+    // plain BFP bound at the same mantissa width and block size.
+    for (int m : {2, 4, 7}) {
+        EXPECT_GT(qsnr_lower_bound_db(m, 16, 2, 1, 1024),
+                  qsnr_lower_bound_db(m, 16, 1, 0, 1024));
+    }
+}
+
+TEST(TheoremBound, RejectsNonPow2Formats)
+{
+    EXPECT_THROW(qsnr_lower_bound_db(fp8_e4m3(), 1024), ArgumentError);
+    EXPECT_THROW(qsnr_lower_bound_db(scaled_int(8), 1024), ArgumentError);
+}
+
+TEST(QsnrHarness, PairedSeedsGiveIdenticalData)
+{
+    // Identical formats and seeds must produce bit-identical QSNR.
+    QsnrRunConfig cfg;
+    cfg.num_vectors = 100;
+    cfg.vector_length = 128;
+    EXPECT_DOUBLE_EQ(measure_qsnr_db(mx6(), cfg),
+                     measure_qsnr_db(mx6(), cfg));
+}
+
+TEST(QsnrHarness, MantissaOrderingHolds)
+{
+    QsnrRunConfig cfg;
+    cfg.num_vectors = 300;
+    cfg.vector_length = 256;
+    double q4 = measure_qsnr_db(mx4(), cfg);
+    double q6 = measure_qsnr_db(mx6(), cfg);
+    double q9 = measure_qsnr_db(mx9(), cfg);
+    EXPECT_LT(q4, q6);
+    EXPECT_LT(q6, q9);
+}
