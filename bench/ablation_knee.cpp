@@ -12,7 +12,7 @@
 
 #include <cstdio>
 
-#include "bench_util.h"
+#include "bench_report.h"
 #include "core/qsnr_harness.h"
 #include "hw/cost.h"
 
@@ -38,6 +38,7 @@ eval(const BdrFormat& f, const QsnrRunConfig& cfg, const hw::CostModel& cm)
 int
 main()
 {
+    bench::Report report("ablation_knee");
     QsnrRunConfig cfg;
     cfg.num_vectors = bench::scaled(4000, 200);
     cfg.vector_length = 1024;
@@ -102,13 +103,21 @@ main()
     // d2 1->2 buy little fidelity for strictly more cost (our analytical
     // model prices the k2=1 penalty lower than the paper's synthesis
     // flow did — see EXPERIMENTS.md).
+    report.metric("d2_1_to_2_qsnr_gain", d2_2.qsnr - d2_1.qsnr, "dB");
+    report.metric("d2_1_to_2_cost_ratio", d2_2.cost / d2_1.cost);
+    report.metric("k2_8_to_2_qsnr_gain", k2_2.qsnr - k2_8.qsnr, "dB");
+    report.metric("k2_8_to_2_cost_ratio", k2_2.cost / k2_8.cost);
+    report.metric("k2_2_to_1_qsnr_gain", k2_1.qsnr - k2_2.qsnr, "dB");
+    report.metric("k2_2_to_1_cost_ratio", k2_1.cost / k2_2.cost);
+
     bool ok = (k2_2.qsnr - k2_8.qsnr) > 1.0 &&
               (k2_2.cost / k2_8.cost - 1.0) < 0.10 &&
               k2_1.cost > k2_2.cost &&
               (k2_1.qsnr - k2_2.qsnr) < 1.5 &&
               (d2_2.qsnr - d2_1.qsnr) < 1.5 &&
               d2_2.cost > d2_1.cost * 1.1;
+    report.flag("knee_shape", ok);
     std::printf("\nknee analysis shape: %s\n",
                 ok ? "REPRODUCED" : "MISMATCH");
-    return ok ? 0 : 1;
+    return report.finish(ok);
 }

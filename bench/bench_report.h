@@ -1,0 +1,165 @@
+#pragma once
+
+/**
+ * @file
+ * Machine-readable reporting for the experiment benches.
+ *
+ * Every bench binary owns one Report.  While the bench prints its
+ * human-readable tables as before, it also records the headline numbers
+ * through Report::metric()/throughput()/flag(); Report::finish() then
+ * writes `BENCH_<name>.json` (total wall time, every recorded metric,
+ * and the REPRODUCED/MISMATCH verdict) into the current directory — or
+ * into `$MX_BENCH_OUT_DIR` when set — and returns the process exit
+ * code.  `scripts/run_benches.sh` collects these files to track the
+ * perf and fidelity trajectory across PRs.
+ *
+ * The same header provides a dependency-free micro-benchmark runner
+ * (run_bench) used by perf_quantize: it calibrates an iteration count
+ * to a minimum wall time and reports ns/iteration and elements/second.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace mx {
+namespace bench {
+
+/** Keeps the compiler from eliding a benchmarked computation. */
+template <typename T>
+inline void
+do_not_optimize(const T& value)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    asm volatile("" : : "g"(&value) : "memory");
+#else
+    // Forcing a volatile read of the value keeps it (and the
+    // computation feeding it) alive under optimizers without GNU asm.
+    const volatile char* p =
+        reinterpret_cast<const volatile char*>(&value);
+    (void)*p;
+#endif
+}
+
+/** Result of one micro-benchmark measurement. */
+struct BenchResult
+{
+    double ns_per_iter = 0;      ///< Best-of-reps wall time per iteration.
+    double items_per_sec = 0;    ///< Throughput (elements, ops, ...).
+    std::uint64_t iterations = 0; ///< Iterations actually timed.
+};
+
+namespace detail {
+
+/** Monotonic wall clock in nanoseconds. */
+std::uint64_t now_ns();
+
+/** Calibrated timing loop behind run_bench (type-erased). */
+BenchResult run_bench_impl(void (*step)(void*), void* ctx,
+                           std::size_t items_per_iter, double min_sec);
+
+template <typename Fn>
+void
+invoke_thunk(void* ctx)
+{
+    (*static_cast<Fn*>(ctx))();
+}
+
+} // namespace detail
+
+/**
+ * Time `fn` (a nullary callable running ONE iteration of the kernel).
+ * The runner warms up, calibrates an iteration count so the timed
+ * region lasts at least `min_sec` (shrunk in fast mode), repeats the
+ * calibrated batch three times, and returns the fastest pass's
+ * ns/iteration plus `items_per_iter`-scaled throughput.
+ */
+template <typename Fn>
+BenchResult
+run_bench(Fn&& fn, std::size_t items_per_iter, double min_sec = 0.25)
+{
+    using Decayed = typename std::remove_reference<Fn>::type;
+    Decayed& ref = fn;
+    return detail::run_bench_impl(&detail::invoke_thunk<Decayed>, &ref,
+                                  items_per_iter,
+                                  fast_mode() ? min_sec * 0.1 : min_sec);
+}
+
+/**
+ * Resolve an artifact filename against `$MX_BENCH_OUT_DIR` (falling
+ * back to the current directory) — the same convention the JSON
+ * reports use, so CSV dumps and reports land together.
+ */
+std::string output_file(const std::string& filename);
+
+/**
+ * Collects named metrics for one bench binary and serializes them to
+ * `BENCH_<name>.json` on finish().
+ */
+class Report
+{
+public:
+    /** Starts the wall clock.  `name` must be filename-safe. */
+    explicit Report(std::string name);
+
+    /** Writes the JSON file on destruction if finish() was not called. */
+    ~Report();
+
+    Report(const Report&) = delete;
+    Report& operator=(const Report&) = delete;
+
+    /**
+     * Record a scalar metric (QSNR, accuracy, cost ratio, ...).
+     * `name` is slugified to [a-z0-9_] so display labels ("FP8 (E4M3)",
+     * "MLP (clusters)") become stable jq/shell-friendly JSON keys.
+     */
+    void metric(const std::string& name, double value,
+                const std::string& unit = "");
+
+    /** Record a micro-benchmark result as <name>_ns_per_iter plus
+     *  <name>_items_per_sec. */
+    void bench_result(const std::string& name, const BenchResult& r);
+
+    /** Record a boolean claim check (name slugified like metric()). */
+    void flag(const std::string& name, bool value);
+
+    /**
+     * Record the verdict, stop the wall clock, write the JSON file,
+     * and return the process exit code: 0 only when the claim is
+     * reproduced AND the report was written (a missing report must
+     * not masquerade as a recorded baseline).
+     */
+    int finish(bool reproduced);
+
+    /** Destination path, for logging: directory honours
+     *  $MX_BENCH_OUT_DIR, falling back to the current directory. */
+    std::string output_path() const;
+
+private:
+    struct Metric
+    {
+        std::string name;
+        double value;
+        std::string unit;
+    };
+    struct Flag
+    {
+        std::string name;
+        bool value;
+    };
+
+    bool write_json(bool reproduced, bool has_verdict) const;
+
+    std::string name_;
+    std::uint64_t start_ns_;
+    std::vector<Metric> metrics_;
+    std::vector<Flag> flags_;
+    bool finished_ = false;
+};
+
+} // namespace bench
+} // namespace mx

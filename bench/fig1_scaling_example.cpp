@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util.h"
+#include "bench_report.h"
 #include "stats/metrics.h"
 
 namespace {
@@ -39,6 +39,7 @@ quantize_int3(const std::vector<float>& x, double scale)
 int
 main()
 {
+    mx::bench::Report report("fig1_scaling_example");
     const std::vector<float> x = {0.7f, 1.4f, 2.5f, 6.0f, 7.2f};
     mx::bench::banner("Figure 1: scaling strategies on X = "
                       "{0.7, 1.4, 2.5, 6, 7.2}, 3-bit INT");
@@ -82,8 +83,14 @@ main()
     std::printf("global s=%.3f, sub-scales {%.3f, 1}: QSNR = %5.1f dB "
                 "(paper: 16.8)\n", s, ss1, qsnr_f);
 
+    report.metric("qsnr_fp32_scale", qsnr_a, "dB");
+    report.metric("qsnr_pow2_scale", qsnr_b, "dB");
+    report.metric("qsnr_two_partitions", qsnr_c, "dB");
+    report.metric("qsnr_two_level", qsnr_f, "dB");
+
     bool ok = qsnr_a > qsnr_b && qsnr_c > qsnr_a && qsnr_f > qsnr_a;
+    report.flag("ordering_pow2_fp32_twolevel", ok);
     std::printf("\nordering pow2 < FP32 < two-level: %s\n",
                 ok ? "REPRODUCED" : "MISMATCH");
-    return ok ? 0 : 1;
+    return report.finish(ok);
 }

@@ -9,7 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench_util.h"
+#include "bench_report.h"
 #include "hw/area_model.h"
 #include "hw/pipeline.h"
 #include "stats/rng.h"
@@ -21,6 +21,7 @@ using namespace mx::hw;
 int
 main()
 {
+    bench::Report report("fig6_pipeline");
     stats::Rng rng(2023);
     const int r = 64;
     const std::size_t trials = bench::scaled(2000, 100);
@@ -54,6 +55,8 @@ main()
             exact &= wide.value == wide.exact_quantized_dot;
         }
         ok &= exact && max_rel < 1e-3;
+        report.metric("max_rel_err_f25_" + f.name, max_rel);
+        report.flag("wide_f_bit_exact_" + f.name, exact);
         std::printf("%-14s %12.2e %16s\n", f.name.c_str(), max_rel,
                     exact ? "bit-exact" : "MISMATCH");
     }
@@ -65,9 +68,10 @@ main()
                     f.name.c_str(), am.accumulator_width(f),
                     am.normalized_area(f));
         std::printf("%s", am.breakdown(f).to_string().c_str());
+        report.metric("normalized_area_" + f.name, am.normalized_area(f));
     }
 
     std::printf("\nFigure 6 pipeline semantics: %s\n",
                 ok ? "REPRODUCED" : "MISMATCH");
-    return ok ? 0 : 1;
+    return report.finish(ok);
 }

@@ -3,7 +3,8 @@
  * Reproduces Figure 7: QSNR (10K vectors of X ~ N(0, |N(0,1)|)) versus
  * the normalized area-memory efficiency product for all named formats
  * plus the full 800+ configuration BDR sweep with Pareto-frontier
- * extraction.  Emits fig7_sweep.csv next to the binary for plotting.
+ * extraction.  Emits fig7_sweep.csv for plotting ($MX_BENCH_OUT_DIR
+ * or the working directory, like the JSON report).
  *
  * Headline claims checked:
  *   - MX9 QSNR ~ FP8(E4M3) + ~16 dB at comparable cost
@@ -16,7 +17,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "bench_util.h"
+#include "bench_report.h"
 #include "sweep/design_space.h"
 
 using namespace mx;
@@ -26,6 +27,7 @@ using namespace mx::sweep;
 int
 main()
 {
+    bench::Report report("fig7_pareto");
     QsnrRunConfig qcfg;
     qcfg.num_vectors = bench::scaled(6000, 300);
     qcfg.vector_length = 1024;
@@ -101,11 +103,18 @@ main()
     std::printf("Pareto frontier members: %zu of %zu\n", frontier,
                 points.size());
 
-    std::ofstream csv("fig7_sweep.csv");
+    const std::string csv_path = bench::output_file("fig7_sweep.csv");
+    std::ofstream csv(csv_path);
     csv << DesignPoint::csv_header() << "\n";
     for (const auto& p : points)
         csv << p.csv_row() << "\n";
-    std::printf("wrote fig7_sweep.csv\n");
+    csv.flush();
+    const bool csv_ok = csv.good();
+    if (csv_ok)
+        std::printf("wrote %s\n", csv_path.c_str());
+    else
+        std::fprintf(stderr, "fig7_pareto: cannot write %s\n",
+                     csv_path.c_str());
 
     // How close are the Table II picks to the frontier?  (The paper
     // notes MX9 is deliberately slightly off-frontier for HW reuse.)
@@ -129,14 +138,34 @@ main()
                 "%.1f (paper: between)\n", e5m2.qsnr, m6.qsnr, e4m3.qsnr);
     std::printf("MX6 cost advantage vs FP8: %.1fx (paper: ~2x)\n",
                 1.0 / m6.cost.area_memory_product);
+    double gap9 = frontier_gap("MX9"), gap6 = frontier_gap("MX6"),
+           gap4 = frontier_gap("MX4");
     std::printf("MX9/MX6/MX4 gap to Pareto frontier at equal cost: "
-                "%.2f / %.2f / %.2f dB\n", frontier_gap("MX9"),
-                frontier_gap("MX6"), frontier_gap("MX4"));
+                "%.2f / %.2f / %.2f dB\n", gap9, gap6, gap4);
+
+    for (const auto& n : named) {
+        report.metric("qsnr_" + n.fmt.name, n.qsnr, "dB");
+        report.metric("area_mem_product_" + n.fmt.name,
+                      n.cost.area_memory_product);
+    }
+    report.metric("sweep_configurations",
+                  static_cast<double>(points.size()));
+    report.metric("pareto_frontier_members",
+                  static_cast<double>(frontier));
+    report.metric("mx9_minus_fp8_e4m3_qsnr", mx9_vs_fp8, "dB");
+    report.metric("mx9_minus_msfp16_qsnr", mx9_vs_msfp16, "dB");
+    report.metric("frontier_gap_mx9", gap9, "dB");
+    report.metric("frontier_gap_mx6", gap6, "dB");
+    report.metric("frontier_gap_mx4", gap4, "dB");
 
     bool ok = mx9_vs_fp8 > 10.0 && mx9_vs_fp8 < 25.0 &&
               mx9_vs_msfp16 > 2.0 && mx9_vs_msfp16 < 6.0 &&
               m6.qsnr > e5m2.qsnr &&
               1.0 / m6.cost.area_memory_product > 1.8;
+    report.flag("figure7_shape", ok);
     std::printf("\nFigure 7 shape: %s\n", ok ? "REPRODUCED" : "MISMATCH");
-    return ok ? 0 : 1;
+    // A missing plotting artifact fails the run just like a missing
+    // JSON report would.
+    int rc = report.finish(ok);
+    return csv_ok ? rc : 1;
 }

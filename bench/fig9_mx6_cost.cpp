@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_util.h"
+#include "bench_report.h"
 #include "data/synthetic.h"
 #include "hw/cost.h"
 #include "models/trainer.h"
@@ -73,6 +73,7 @@ cost_to_reach(const Series& s, double target)
 int
 main()
 {
+    bench::Report report("fig9_mx6_cost");
     data::MarkovText corpus(16, 909);
     // Throughput proxy: tensor-unit cost per iteration from the area
     // model (Fig 9 "approximated based on expected tensor unit
@@ -111,9 +112,15 @@ main()
     bool reached = c6 > 0;
     double iters6 = c6 / mx6_rel, iters9 = c9;
     bool ok = reached && iters6 >= iters9 * 0.9 && c6 < c9 * 1.2;
+    report.metric("mx6_per_iter_cost_vs_mx9", mx6_rel);
+    report.metric("target_loss", target);
+    report.metric("mx9_cost_to_target", c9, "iters-equiv");
+    report.metric("mx6_cost_to_target", c6, "iters-equiv");
+    report.metric("mx6_vs_mx9_total_cost_ratio", c6 / c9);
+    report.flag("figure9_shape", ok);
     std::printf("MX6: %.0f iterations vs MX9's %.0f, total cost ratio "
                 "%.2f (paper: more iters, lower cost)\n", iters6, iters9,
                 c6 / c9);
     std::printf("\nFigure 9 shape: %s\n", ok ? "REPRODUCED" : "MISMATCH");
-    return ok ? 0 : 1;
+    return report.finish(ok);
 }

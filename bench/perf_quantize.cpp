@@ -1,11 +1,16 @@
 /**
  * @file
- * Engineering microbenchmarks (google-benchmark): throughput of the
- * quantizers, the packed codec, and the pipeline simulator.
+ * Engineering microbenchmarks: throughput of the quantizers, the packed
+ * codec, the hardware dot-product pipeline, and the quantized matmul.
+ * Uses the calibrated run_bench loop from bench_report.h and emits
+ * BENCH_perf_quantize.json — the perf baseline that optimization PRs
+ * are measured against.
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <vector>
 
+#include "bench_report.h"
 #include "core/quantize.h"
 #include "formats/block_codec.h"
 #include "hw/pipeline.h"
@@ -27,72 +32,100 @@ make_data(std::size_t n)
     return v;
 }
 
-void
-bm_quantize(benchmark::State& state, const BdrFormat& fmt)
+bench::BenchResult
+bm_quantize(const BdrFormat& fmt)
 {
     auto x = make_data(4096);
     std::vector<float> out(x.size());
     Quantizer q(fmt, RoundingMode::NearestEven, ScalingPolicy::JustInTime);
-    for (auto _ : state) {
-        q(x, out);
-        benchmark::DoNotOptimize(out.data());
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            static_cast<std::int64_t>(x.size()));
+    return bench::run_bench(
+        [&] {
+            q(x, out);
+            bench::do_not_optimize(out.data());
+        },
+        x.size());
 }
 
-void
-bm_pack(benchmark::State& state, const BdrFormat& fmt)
+bench::BenchResult
+bm_pack(const BdrFormat& fmt)
 {
     auto x = make_data(4096);
-    for (auto _ : state) {
-        auto p = formats::pack(fmt, x);
-        benchmark::DoNotOptimize(p.bytes.data());
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            static_cast<std::int64_t>(x.size()));
+    return bench::run_bench(
+        [&] {
+            auto p = formats::pack(fmt, x);
+            bench::do_not_optimize(p.bytes.data());
+        },
+        x.size());
 }
 
-void
-bm_pipeline(benchmark::State& state, const BdrFormat& fmt)
+bench::BenchResult
+bm_pipeline(const BdrFormat& fmt)
 {
     auto a = make_data(64), b = make_data(64);
     hw::DotProductPipeline pipe({fmt, 64, 25});
-    for (auto _ : state) {
-        double v = pipe.dot(a, b);
-        benchmark::DoNotOptimize(v);
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            64);
+    return bench::run_bench(
+        [&] {
+            double v = pipe.dot(a, b);
+            bench::do_not_optimize(v);
+        },
+        64);
 }
 
-void
-bm_qmatmul(benchmark::State& state)
+bench::BenchResult
+bm_qmatmul()
 {
     stats::Rng rng(2);
     tensor::Tensor a = tensor::Tensor::randn({64, 256}, rng);
     tensor::Tensor b = tensor::Tensor::randn({64, 256}, rng);
-    for (auto _ : state) {
-        auto c = nn::qmatmul_nt(a, b, mx9());
-        benchmark::DoNotOptimize(c.data());
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            64 * 64 * 256);
+    return bench::run_bench(
+        [&] {
+            auto c = nn::qmatmul_nt(a, b, mx9());
+            bench::do_not_optimize(c.data());
+        },
+        64 * 64 * 256);
+}
+
+void
+row(bench::Report& report, const std::string& name,
+    const bench::BenchResult& r)
+{
+    std::printf("%-24s %12.1f ns/iter %14.3e items/s (%llu iters)\n",
+                name.c_str(), r.ns_per_iter, r.items_per_sec,
+                static_cast<unsigned long long>(r.iterations));
+    report.bench_result(name, r);
 }
 
 } // namespace
 
-BENCHMARK_CAPTURE(bm_quantize, mx9, mx9());
-BENCHMARK_CAPTURE(bm_quantize, mx6, mx6());
-BENCHMARK_CAPTURE(bm_quantize, mx4, mx4());
-BENCHMARK_CAPTURE(bm_quantize, msfp16, msfp16());
-BENCHMARK_CAPTURE(bm_quantize, fp8_e4m3, fp8_e4m3());
-BENCHMARK_CAPTURE(bm_quantize, int8, scaled_int(8));
-BENCHMARK_CAPTURE(bm_quantize, vsq8, vsq(8, 8));
-BENCHMARK_CAPTURE(bm_pack, mx9, mx9());
-BENCHMARK_CAPTURE(bm_pack, fp8_e4m3, fp8_e4m3());
-BENCHMARK_CAPTURE(bm_pipeline, mx9, mx9());
-BENCHMARK_CAPTURE(bm_pipeline, fp8_e4m3, fp8_e4m3());
-BENCHMARK(bm_qmatmul);
+int
+main()
+{
+    bench::Report report("perf_quantize");
+    bench::banner("Quantizer throughput (4096-element vectors)");
+    struct NamedFmt
+    {
+        const char* label;
+        BdrFormat fmt;
+    };
+    const NamedFmt quant_fmts[] = {
+        {"quantize_mx9", mx9()},         {"quantize_mx6", mx6()},
+        {"quantize_mx4", mx4()},         {"quantize_msfp16", msfp16()},
+        {"quantize_fp8_e4m3", fp8_e4m3()},
+        {"quantize_int8", scaled_int(8)}, {"quantize_vsq8", vsq(8, 8)},
+    };
+    for (const NamedFmt& n : quant_fmts)
+        row(report, n.label, bm_quantize(n.fmt));
 
-BENCHMARK_MAIN();
+    bench::banner("Packed codec throughput");
+    row(report, "pack_mx9", bm_pack(mx9()));
+    row(report, "pack_fp8_e4m3", bm_pack(fp8_e4m3()));
+
+    bench::banner("Dot-product pipeline (r = 64)");
+    row(report, "pipeline_mx9", bm_pipeline(mx9()));
+    row(report, "pipeline_fp8_e4m3", bm_pipeline(fp8_e4m3()));
+
+    bench::banner("Quantized matmul (64x256 @ 256x64, MX9)");
+    row(report, "qmatmul_mx9", bm_qmatmul());
+
+    return report.finish(true);
+}

@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "bench_util.h"
+#include "bench_report.h"
 #include "core/bdr_format.h"
 #include "hw/memory_model.h"
 
@@ -17,6 +17,7 @@ using namespace mx::core;
 int
 main()
 {
+    bench::Report report("table1_table2_formats");
     bench::banner("Table I: formats under the two-level scaling framework");
     std::printf("%-12s %-10s %-10s %-10s %-10s %-8s %-8s\n", "Format",
                 "Scale", "Sub-scale", "s type", "ss type", "k1", "k2");
@@ -68,11 +69,18 @@ main()
         std::printf("%-14s %10zu %8zu %9.1f%% %10.3f\n", f.name.c_str(),
                     t.payload_bits, t.beats, 100.0 * t.packing_efficiency,
                     mm.normalized_cost(f));
+        report.metric("packing_efficiency_" + f.name,
+                      t.packing_efficiency);
     }
+
+    report.metric("bits_per_element_mx9", f9.bits_per_element(), "bits");
+    report.metric("bits_per_element_mx6", f6.bits_per_element(), "bits");
+    report.metric("bits_per_element_mx4", f4.bits_per_element(), "bits");
 
     bool ok = f9.bits_per_element() == 9 && f6.bits_per_element() == 6 &&
               f4.bits_per_element() == 4;
+    report.flag("table2_bits_per_element", ok);
     std::printf("\nTable II bits-per-element: %s\n",
                 ok ? "REPRODUCED" : "MISMATCH");
-    return ok ? 0 : 1;
+    return report.finish(ok);
 }

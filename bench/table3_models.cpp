@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <functional>
 
-#include "bench_util.h"
+#include "bench_report.h"
 #include "data/synthetic.h"
 #include "models/dlrm_mini.h"
 #include "models/lstm_seq2seq.h"
@@ -317,6 +317,7 @@ run_dlrm()
 int
 main()
 {
+    bench::Report report("table3_models");
     bench::banner("Table III (shape): training and inferencing with MX");
     std::printf("%-22s %-10s %9s %9s %9s %9s %9s\n", "Task", "Metric",
                 "FP32", "MX9-trn", "cast-MX9", "cast-MX6", "ft-MX6");
@@ -325,13 +326,20 @@ main()
     bool ok = true;
     for (const Row& r : rows) {
         print_row(r);
+        report.metric(r.task + " fp32", r.fp32, r.metric);
+        report.metric(r.task + " mx9_train", r.mx9_train, r.metric);
+        report.metric(r.task + " cast_mx9", r.cast_mx9, r.metric);
+        report.metric(r.task + " cast_mx6", r.cast_mx6, r.metric);
+        report.metric(r.task + " finetune_mx6", r.finetune_mx6, r.metric);
         // Qualitative claims: MX9 training and MX9 direct cast within a
         // small tolerance of the FP32 run (drop-in replacement).
         double scale = std::max(std::fabs(r.fp32), 1e-9);
-        ok &= std::fabs(r.mx9_train - r.fp32) / scale < 0.15;
-        ok &= std::fabs(r.cast_mx9 - r.fp32) / scale < 0.10;
+        bool family_ok = std::fabs(r.mx9_train - r.fp32) / scale < 0.15 &&
+                         std::fabs(r.cast_mx9 - r.fp32) / scale < 0.10;
+        report.flag(r.task + " mx9_drop_in", family_ok);
+        ok &= family_ok;
     }
     std::printf("\nMX9 ~ FP32 for training and direct-cast inference "
                 "across all families: %s\n", ok ? "REPRODUCED" : "MISMATCH");
-    return ok ? 0 : 1;
+    return report.finish(ok);
 }

@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "bench_util.h"
+#include "bench_report.h"
 #include "data/synthetic.h"
 #include "models/transformer.h"
 #include "nn/optimizer.h"
@@ -19,6 +19,7 @@ using namespace mx::models;
 int
 main()
 {
+    bench::Report report("table4_gpt_cast");
     data::MarkovText corpus(16, 4242);
     TransformerConfig cfg;
     cfg.vocab = 16;
@@ -64,10 +65,12 @@ main()
         {"(MX4, MX4)", core::mx4(), core::mx4()},
     };
     double loss99 = 0, loss44 = 0;
+    report.metric("lm_loss_fp32", fp32, "nats");
     for (const Combo& c : combos) {
         model.set_spec(nn::QuantSpec::weights_activations(c.w, c.a));
         double loss = model.eval_loss(eval);
         std::printf("%-14s %10.4f %+10.4f\n", c.label, loss, loss - fp32);
+        report.metric(std::string("lm_loss_") + c.label, loss, "nats");
         if (std::string(c.label) == "(MX9, MX9)")
             loss99 = loss;
         if (std::string(c.label) == "(MX4, MX4)")
@@ -75,7 +78,8 @@ main()
     }
 
     bool ok = std::fabs(loss99 - fp32) < 0.02 && loss44 > loss99;
+    report.flag("mx9_drop_in_mx4_worst", ok);
     std::printf("\n(MX9,MX9) drop-in & (MX4,MX4) degrades most: %s\n",
                 ok ? "REPRODUCED" : "MISMATCH");
-    return ok ? 0 : 1;
+    return report.finish(ok);
 }

@@ -12,7 +12,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench_util.h"
+#include "bench_report.h"
 #include "data/synthetic.h"
 #include "models/dlrm_mini.h"
 #include "nn/optimizer.h"
@@ -51,6 +51,7 @@ train_and_ne(const data::ClickLogs& task, nn::QuantSpec spec,
 int
 main()
 {
+    bench::Report report("table6_dlrm_ne");
     data::ClickLogs task(8, 64, 8, 30);
     const int steps = static_cast<int>(bench::scaled(400, 40));
 
@@ -79,12 +80,21 @@ main()
     row("MX6 uniform training", ne_mx6);
     row("MX4 uniform training", ne_mx4);
 
+    report.metric("ne_fp32", ne_fp32);
+    report.metric("ne_mx9_uniform", ne_mx9);
+    report.metric("ne_mx9_mixed", ne_mixed);
+    report.metric("ne_mx6_uniform", ne_mx6);
+    report.metric("ne_mx4_uniform", ne_mx4);
+
     double d_uniform = std::fabs(ne_mx9 - ne_fp32) / ne_fp32;
     double d_mixed = std::fabs(ne_mixed - ne_fp32) / ne_fp32;
+    report.metric("ne_delta_uniform_pct", 100.0 * d_uniform, "%");
+    report.metric("ne_delta_mixed_pct", 100.0 * d_mixed, "%");
     bool ok = d_uniform < 0.01 && d_mixed < 0.01;
+    report.flag("ne_delta_inside_threshold", ok);
     std::printf("\nMX9 NE delta inside the production-style threshold "
                 "(uniform %.3f%%, mixed %.3f%%): %s\n",
                 100.0 * d_uniform, 100.0 * d_mixed,
                 ok ? "REPRODUCED" : "MISMATCH");
-    return ok ? 0 : 1;
+    return report.finish(ok);
 }

@@ -8,7 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "bench_util.h"
+#include "bench_report.h"
 #include "data/synthetic.h"
 #include "models/transformer.h"
 #include "nn/optimizer.h"
@@ -55,6 +55,7 @@ train_lm(const data::MarkovText& corpus, const Size& sz,
 int
 main()
 {
+    bench::Report report("table7_gpt_train");
     data::MarkovText corpus(16, 777);
     const int steps = static_cast<int>(bench::scaled(400, 40));
     const Size sizes[] = {
@@ -74,13 +75,16 @@ main()
                              nn::QuantSpec::uniform(core::mx9()), steps);
         std::printf("%-8s %10.4f %10.4f %+10.4f\n", sz.label, fp, mx,
                     mx - fp);
+        report.metric(std::string(sz.label) + "_fp32_loss", fp, "nats");
+        report.metric(std::string(sz.label) + "_mx9_loss", mx, "nats");
         // Run-to-run-noise territory for these miniatures: the deltas
         // land on both sides of zero across the ladder; accept up to 3%
         // of the loss (the paper's production threshold plays the same
         // role at its scale).
         ok &= std::fabs(mx - fp) < std::max(0.05, 0.03 * fp);
     }
+    report.flag("mx9_matches_fp32_all_sizes", ok);
     std::printf("\nMX9 matches FP32 LM loss at every size: %s\n",
                 ok ? "REPRODUCED" : "MISMATCH");
-    return ok ? 0 : 1;
+    return report.finish(ok);
 }

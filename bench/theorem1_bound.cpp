@@ -6,9 +6,10 @@
  * logarithmic in k1/k2).
  */
 
+#include <algorithm>
 #include <cstdio>
 
-#include "bench_util.h"
+#include "bench_report.h"
 #include "core/qsnr_harness.h"
 #include "core/theory.h"
 
@@ -18,9 +19,11 @@ using namespace mx::core;
 int
 main()
 {
+    bench::Report report("theorem1_bound");
     QsnrRunConfig cfg;
     cfg.num_vectors = bench::scaled(4000, 200);
     cfg.vector_length = 1024;
+    double min_margin = 1e30;
 
     bench::banner("Theorem 1: measured QSNR vs lower bound");
     std::printf("%-26s %-18s %10s %10s %8s\n", "Format", "Distribution",
@@ -40,6 +43,7 @@ main()
             double measured = measure_qsnr_db(f, c);
             double bound = qsnr_lower_bound_db(f, c.vector_length);
             all_hold &= measured >= bound;
+            min_margin = std::min(min_margin, measured - bound);
             std::printf("%-26s %-18s %9.2f %9.2f %+8.2f %s\n",
                         f.name.c_str(), stats::to_string(d).c_str(),
                         measured, bound, measured - bound,
@@ -62,8 +66,12 @@ main()
         std::printf("%.1f ", qsnr_lower_bound_db(7, 16, 2, d2, 1024));
     std::printf("dB\n");
 
+    report.metric("cases", static_cast<double>(formats.size() *
+                                               dists.size()));
+    report.metric("min_margin", min_margin, "dB");
+    report.flag("bound_held_all_cases", all_hold);
     std::printf("\nTheorem 1 bound held in all %zu cases: %s\n",
                 formats.size() * dists.size(),
                 all_hold ? "REPRODUCED" : "VIOLATED");
-    return all_hold ? 0 : 1;
+    return report.finish(all_hold);
 }

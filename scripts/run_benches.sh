@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Run every bench binary and collect the BENCH_<name>.json reports.
+#
+#   scripts/run_benches.sh [BUILD_DIR] [OUT_DIR]
+#
+#   BUILD_DIR  cmake build tree (default: build; configured+built on
+#              demand when missing)
+#   OUT_DIR    where the JSON reports land (default: BUILD_DIR/bench_results)
+#
+# Environment:
+#   MX_BENCH_FAST=1   shrink Monte-Carlo sizes for a smoke run
+#   MX_BENCH_ONLY=perf_quantize,fig7_pareto   run a subset
+#
+# Exit status is the number of benches that failed their claim checks
+# or were requested but had no binary (0 = everything ran and
+# reproduced).
+
+set -u
+
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${1:-"$REPO_ROOT/build"}
+OUT_DIR=${2:-"$BUILD_DIR/bench_results"}
+
+BENCHES=(
+    perf_quantize
+    table1_table2_formats
+    fig1_scaling_example
+    theorem1_bound
+    ablation_knee
+    fig6_pipeline
+    fig7_pareto
+    fig9_mx6_cost
+    table3_models
+    table4_gpt_cast
+    table5_bert_qa
+    table6_dlrm_ne
+    table7_gpt_train
+)
+
+if [ -n "${MX_BENCH_ONLY:-}" ]; then
+    IFS=',' read -r -a BENCHES <<< "$MX_BENCH_ONLY"
+fi
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    echo "== configuring $BUILD_DIR"
+    cmake -B "$BUILD_DIR" -S "$REPO_ROOT" || exit 1
+fi
+echo "== building bench_all"
+cmake --build "$BUILD_DIR" --target bench_all -j "$(nproc)" || exit 1
+
+mkdir -p "$OUT_DIR"
+# Drop stale reports so a bench that dies before writing its JSON can't
+# leave a previous run's numbers masquerading as current results.
+rm -f "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/fig7_sweep.csv
+export MX_BENCH_OUT_DIR="$OUT_DIR"
+
+failures=0
+for b in "${BENCHES[@]}"; do
+    exe="$BUILD_DIR/bench/$b"
+    if [ ! -x "$exe" ]; then
+        echo "== MISSING $b (no binary at $exe) — counted as a failure"
+        failures=$((failures + 1))
+        continue
+    fi
+    echo
+    echo "==================== $b ===================="
+    if ! "$exe"; then
+        echo "== $b: MISMATCH (non-zero exit)"
+        failures=$((failures + 1))
+    fi
+done
+
+echo
+echo "== reports in $OUT_DIR:"
+ls -l "$OUT_DIR"/BENCH_*.json 2>/dev/null
+echo
+echo "== $failures bench(es) failed their claim checks"
+exit "$failures"

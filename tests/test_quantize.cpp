@@ -6,13 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
-
-#include "core/check.h"
-
 #include <cmath>
-#include <cctype>
 
 #include "core/bdr_format.h"
+#include "core/check.h"
 #include "core/quantize.h"
 #include "core/scalar_fp.h"
 #include "stats/distributions.h"
@@ -158,9 +155,10 @@ TEST_P(FormatIdempotence, SignsAndZerosPreserved)
     auto q = fake_quantize(fmt, x);
     EXPECT_EQ(q[0], 0.0f);
     for (std::size_t i = 0; i < x.size(); ++i) {
-        if (q[i] != 0.0f)
+        if (q[i] != 0.0f) {
             EXPECT_EQ(std::signbit(q[i]), std::signbit(x[i]))
                 << fmt.name << " index " << i;
+        }
     }
 }
 
