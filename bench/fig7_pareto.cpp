@@ -16,8 +16,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "bench_report.h"
+#include "core/thread_pool.h"
 #include "sweep/design_space.h"
 
 using namespace mx;
@@ -47,9 +49,21 @@ main()
     std::vector<Named> named;
     double best_vsq[17] = {};
     hw::CostPoint best_vsq_cost[17];
-    for (const auto& f : figure7_formats()) {
-        double q = measure_qsnr_db(f, qcfg);
-        hw::CostPoint c = cost.evaluate(f);
+    // Measure every named format in parallel (each index writes its own
+    // slot and measure_qsnr_db re-seeds per call, so the thread count
+    // cannot change a single number), then aggregate serially.
+    core::ThreadPool& pool = core::ThreadPool::shared();
+    const auto fig7_fmts = figure7_formats();
+    std::vector<double> fmt_qsnr(fig7_fmts.size());
+    std::vector<hw::CostPoint> fmt_cost(fig7_fmts.size());
+    pool.parallel_for(fig7_fmts.size(), [&](std::size_t i) {
+        fmt_qsnr[i] = measure_qsnr_db(fig7_fmts[i], qcfg);
+        fmt_cost[i] = cost.evaluate(fig7_fmts[i]);
+    });
+    for (std::size_t i = 0; i < fig7_fmts.size(); ++i) {
+        const auto& f = fig7_fmts[i];
+        double q = fmt_qsnr[i];
+        hw::CostPoint c = fmt_cost[i];
         if (f.name.rfind("VSQ", 0) == 0) {
             int bits = f.m + 1;
             if (q > best_vsq[bits] || best_vsq[bits] == 0) {
@@ -152,6 +166,7 @@ main()
                   static_cast<double>(points.size()));
     report.metric("pareto_frontier_members",
                   static_cast<double>(frontier));
+    report.metric("mx_threads", static_cast<double>(pool.thread_count()));
     report.metric("mx9_minus_fp8_e4m3_qsnr", mx9_vs_fp8, "dB");
     report.metric("mx9_minus_msfp16_qsnr", mx9_vs_msfp16, "dB");
     report.metric("frontier_gap_mx9", gap9, "dB");

@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "bench_report.h"
+#include "core/kernels/dispatch.h"
 #include "core/quantize.h"
 #include "formats/block_codec.h"
+#include "formats/packed.h"
 #include "hw/pipeline.h"
 #include "nn/quant.h"
 #include "stats/rng.h"
@@ -47,6 +49,21 @@ bm_quantize(const BdrFormat& fmt)
 }
 
 bench::BenchResult
+bm_quantize_kernel(const BdrFormat& fmt, const core::kernels::QuantKernel& k)
+{
+    auto x = make_data(4096);
+    std::vector<float> out(x.size());
+    const auto plan = core::kernels::make_quant_plan(fmt);
+    Rounder rounder;
+    return bench::run_bench(
+        [&] {
+            k.quantize(plan, x, out, rounder);
+            bench::do_not_optimize(out.data());
+        },
+        x.size());
+}
+
+bench::BenchResult
 bm_pack(const BdrFormat& fmt)
 {
     auto x = make_data(4096);
@@ -54,6 +71,38 @@ bm_pack(const BdrFormat& fmt)
         [&] {
             auto p = formats::pack(fmt, x);
             bench::do_not_optimize(p.bytes.data());
+        },
+        x.size());
+}
+
+bench::BenchResult
+bm_fused_quantize_pack(const BdrFormat& fmt)
+{
+    // The kernel-level fused path behind formats::pack, without the
+    // PackedTensor wrapper: quantize straight into the bit stream.
+    auto x = make_data(4096);
+    const auto plan = core::kernels::make_quant_plan(fmt);
+    const auto& k = core::kernels::active_kernel();
+    Rounder rounder;
+    return bench::run_bench(
+        [&] {
+            formats::BitWriter w;
+            k.quantize_pack(plan, x, rounder, w);
+            bench::do_not_optimize(w.bytes().data());
+        },
+        x.size());
+}
+
+bench::BenchResult
+bm_unpack(const BdrFormat& fmt)
+{
+    auto x = make_data(4096);
+    auto packed = formats::pack(fmt, x);
+    std::vector<float> out;
+    return bench::run_bench(
+        [&] {
+            out = formats::unpack(packed);
+            bench::do_not_optimize(out.data());
         },
         x.size());
 }
@@ -116,9 +165,22 @@ main()
     for (const NamedFmt& n : quant_fmts)
         row(report, n.label, bm_quantize(n.fmt));
 
+    bench::banner("Kernel comparison (MX9, via kernels/dispatch.h)");
+    std::printf("active kernel: %s\n",
+                core::kernels::active_kernel().name());
+    row(report, "quantize_mx9_scalar",
+        bm_quantize_kernel(mx9(), core::kernels::scalar_kernel()));
+    if (core::kernels::avx2_supported())
+        row(report, "quantize_mx9_avx2",
+            bm_quantize_kernel(mx9(), *core::kernels::avx2_kernel()));
+
     bench::banner("Packed codec throughput");
     row(report, "pack_mx9", bm_pack(mx9()));
     row(report, "pack_fp8_e4m3", bm_pack(fp8_e4m3()));
+    row(report, "fused_quantize_pack_mx9", bm_fused_quantize_pack(mx9()));
+    row(report, "fused_quantize_pack_mx4", bm_fused_quantize_pack(mx4()));
+    row(report, "unpack_mx9", bm_unpack(mx9()));
+    row(report, "unpack_fp8_e4m3", bm_unpack(fp8_e4m3()));
 
     bench::banner("Dot-product pipeline (r = 64)");
     row(report, "pipeline_mx9", bm_pipeline(mx9()));

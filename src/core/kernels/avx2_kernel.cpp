@@ -1,0 +1,371 @@
+/**
+ * @file
+ * AVX2 QuantKernel.  Bit-identical to the scalar reference by
+ * construction: every lane performs the same IEEE double operations the
+ * reference performs per element (multiply by an exact power of two,
+ * round-to-nearest-even or truncate, saturate, multiply back, narrow to
+ * float), and every case the vector path cannot mirror exactly is
+ * delegated to the reference:
+ *
+ *  - NearestAway rounding (libm round() semantics) and Stochastic
+ *    rounding (per-element RNG draw order) run the reference loop;
+ *  - blocks whose shared exponent is so low that zero/subnormal
+ *    sub-blocks would not clamp to the maximum shift take the reference
+ *    path (shared_e < beta - 127 — impossible for normal-range data);
+ *  - NaN-bearing blocks take the reference path (minps/maxps NaN
+ *    semantics differ from std::min/std::max);
+ *  - formats with k1 beyond the stack scratch size fall back entirely.
+ *
+ * tests/test_kernels.cpp asserts the equivalence over randomized
+ * formats, sizes, magnitudes, and rounding modes.
+ *
+ * This translation unit is the only one compiled with -mavx2; callers
+ * reach it through kernels/dispatch.h, which probes the CPU at runtime.
+ */
+
+#include "core/kernels/dispatch.h"
+#include "core/kernels/quant_kernel.h"
+
+#if defined(MX_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace mx {
+namespace core {
+namespace kernels {
+
+namespace {
+
+/** Stack capacity for per-block scratch; larger k1 delegates. */
+constexpr std::size_t kStackBlock = 512;
+
+/** 2^e as a double (normal range; ldexp covers decode-side extremes). */
+inline double
+pow2d(int e)
+{
+    if (e >= -1022 && e <= 1023)
+        return std::bit_cast<double>(
+            static_cast<std::uint64_t>(e + 1023) << 52);
+    return std::ldexp(1.0, e);
+}
+
+/** Horizontal max of 8 floats. */
+inline float
+hmax(__m256 v)
+{
+    __m128 m = _mm_max_ps(_mm256_castps256_ps128(v),
+                          _mm256_extractf128_ps(v, 1));
+    m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+    return _mm_cvtss_f32(m);
+}
+
+/**
+ * The vectorized element loop: q = round(|x| * inv_step) saturated to
+ * mant_max, out = sign(x) * q * step.  ROUND is an _MM_FROUND_* policy
+ * (nearest-even or toward-zero); the scalar tail applies the identical
+ * double-precision operations, so lanes and tail agree bit-for-bit.
+ */
+template <int ROUND>
+void
+element_loop(const float* in, const float* absv, std::size_t n,
+             const double* step, const double* inv_step, double mant_max_d,
+             float* out, std::int32_t* mant_out)
+{
+    const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+    const __m256d mmax = _mm256_set1_pd(mant_max_d);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 v = _mm256_loadu_ps(in + i);
+        const __m256 sign = _mm256_and_ps(v, sign_mask);
+        const __m256 a = _mm256_loadu_ps(absv + i);
+        const __m256d a_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(a));
+        const __m256d a_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(a, 1));
+        __m256d q_lo = _mm256_round_pd(
+            _mm256_mul_pd(a_lo, _mm256_loadu_pd(inv_step + i)),
+            ROUND | _MM_FROUND_NO_EXC);
+        __m256d q_hi = _mm256_round_pd(
+            _mm256_mul_pd(a_hi, _mm256_loadu_pd(inv_step + i + 4)),
+            ROUND | _MM_FROUND_NO_EXC);
+        q_lo = _mm256_min_pd(q_lo, mmax);
+        q_hi = _mm256_min_pd(q_hi, mmax);
+        const __m256d d_lo = _mm256_mul_pd(q_lo, _mm256_loadu_pd(step + i));
+        const __m256d d_hi =
+            _mm256_mul_pd(q_hi, _mm256_loadu_pd(step + i + 4));
+        const __m256 deq = _mm256_set_m128(_mm256_cvtpd_ps(d_hi),
+                                           _mm256_cvtpd_ps(d_lo));
+        _mm256_storeu_ps(out + i, _mm256_or_ps(deq, sign));
+        if (mant_out) {
+            // q is integral and <= 2^24 - 1, so the int conversion is
+            // exact under any MXCSR rounding mode.
+            const __m256i q32 = _mm256_set_m128i(_mm256_cvtpd_epi32(q_hi),
+                                                 _mm256_cvtpd_epi32(q_lo));
+            const __m256i neg =
+                _mm256_srai_epi32(_mm256_castps_si256(sign), 31);
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i*>(mant_out + i),
+                _mm256_sub_epi32(_mm256_xor_si256(q32, neg), neg));
+        }
+    }
+    for (; i < n; ++i) {
+        const double a = static_cast<double>(absv[i]);
+        double q = ROUND == _MM_FROUND_TO_ZERO ? std::trunc(a * inv_step[i])
+                                               : std::nearbyint(a * inv_step[i]);
+        q = std::min(q, mant_max_d);
+        const double deq = q * step[i];
+        const bool neg = std::signbit(in[i]);
+        out[i] = static_cast<float>(neg ? -deq : deq);
+        if (mant_out)
+            mant_out[i] = static_cast<std::int32_t>(neg ? -q : q);
+    }
+}
+
+/**
+ * Quantize one block (n <= k1 <= kStackBlock).  Returns the shared
+ * exponent.  Falls back to the reference for the exactness edge cases
+ * documented at the top of the file.
+ */
+int
+avx2_quantize_block(const QuantPlan& plan, const float* in, std::size_t n,
+                    float* out, const Rounder& rounder,
+                    std::uint8_t* tau_out, std::int32_t* mant_out)
+{
+    MX_CHECK_ARG(n <= static_cast<std::size_t>(plan.k1) && n <= kStackBlock,
+                 "quantize_block: block larger than k1");
+    alignas(32) float absv[kStackBlock];
+    alignas(32) double step[kStackBlock];
+    alignas(32) double inv_step[kStackBlock];
+    std::uint8_t tau_local[kStackBlock];
+
+    // |x| pass + block amax.  NaNs are tracked explicitly (maxps does
+    // not propagate them stickily) so NaN-bearing blocks can take the
+    // reference path — both kernels then agree on such inputs.
+    const __m256 abs_mask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    __m256 acc = _mm256_setzero_ps();
+    __m256 nan_acc = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 a = _mm256_and_ps(_mm256_loadu_ps(in + i), abs_mask);
+        _mm256_storeu_ps(absv + i, a);
+        acc = _mm256_max_ps(acc, a);
+        nan_acc = _mm256_or_ps(nan_acc, _mm256_cmp_ps(a, a, _CMP_UNORD_Q));
+    }
+    bool has_nan = _mm256_movemask_ps(nan_acc) != 0;
+    float amax = hmax(acc);
+    for (; i < n; ++i) {
+        const float a = std::fabs(in[i]);
+        absv[i] = a;
+        amax = std::max(amax, a);
+        has_nan |= a != a;
+    }
+
+    if (amax == 0.0f || has_nan)
+        return reference_quantize_block(plan, in, n, out, rounder, tau_out,
+                                        mant_out);
+    int ex;
+    std::frexp(amax, &ex);
+    const int shared_e = std::clamp(ex - 1, plan.e_min, plan.e_max);
+    if (shared_e < plan.beta - 127) {
+        // A zero/subnormal sub-block would not clamp to tau = beta; let
+        // the reference handle this (requires |amax| below ~2^-112).
+        return reference_quantize_block(plan, in, n, out, rounder, tau_out,
+                                        mant_out);
+    }
+
+    // Sub-block shifts from the float exponent field: for normal
+    // sub-maxima the field is exactly floor(log2()); zero or subnormal
+    // sub-maxima read as -127, which the guard above proves clamps to
+    // beta just like the reference's explicit handling.
+    std::uint8_t* taus = tau_out ? tau_out : tau_local;
+    const std::size_t k2 = static_cast<std::size_t>(plan.k2);
+    const std::size_t n_sub = plan.num_sub_blocks(n);
+    for (std::size_t sub = 0; sub < n_sub; ++sub) {
+        const std::size_t lo = sub * k2;
+        const std::size_t hi = std::min(n, lo + k2);
+        float sub_amax = 0.0f;
+        for (std::size_t j = lo; j < hi; ++j)
+            sub_amax = std::max(sub_amax, absv[j]);
+        const int sub_e =
+            static_cast<int>(std::bit_cast<std::uint32_t>(sub_amax) >> 23) -
+            127;
+        const int tau = std::clamp(shared_e - sub_e, 0, plan.beta);
+        taus[sub] = static_cast<std::uint8_t>(tau);
+        const int shift = shared_e - tau - (plan.m - 1);
+        const double s = pow2d(shift);
+        const double is = pow2d(-shift);
+        for (std::size_t j = lo; j < hi; ++j) {
+            step[j] = s;
+            inv_step[j] = is;
+        }
+    }
+
+    if (rounder.mode() == RoundingMode::TowardZero)
+        element_loop<_MM_FROUND_TO_ZERO>(in, absv, n, step, inv_step,
+                                         plan.mant_max_d, out, mant_out);
+    else
+        element_loop<_MM_FROUND_TO_NEAREST_INT>(in, absv, n, step, inv_step,
+                                                plan.mant_max_d, out,
+                                                mant_out);
+    return shared_e;
+}
+
+/** True when the vector path can honour @p rounder exactly. */
+bool
+vectorizable(const Rounder& rounder)
+{
+    return rounder.mode() == RoundingMode::NearestEven ||
+           rounder.mode() == RoundingMode::TowardZero;
+}
+
+class Avx2Kernel final : public QuantKernel
+{
+  public:
+    const char* name() const override { return "avx2"; }
+
+    void
+    quantize(const QuantPlan& plan, std::span<const float> in,
+             std::span<float> out, const Rounder& rounder) const override
+    {
+        MX_CHECK_ARG(in.size() == out.size(), "quantize: size mismatch");
+        const std::size_t k1 = static_cast<std::size_t>(plan.k1);
+        if (!vectorizable(rounder) || k1 > kStackBlock) {
+            scalar_kernel().quantize(plan, in, out, rounder);
+            return;
+        }
+        for (std::size_t off = 0; off < in.size(); off += k1) {
+            const std::size_t n = std::min(k1, in.size() - off);
+            avx2_quantize_block(plan, in.data() + off, n, out.data() + off,
+                                rounder, nullptr, nullptr);
+        }
+    }
+
+    void
+    quantize_block(const QuantPlan& plan, std::span<const float> in,
+                   std::span<float> out, const Rounder& rounder,
+                   Pow2BlockEncoding* enc) const override
+    {
+        MX_CHECK_ARG(in.size() == out.size(),
+                     "quantize_block: size mismatch");
+        if (!vectorizable(rounder) ||
+            static_cast<std::size_t>(plan.k1) > kStackBlock) {
+            scalar_kernel().quantize_block(plan, in, out, rounder, enc);
+            return;
+        }
+        if (!enc) {
+            avx2_quantize_block(plan, in.data(), in.size(), out.data(),
+                                rounder, nullptr, nullptr);
+            return;
+        }
+        enc->sub_shift.assign(plan.num_sub_blocks(in.size()), 0);
+        enc->mantissa.assign(in.size(), 0);
+        enc->shared_exp = avx2_quantize_block(
+            plan, in.data(), in.size(), out.data(), rounder,
+            enc->sub_shift.data(), enc->mantissa.data());
+    }
+
+    void
+    quantize_pack(const QuantPlan& plan, std::span<const float> in,
+                  const Rounder& rounder, BitWriter& writer) const override
+    {
+        const std::size_t k1 = static_cast<std::size_t>(plan.k1);
+        if (!vectorizable(rounder) || k1 > kStackBlock) {
+            scalar_kernel().quantize_pack(plan, in, rounder, writer);
+            return;
+        }
+        alignas(32) float out[kStackBlock];
+        std::uint8_t taus[kStackBlock];
+        alignas(32) std::int32_t mant[kStackBlock];
+        for (std::size_t off = 0; off < in.size(); off += k1) {
+            const std::size_t n = std::min(k1, in.size() - off);
+            const int shared = avx2_quantize_block(
+                plan, in.data() + off, n, out, rounder, taus, mant);
+            detail::write_block_bits(plan, shared, taus,
+                                     plan.num_sub_blocks(n), mant, n,
+                                     writer);
+        }
+    }
+
+    void
+    dequantize_block(const QuantPlan& plan, const Pow2BlockEncoding& enc,
+                     std::span<float> out) const override
+    {
+        const std::size_t n = out.size();
+        MX_CHECK_ARG(n == enc.mantissa.size(),
+                     "dequantize_block: size mismatch");
+        MX_CHECK_ARG(enc.sub_shift.size() >= plan.num_sub_blocks(n),
+                     "dequantize_block: missing sub-shifts");
+        if (n > kStackBlock) {
+            scalar_kernel().dequantize_block(plan, enc, out);
+            return;
+        }
+        alignas(32) double step[kStackBlock];
+        const std::size_t k2 = static_cast<std::size_t>(plan.k2);
+        const std::size_t n_sub = plan.num_sub_blocks(n);
+        for (std::size_t sub = 0; sub < n_sub; ++sub) {
+            const std::size_t lo = sub * k2;
+            const std::size_t hi = std::min(n, lo + k2);
+            const double s =
+                pow2d(enc.shared_exp - enc.sub_shift[sub] - (plan.m - 1));
+            for (std::size_t j = lo; j < hi; ++j)
+                step[j] = s;
+        }
+        const std::int32_t* mant = enc.mantissa.data();
+        std::size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+            const __m256i m = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(mant + i));
+            const __m256d lo =
+                _mm256_cvtepi32_pd(_mm256_castsi256_si128(m));
+            const __m256d hi =
+                _mm256_cvtepi32_pd(_mm256_extracti128_si256(m, 1));
+            const __m256d v_lo =
+                _mm256_mul_pd(lo, _mm256_loadu_pd(step + i));
+            const __m256d v_hi =
+                _mm256_mul_pd(hi, _mm256_loadu_pd(step + i + 4));
+            _mm256_storeu_ps(out.data() + i,
+                             _mm256_set_m128(_mm256_cvtpd_ps(v_hi),
+                                             _mm256_cvtpd_ps(v_lo)));
+        }
+        for (; i < n; ++i)
+            out[i] =
+                static_cast<float>(static_cast<double>(mant[i]) * step[i]);
+    }
+};
+
+} // namespace
+
+const QuantKernel*
+avx2_kernel()
+{
+    static const Avx2Kernel kernel;
+    return &kernel;
+}
+
+} // namespace kernels
+} // namespace core
+} // namespace mx
+
+#else // !MX_HAVE_AVX2
+
+namespace mx {
+namespace core {
+namespace kernels {
+
+const QuantKernel*
+avx2_kernel()
+{
+    return nullptr;
+}
+
+} // namespace kernels
+} // namespace core
+} // namespace mx
+
+#endif // MX_HAVE_AVX2

@@ -1,0 +1,66 @@
+#include "core/kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mx {
+namespace core {
+namespace kernels {
+
+namespace {
+
+bool
+env_forces_scalar()
+{
+    const char* v = std::getenv("MX_FORCE_SCALAR");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+/** Cached selection; nullptr = not resolved yet. */
+std::atomic<const QuantKernel*> g_active{nullptr};
+
+const QuantKernel*
+resolve()
+{
+    if (env_forces_scalar())
+        return &scalar_kernel();
+    if (avx2_supported())
+        return avx2_kernel();
+    return &scalar_kernel();
+}
+
+} // namespace
+
+bool
+avx2_supported()
+{
+#if defined(MX_HAVE_AVX2) && (defined(__GNUC__) || defined(__clang__))
+    return avx2_kernel() != nullptr && __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+const QuantKernel&
+active_kernel()
+{
+    const QuantKernel* k = g_active.load(std::memory_order_acquire);
+    if (!k) {
+        // Benign race: concurrent first calls resolve to the same kernel.
+        k = resolve();
+        g_active.store(k, std::memory_order_release);
+    }
+    return *k;
+}
+
+void
+set_force_scalar(bool force)
+{
+    g_active.store(force ? &scalar_kernel() : resolve(),
+                   std::memory_order_release);
+}
+
+} // namespace kernels
+} // namespace core
+} // namespace mx

@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * Runtime kernel selection for the pow2-block quantization hot path.
+ *
+ * The active kernel is resolved once, lazily, from:
+ *   1. the MX_FORCE_SCALAR environment variable — any value other than
+ *      "" or "0" pins the portable scalar kernel (CI runs the whole test
+ *      suite this way to keep the fallback path green on hosts without
+ *      AVX2);
+ *   2. a CPU feature probe — AVX2 when the binary was built with AVX2
+ *      support (see MX_HAVE_AVX2 in src/core/CMakeLists.txt) and the
+ *      host CPU reports it;
+ *   3. the scalar reference otherwise.
+ *
+ * Tests can flip the selection at runtime with set_force_scalar().
+ */
+
+#include "core/kernels/quant_kernel.h"
+
+namespace mx {
+namespace core {
+namespace kernels {
+
+/** The portable reference implementation (always available). */
+const QuantKernel& scalar_kernel();
+
+/**
+ * The AVX2 implementation, or nullptr when the build lacks AVX2 support.
+ * Callers must check avx2_supported() before executing it.
+ */
+const QuantKernel* avx2_kernel();
+
+/** True when an AVX2 kernel exists AND the host CPU can run it. */
+bool avx2_supported();
+
+/**
+ * The kernel every front-end (Quantizer, quantize_pow2, formats::pack)
+ * routes through.  First call reads MX_FORCE_SCALAR and probes the CPU;
+ * the choice is then cached.
+ */
+const QuantKernel& active_kernel();
+
+/**
+ * Test hook: pin (true) or release (false) the scalar kernel,
+ * overriding both the environment and the CPU probe.  Releasing
+ * re-resolves from the environment on the next active_kernel() call.
+ */
+void set_force_scalar(bool force);
+
+} // namespace kernels
+} // namespace core
+} // namespace mx

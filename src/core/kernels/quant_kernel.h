@@ -1,0 +1,192 @@
+#pragma once
+
+/**
+ * @file
+ * The plan/execute split of the BDR pow2-block quantization hot path.
+ *
+ * A QuantPlan captures every per-format constant of a SignMagnitude /
+ * Pow2Hw format (BFP when d2 == 0, MX when d2 > 0) once, so the
+ * per-element kernels run without touching the BdrFormat descriptor.
+ * QuantKernel is the execute side: an implementation provides contiguous
+ * quantize (fake quantization of a whole span), per-block quantize with
+ * integer encoding output, fused quantize+pack straight into an LSB-first
+ * bit stream, and block dequantize.
+ *
+ * Implementations:
+ *  - scalar_kernel(): the portable reference, numerically identical to
+ *    the historical core::quantize_pow2_block loop.
+ *  - avx2_kernel():   AVX2 vectorization of the same arithmetic; the
+ *    test suite (tests/test_kernels.cpp) asserts its output — floats,
+ *    encodings, and packed bit streams — is bit-identical to the scalar
+ *    kernel for every format, size, and rounding mode.
+ *
+ * Selection happens at runtime in kernels/dispatch.h (CPU feature probe,
+ * overridable with MX_FORCE_SCALAR=1).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bdr_format.h"
+#include "core/bitstream.h"
+#include "core/rounding.h"
+
+namespace mx {
+namespace core {
+
+/**
+ * Integer encoding of one k1-block under power-of-two two-level scaling
+ * (the in-memory form consumed by the hardware dot-product pipeline).
+ */
+struct Pow2BlockEncoding
+{
+    /** Unbiased shared exponent E (clamped to the d1-bit biased range). */
+    int shared_exp = 0;
+    /** Per-sub-block shift tau_i in [0, 2^d2 - 1]; size = ceil(n/k2). */
+    std::vector<std::uint8_t> sub_shift;
+    /** Signed mantissas, |M_i| <= 2^m - 1; size = n. */
+    std::vector<std::int32_t> mantissa;
+
+    /** Dequantized value of element @p i given the format's m. */
+    double decode(const BdrFormat& fmt, std::size_t i) const;
+};
+
+namespace kernels {
+
+/**
+ * Precomputed per-format constants of the pow2-block quantization
+ * function — the "plan" half of the plan/execute split.  Building a plan
+ * is cheap (a handful of integer ops), but hoisting it out of the block
+ * loop lets front-ends amortize the format checks over whole tensors.
+ */
+struct QuantPlan
+{
+    int m = 0;         ///< Explicit mantissa bits.
+    int d1 = 0;        ///< Shared-exponent field width.
+    int k1 = 0;        ///< Block granularity.
+    int d2 = 0;        ///< Sub-shift field width (0 = plain BFP).
+    int k2 = 0;        ///< Sub-block granularity.
+    int e_min = 0;     ///< Smallest encodable shared exponent.
+    int e_max = 0;     ///< Largest encodable shared exponent (= bias).
+    int beta = 0;      ///< Maximum sub-block shift, 2^d2 - 1.
+    std::int32_t mant_max = 0;  ///< Mantissa saturation value, 2^m - 1.
+    double mant_max_d = 0;      ///< mant_max as a double (saturation compare).
+
+    /** Sub-blocks covering @p n elements. */
+    std::size_t
+    num_sub_blocks(std::size_t n) const
+    {
+        return (n + static_cast<std::size_t>(k2) - 1) /
+               static_cast<std::size_t>(k2);
+    }
+};
+
+/**
+ * Build the plan for @p fmt.  Throws mx::ArgumentError unless the format
+ * is a SignMagnitude element with a Pow2Hw first-level scale (the only
+ * family the block kernels implement).
+ */
+QuantPlan make_quant_plan(const BdrFormat& fmt);
+
+/**
+ * Reference block quantization (the semantics every kernel must match
+ * bit-for-bit).  Quantizes @p n <= k1 elements, writing dequantized
+ * values to @p out and, when the pointers are non-null, the raw integer
+ * encoding: @p tau_out receives num_sub_blocks(n) sub-shifts and
+ * @p mant_out receives n signed mantissas.
+ *
+ * @return the block's shared exponent (e_min for an all-zero block).
+ */
+int reference_quantize_block(const QuantPlan& plan, const float* in,
+                             std::size_t n, float* out,
+                             const Rounder& rounder,
+                             std::uint8_t* tau_out, std::int32_t* mant_out);
+
+/**
+ * Reference block dequantization: @p mant / @p taus / @p shared_exp as
+ * produced by reference_quantize_block, written back as floats.
+ */
+void reference_dequantize_block(const QuantPlan& plan, int shared_exp,
+                                const std::uint8_t* taus,
+                                const std::int32_t* mant, std::size_t n,
+                                float* out);
+
+/**
+ * The execute side: one virtual call per span (or per block for the
+ * _block entry points), dispatched once at the tensor level.
+ */
+class QuantKernel
+{
+  public:
+    virtual ~QuantKernel() = default;
+
+    /** Implementation name for reports and tests ("scalar", "avx2"). */
+    virtual const char* name() const = 0;
+
+    /**
+     * Fake-quantize a whole contiguous span: split into k1-blocks (the
+     * tail block may be short) and quantize each.  in/out may alias.
+     */
+    virtual void quantize(const QuantPlan& plan, std::span<const float> in,
+                          std::span<float> out,
+                          const Rounder& rounder) const = 0;
+
+    /**
+     * Quantize one block (n <= k1), optionally capturing the integer
+     * encoding.
+     */
+    virtual void quantize_block(const QuantPlan& plan,
+                                std::span<const float> in,
+                                std::span<float> out, const Rounder& rounder,
+                                Pow2BlockEncoding* enc) const = 0;
+
+    /**
+     * Fused quantize+pack: quantize a whole span and emit the packed
+     * block stream ([biased shared exp][sub-shifts][sign|mantissa codes]
+     * per block, LSB-first) without materializing per-block heap
+     * encodings.  This is the formats::pack fast path.
+     */
+    virtual void quantize_pack(const QuantPlan& plan,
+                               std::span<const float> in,
+                               const Rounder& rounder,
+                               BitWriter& writer) const = 0;
+
+    /** Dequantize one encoded block into @p out (size = mantissa count). */
+    virtual void dequantize_block(const QuantPlan& plan,
+                                  const Pow2BlockEncoding& enc,
+                                  std::span<float> out) const = 0;
+};
+
+namespace detail {
+
+/**
+ * Emit one quantized block's fields into the packed stream — the layout
+ * documented in formats/block_codec.h ([d1-bit biased shared exponent]
+ * [n_sub x d2-bit sub-shifts][n x (sign | mantissa << 1) codes]).
+ * Shared by every kernel's fused quantize+pack path so the bit stream
+ * is implementation-invariant by construction.
+ */
+inline void
+write_block_bits(const QuantPlan& plan, int shared_exp,
+                 const std::uint8_t* taus, std::size_t n_sub,
+                 const std::int32_t* mant, std::size_t n, BitWriter& w)
+{
+    w.write(static_cast<std::uint64_t>(shared_exp + plan.e_max), plan.d1);
+    for (std::size_t s = 0; s < n_sub; ++s)
+        w.write(taus[s], plan.d2);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t man = mant[i];
+        const std::uint64_t sign = man < 0 ? 1 : 0;
+        const std::uint64_t mag =
+            static_cast<std::uint64_t>(man < 0 ? -man : man);
+        w.write(sign | (mag << 1), 1 + plan.m);
+    }
+}
+
+} // namespace detail
+
+} // namespace kernels
+} // namespace core
+} // namespace mx

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/kernels/dispatch.h"
 #include "core/scalar_fp.h"
 
 namespace mx {
@@ -22,81 +23,16 @@ max_abs_exponent(std::span<const float> x)
     return ex - 1; // 2^ex_ <= amax < 2^(ex_+1) with ex_ = ex - 1
 }
 
-double
-Pow2BlockEncoding::decode(const BdrFormat& fmt, std::size_t i) const
-{
-    MX_CHECK_ARG(i < mantissa.size(), "decode: index out of range");
-    std::size_t sub = i / static_cast<std::size_t>(fmt.k2);
-    int tau = sub < sub_shift.size() ? sub_shift[sub] : 0;
-    return static_cast<double>(mantissa[i]) *
-           std::ldexp(1.0, shared_exp - tau - (fmt.m - 1));
-}
-
 void
 quantize_pow2_block(const BdrFormat& fmt, std::span<const float> in,
                     std::span<float> out, const Rounder& rounder,
                     Pow2BlockEncoding* enc)
 {
-    MX_CHECK_ARG(fmt.elem == ElementKind::SignMagnitude &&
-                 fmt.s_kind == ScaleKind::Pow2Hw,
-                 fmt.name << ": quantize_pow2_block needs a pow2 HW format");
+    const kernels::QuantPlan plan = kernels::make_quant_plan(fmt);
     MX_CHECK_ARG(in.size() == out.size(), "quantize_pow2_block: size mismatch");
     MX_CHECK_ARG(in.size() <= static_cast<std::size_t>(fmt.k1),
                  "quantize_pow2_block: block larger than k1");
-
-    const int e_max = (1 << (fmt.d1 - 1)) - 1;
-    const int e_min = 1 - (1 << (fmt.d1 - 1));
-    const int beta = fmt.beta();
-    const std::int32_t mant_max = (1 << fmt.m) - 1;
-    const std::size_t k2 = static_cast<std::size_t>(fmt.k2);
-    const std::size_t n_sub = (in.size() + k2 - 1) / k2;
-
-    if (enc) {
-        enc->sub_shift.assign(n_sub, 0);
-        enc->mantissa.assign(in.size(), 0);
-    }
-
-    int raw_e = max_abs_exponent(in);
-    if (raw_e == kAllZeroExponent) {
-        std::fill(out.begin(), out.end(), 0.0f);
-        if (enc) {
-            enc->shared_exp = e_min;
-            std::fill(enc->sub_shift.begin(), enc->sub_shift.end(),
-                      static_cast<std::uint8_t>(beta));
-        }
-        return;
-    }
-    int shared_e = std::clamp(raw_e, e_min, e_max);
-    if (enc)
-        enc->shared_exp = shared_e;
-
-    for (std::size_t sub = 0; sub < n_sub; ++sub) {
-        std::size_t lo = sub * k2;
-        std::size_t hi = std::min(in.size(), lo + k2);
-        int sub_e = max_abs_exponent(in.subspan(lo, hi - lo));
-        int tau;
-        if (sub_e == kAllZeroExponent) {
-            tau = beta;
-        } else {
-            tau = std::clamp(shared_e - sub_e, 0, beta);
-        }
-        if (enc)
-            enc->sub_shift[sub] = static_cast<std::uint8_t>(tau);
-
-        const double step = std::ldexp(1.0, shared_e - tau - (fmt.m - 1));
-        for (std::size_t i = lo; i < hi; ++i) {
-            double a = std::fabs(static_cast<double>(in[i]));
-            std::int64_t q = static_cast<std::int64_t>(rounder.round(a / step));
-            if (q > mant_max)
-                q = mant_max; // hardware saturation
-            double deq = static_cast<double>(q) * step;
-            bool neg = std::signbit(in[i]);
-            out[i] = static_cast<float>(neg ? -deq : deq);
-            if (enc)
-                enc->mantissa[i] =
-                    static_cast<std::int32_t>(neg ? -q : q);
-        }
-    }
+    kernels::active_kernel().quantize_block(plan, in, out, rounder, enc);
 }
 
 void
@@ -104,12 +40,8 @@ quantize_pow2(const BdrFormat& fmt, std::span<const float> in,
               std::span<float> out, const Rounder& rounder)
 {
     MX_CHECK_ARG(in.size() == out.size(), "quantize_pow2: size mismatch");
-    const std::size_t k1 = static_cast<std::size_t>(fmt.k1);
-    for (std::size_t off = 0; off < in.size(); off += k1) {
-        std::size_t n = std::min(k1, in.size() - off);
-        quantize_pow2_block(fmt, in.subspan(off, n), out.subspan(off, n),
-                            rounder);
-    }
+    const kernels::QuantPlan plan = kernels::make_quant_plan(fmt);
+    kernels::active_kernel().quantize(plan, in, out, rounder);
 }
 
 Quantizer::Quantizer(BdrFormat fmt, RoundingMode mode, ScalingPolicy policy,
@@ -121,6 +53,9 @@ Quantizer::Quantizer(BdrFormat fmt, RoundingMode mode, ScalingPolicy policy,
       scaler_()
 {
     fmt_.validate();
+    if (fmt_.s_kind == ScaleKind::Pow2Hw &&
+        fmt_.elem == ElementKind::SignMagnitude)
+        plan_ = kernels::make_quant_plan(fmt_);
 }
 
 void
@@ -131,7 +66,11 @@ Quantizer::operator()(std::span<const float> in, std::span<float> out)
         return;
 
     if (fmt_.s_kind == ScaleKind::Pow2Hw) {
-        quantize_pow2(fmt_, in, out, rounder_);
+        MX_CHECK_ARG(plan_.has_value(),
+                     fmt_.name << ": pow2 HW scale needs sign-magnitude "
+                                  "elements");
+        // Plan built once in the constructor; one dispatch per call.
+        kernels::active_kernel().quantize(*plan_, in, out, rounder_);
         return;
     }
 

@@ -15,11 +15,13 @@
  */
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/bdr_format.h"
 #include "core/delayed_scaler.h"
+#include "core/kernels/quant_kernel.h"
 #include "core/rounding.h"
 #include "stats/rng.h"
 
@@ -35,26 +37,14 @@ int max_abs_exponent(std::span<const float> x);
 /** Sentinel returned by max_abs_exponent for all-zero input. */
 constexpr int kAllZeroExponent = -100000;
 
-/**
- * Integer encoding of one k1-block under power-of-two two-level scaling
- * (the in-memory form consumed by the hardware dot-product pipeline).
- */
-struct Pow2BlockEncoding
-{
-    /** Unbiased shared exponent E (clamped to the d1-bit biased range). */
-    int shared_exp = 0;
-    /** Per-sub-block shift tau_i in [0, 2^d2 - 1]; size = ceil(n/k2). */
-    std::vector<std::uint8_t> sub_shift;
-    /** Signed mantissas, |M_i| <= 2^m - 1; size = n. */
-    std::vector<std::int32_t> mantissa;
-
-    /** Dequantized value of element @p i given the format's m. */
-    double decode(const BdrFormat& fmt, std::size_t i) const;
-};
+// Pow2BlockEncoding (the integer encoding of one k1-block) now lives in
+// core/kernels/quant_kernel.h with the plan/execute kernel layer; it is
+// re-exported here unchanged for the existing call sites.
 
 /**
  * Quantize one block (n <= k1 elements) of a SignMagnitude pow2-scaled
- * format (BFP when d2 == 0, MX when d2 > 0).
+ * format (BFP when d2 == 0, MX when d2 > 0), through the runtime-
+ * dispatched kernel (kernels/dispatch.h).
  *
  * The shared exponent is the max element exponent in the block; each
  * sub-block of k2 elements gets a shift tau = min(E - E_sub, 2^d2 - 1);
@@ -73,7 +63,7 @@ void quantize_pow2_block(const BdrFormat& fmt, std::span<const float> in,
 
 /**
  * Quantize a whole span by splitting it into k1-blocks (tail block may be
- * short) and applying quantize_pow2_block to each.
+ * short); one plan + one kernel dispatch for the whole span.
  */
 void quantize_pow2(const BdrFormat& fmt, std::span<const float> in,
                    std::span<float> out, const Rounder& rounder);
@@ -147,6 +137,8 @@ class Quantizer
     Rounder rounder_;
     ScalingPolicy policy_;
     DelayedScaler scaler_;
+    /** Cached kernel plan (engaged only for Pow2Hw formats). */
+    std::optional<kernels::QuantPlan> plan_;
 };
 
 /**

@@ -1,0 +1,169 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mx {
+namespace core {
+
+namespace {
+
+/** True while the current thread is executing pool work. */
+thread_local bool tl_in_pool = false;
+
+std::size_t
+env_threads()
+{
+    const char* v = std::getenv("MX_THREADS");
+    if (!v || v[0] == '\0')
+        return 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || parsed < 1)
+        return 0;
+    return static_cast<std::size_t>(parsed);
+}
+
+} // namespace
+
+std::size_t
+ThreadPool::default_thread_count()
+{
+    const std::size_t from_env = env_threads();
+    if (from_env > 0)
+        return from_env;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    const std::size_t lanes =
+        num_threads > 0 ? num_threads : default_thread_count();
+    num_workers_ = lanes - 1;
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+}
+
+ThreadPool&
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::ensure_started()
+{
+    if (started_)
+        return;
+    started_ = true;
+    workers_.reserve(num_workers_);
+    for (std::size_t i = 0; i < num_workers_; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+void
+ThreadPool::run_items()
+{
+    const bool was_in_pool = tl_in_pool;
+    tl_in_pool = true;
+    const std::function<void(std::size_t)>* body = body_;
+    const std::size_t n = n_;
+    const std::size_t chunk = chunk_;
+    for (;;) {
+        const std::size_t begin =
+            next_.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n)
+            break;
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+            try {
+                (*body)(i);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lk(mu_);
+                    if (!error_)
+                        error_ = std::current_exception();
+                }
+                next_.store(n, std::memory_order_relaxed); // drain
+                tl_in_pool = was_in_pool;
+                return;
+            }
+        }
+    }
+    tl_in_pool = was_in_pool;
+}
+
+void
+ThreadPool::worker_loop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::unique_lock<std::mutex> lk(mu_);
+        work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        if (!body_)
+            continue; // woke after the job already finished
+        ++active_;
+        lk.unlock();
+        run_items();
+        lk.lock();
+        if (--active_ == 0)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallel_for(std::size_t n,
+                         const std::function<void(std::size_t)>& body)
+{
+    if (n == 0)
+        return;
+    // Inline when the pool adds nothing (single lane, tiny loop) or when
+    // called from inside a pool lane (nested parallelism would deadlock
+    // on run_mu_; the outer loop already owns the fan-out).
+    if (num_workers_ == 0 || n == 1 || tl_in_pool) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    ensure_started();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        body_ = &body;
+        n_ = n;
+        chunk_ = std::max<std::size_t>(1, n / (thread_count() * 8));
+        next_.store(0, std::memory_order_relaxed);
+        error_ = nullptr;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    run_items(); // the caller is a lane too
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        done_cv_.wait(lk, [&] { return active_ == 0; });
+        body_ = nullptr;
+        err = error_;
+        error_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace core
+} // namespace mx

@@ -1,0 +1,99 @@
+#pragma once
+
+/**
+ * @file
+ * A small shared worker pool for data-parallel loops — the execution
+ * substrate of the multi-threaded Figure 7 design-space sweep and of any
+ * future batched serving path.
+ *
+ * Design points:
+ *  - lazily started: no threads exist until the first parallel_for();
+ *  - sized by the MX_THREADS environment variable (when constructed
+ *    with num_threads == 0), falling back to the hardware concurrency;
+ *  - the calling thread participates as a lane, so a pool of size 1
+ *    never spawns a thread and runs the loop inline;
+ *  - parallel_for(n, body) invokes body(i) exactly once for every
+ *    i in [0, n) — each index writes its own output slot, so results
+ *    are identical for any thread count (the sweep determinism test in
+ *    tests/test_sweep.cpp pins this);
+ *  - nested/concurrent parallel_for calls degrade gracefully: a call
+ *    from inside a pool lane runs inline on that lane.
+ *
+ * Exceptions thrown by body are caught, the loop drained, and the first
+ * one rethrown on the calling thread.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mx {
+namespace core {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads total lanes including the caller; 0 resolves
+     *        MX_THREADS, then std::thread::hardware_concurrency().
+     */
+    explicit ThreadPool(std::size_t num_threads = 0);
+
+    /** Joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Total lanes (worker threads + the calling thread). */
+    std::size_t thread_count() const { return num_workers_ + 1; }
+
+    /**
+     * Run body(i) for every i in [0, n), fanning out across the pool.
+     * Blocks until every index completed; rethrows the first exception.
+     */
+    void parallel_for(std::size_t n,
+                      const std::function<void(std::size_t)>& body);
+
+    /**
+     * The process-wide pool (sized from MX_THREADS at first use).  Use
+     * a locally constructed pool instead when a specific thread count
+     * is required, e.g. for determinism tests.
+     */
+    static ThreadPool& shared();
+
+    /** The lane count a default-constructed pool resolves to. */
+    static std::size_t default_thread_count();
+
+  private:
+    void ensure_started();
+    void worker_loop();
+    void run_items();
+
+    std::size_t num_workers_ = 0; ///< Lanes - 1 (threads actually spawned).
+    std::vector<std::thread> workers_;
+    bool started_ = false;
+
+    std::mutex run_mu_; ///< Serializes top-level parallel_for calls.
+
+    std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+    std::size_t active_ = 0;
+    const std::function<void(std::size_t)>* body_ = nullptr;
+    std::size_t n_ = 0;
+    std::size_t chunk_ = 1;
+    std::atomic<std::size_t> next_{0};
+    std::exception_ptr error_;
+};
+
+} // namespace core
+} // namespace mx

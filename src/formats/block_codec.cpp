@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/kernels/dispatch.h"
 #include "core/scalar_fp.h"
 #include "formats/packed.h"
 
@@ -35,52 +36,40 @@ void
 pack_pow2(const BdrFormat& fmt, std::span<const float> values,
           const Rounder& rounder, BitWriter& w)
 {
-    const std::size_t k1 = static_cast<std::size_t>(fmt.k1);
-    const int exp_bias = (1 << (fmt.d1 - 1)) - 1;
-    std::vector<float> scratch;
-    for (std::size_t off = 0; off < values.size(); off += k1) {
-        std::size_t n = std::min(k1, values.size() - off);
-        scratch.resize(n);
-        Pow2BlockEncoding enc;
-        core::quantize_pow2_block(fmt, values.subspan(off, n),
-                                  std::span<float>(scratch), rounder, &enc);
-        w.write(static_cast<std::uint64_t>(enc.shared_exp + exp_bias),
-                fmt.d1);
-        for (std::uint8_t tau : enc.sub_shift)
-            w.write(tau, fmt.d2);
-        for (std::int32_t man : enc.mantissa) {
-            std::uint64_t sign = man < 0 ? 1 : 0;
-            std::uint64_t mag = static_cast<std::uint64_t>(std::abs(man));
-            w.write(sign | (mag << 1), 1 + fmt.m);
-        }
-    }
+    // Fused quantize+pack: one kernel dispatch for the whole span, no
+    // per-block heap encodings (see kernels/quant_kernel.h).
+    const core::kernels::QuantPlan plan = core::kernels::make_quant_plan(fmt);
+    core::kernels::active_kernel().quantize_pack(plan, values, rounder, w);
 }
 
 void
 unpack_pow2(const BdrFormat& fmt, std::size_t n, BitReader& r,
             std::vector<float>& out)
 {
+    const core::kernels::QuantPlan plan = core::kernels::make_quant_plan(fmt);
+    const core::kernels::QuantKernel& kernel = core::kernels::active_kernel();
     const std::size_t k1 = static_cast<std::size_t>(fmt.k1);
-    const std::size_t k2 = static_cast<std::size_t>(fmt.k2);
-    const int exp_bias = (1 << (fmt.d1 - 1)) - 1;
+    const int exp_bias = plan.e_max;
     out.resize(n);
+    Pow2BlockEncoding enc; // reused across blocks (assign keeps capacity)
     for (std::size_t off = 0; off < n; off += k1) {
-        std::size_t len = std::min(k1, n - off);
-        int shared_e =
-            static_cast<int>(r.read(fmt.d1)) - exp_bias;
-        std::size_t n_sub = (len + k2 - 1) / k2;
-        std::vector<int> taus(n_sub, 0);
+        const std::size_t len = std::min(k1, n - off);
+        enc.shared_exp = static_cast<int>(r.read(fmt.d1)) - exp_bias;
+        const std::size_t n_sub = plan.num_sub_blocks(len);
+        enc.sub_shift.assign(n_sub, 0);
         for (std::size_t s = 0; s < n_sub; ++s)
-            taus[s] = fmt.d2 > 0 ? static_cast<int>(r.read(fmt.d2)) : 0;
+            enc.sub_shift[s] = fmt.d2 > 0
+                ? static_cast<std::uint8_t>(r.read(fmt.d2))
+                : 0;
+        enc.mantissa.assign(len, 0);
         for (std::size_t i = 0; i < len; ++i) {
-            std::uint64_t code = r.read(1 + fmt.m);
-            bool neg = (code & 1) != 0;
-            std::int64_t mag = static_cast<std::int64_t>(code >> 1);
-            int tau = taus[i / k2];
-            double v = static_cast<double>(mag) *
-                       std::ldexp(1.0, shared_e - tau - (fmt.m - 1));
-            out[off + i] = static_cast<float>(neg ? -v : v);
+            const std::uint64_t code = r.read(1 + fmt.m);
+            const bool neg = (code & 1) != 0;
+            const std::int32_t mag = static_cast<std::int32_t>(code >> 1);
+            enc.mantissa[i] = neg ? -mag : mag;
         }
+        kernel.dequantize_block(plan, enc,
+                                std::span<float>(out.data() + off, len));
     }
 }
 

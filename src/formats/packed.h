@@ -4,91 +4,19 @@
  * @file
  * Bit-granular serialization used by the packed format codecs.
  *
- * BDR formats are not byte-aligned (an MX9 element is 8 bits but its
- * block carries 8 + 8x1 extra scale bits; an MX4 element is 3 bits), so
- * the codecs write fields LSB-first into a byte stream.  The memory
- * model's packing-efficiency numbers (Fig 7 x-axis) come from the exact
- * same field widths.
+ * The implementation moved to core/bitstream.h so the kernel layer
+ * (src/core/kernels/) can fuse quantization and packing without a
+ * core -> formats dependency inversion; this header keeps the historical
+ * mx::formats spelling for codec-side call sites.
  */
 
-#include <cstdint>
-#include <vector>
-
-#include "core/check.h"
+#include "core/bitstream.h"
 
 namespace mx {
 namespace formats {
 
-/** Appends bit fields (LSB-first within the stream) to a byte vector. */
-class BitWriter
-{
-  public:
-    /** Append the low @p bits of @p value (bits in [0, 64]). */
-    void
-    write(std::uint64_t value, int bits)
-    {
-        MX_CHECK_ARG(bits >= 0 && bits <= 64, "BitWriter: bad field width");
-        for (int i = 0; i < bits; ++i) {
-            if (bit_pos_ == 0)
-                bytes_.push_back(0);
-            if ((value >> i) & 1)
-                bytes_.back() |= static_cast<std::uint8_t>(1u << bit_pos_);
-            bit_pos_ = (bit_pos_ + 1) & 7;
-        }
-    }
-
-    /** Total number of bits written. */
-    std::size_t
-    bit_count() const
-    {
-        if (bytes_.empty())
-            return 0;
-        return bytes_.size() * 8 - (bit_pos_ == 0 ? 0 : 8 - bit_pos_);
-    }
-
-    /** The accumulated byte stream (final partial byte zero-padded). */
-    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
-
-    /** Move the stream out. */
-    std::vector<std::uint8_t> take() { return std::move(bytes_); }
-
-  private:
-    std::vector<std::uint8_t> bytes_;
-    int bit_pos_ = 0;
-};
-
-/** Reads bit fields written by BitWriter, in the same order. */
-class BitReader
-{
-  public:
-    explicit BitReader(const std::vector<std::uint8_t>& bytes)
-        : bytes_(bytes)
-    {
-    }
-
-    /** Read the next @p bits as an unsigned value. */
-    std::uint64_t
-    read(int bits)
-    {
-        MX_CHECK_ARG(bits >= 0 && bits <= 64, "BitReader: bad field width");
-        std::uint64_t v = 0;
-        for (int i = 0; i < bits; ++i) {
-            std::size_t byte = pos_ >> 3;
-            MX_CHECK_ARG(byte < bytes_.size(), "BitReader: out of data");
-            if ((bytes_[byte] >> (pos_ & 7)) & 1)
-                v |= (1ull << i);
-            ++pos_;
-        }
-        return v;
-    }
-
-    /** Bits consumed so far. */
-    std::size_t bit_position() const { return pos_; }
-
-  private:
-    const std::vector<std::uint8_t>& bytes_;
-    std::size_t pos_ = 0;
-};
+using core::BitReader;
+using core::BitWriter;
 
 } // namespace formats
 } // namespace mx

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "core/check.h"
+#include "core/kernels/dispatch.h"
 
 namespace mx {
 namespace nn {
@@ -17,14 +18,26 @@ quantize_rows(const Tensor& t, const core::BdrFormat& fmt,
     Tensor out(t.shape());
     if (fmt.s_kind == core::ScaleKind::Pow2Hw &&
         fmt.elem == core::ElementKind::SignMagnitude) {
+        // Plan once per tensor, then execute through the dispatched
+        // kernel.  When rows are a whole number of k1-blocks, the whole
+        // tensor is one contiguous kernel call: blocks cannot straddle
+        // a row boundary, so this is exactly the per-row result.
+        const core::kernels::QuantPlan plan =
+            core::kernels::make_quant_plan(fmt);
+        const core::kernels::QuantKernel& kernel =
+            core::kernels::active_kernel();
         core::Rounder rounder(rounding);
         const std::int64_t rows = t.dim(0), cols = t.dim(1);
+        if (cols % fmt.k1 == 0) {
+            kernel.quantize(plan, t.span(), out.span(), rounder);
+            return out;
+        }
         for (std::int64_t r = 0; r < rows; ++r) {
             std::span<const float> in(t.data() + r * cols,
                                       static_cast<std::size_t>(cols));
             std::span<float> dst(out.data() + r * cols,
                                  static_cast<std::size_t>(cols));
-            core::quantize_pow2(fmt, in, dst, rounder);
+            kernel.quantize(plan, in, dst, rounder);
         }
     } else {
         // Per-tensor software scale (INT / FP / VSQ): one JIT scale for

@@ -58,20 +58,30 @@ enumerate_formats(const SweepSpec& spec)
 
 std::vector<DesignPoint>
 evaluate(const std::vector<core::BdrFormat>& formats,
-         const core::QsnrRunConfig& qsnr_cfg, const hw::CostModel& cost_model)
+         const core::QsnrRunConfig& qsnr_cfg, const hw::CostModel& cost_model,
+         core::ThreadPool& pool)
 {
-    std::vector<DesignPoint> points;
-    points.reserve(formats.size());
-    for (const auto& fmt : formats) {
-        DesignPoint p;
-        p.format = fmt;
-        p.qsnr_db = core::measure_qsnr_db(fmt, qsnr_cfg);
-        p.cost = cost_model.evaluate(fmt);
-        p.bits_per_element = fmt.bits_per_element();
-        points.push_back(std::move(p));
-    }
+    // Each index fills only its own slot and measure_qsnr_db re-seeds
+    // from qsnr_cfg.seed per call, so the shard order cannot influence
+    // the result: 1 thread and N threads produce identical vectors.
+    std::vector<DesignPoint> points(formats.size());
+    pool.parallel_for(formats.size(), [&](std::size_t i) {
+        DesignPoint& p = points[i];
+        p.format = formats[i];
+        p.qsnr_db = core::measure_qsnr_db(formats[i], qsnr_cfg);
+        p.cost = cost_model.evaluate(formats[i]);
+        p.bits_per_element = formats[i].bits_per_element();
+    });
     mark_pareto_frontier(points);
     return points;
+}
+
+std::vector<DesignPoint>
+evaluate(const std::vector<core::BdrFormat>& formats,
+         const core::QsnrRunConfig& qsnr_cfg, const hw::CostModel& cost_model)
+{
+    return evaluate(formats, qsnr_cfg, cost_model,
+                    core::ThreadPool::shared());
 }
 
 void

@@ -13,6 +13,7 @@
 
 #include "core/bdr_format.h"
 #include "core/qsnr_harness.h"
+#include "core/thread_pool.h"
 #include "hw/cost.h"
 
 namespace mx {
@@ -61,7 +62,18 @@ std::vector<core::BdrFormat> enumerate_formats(const SweepSpec& spec);
 /**
  * Evaluate formats with the shared QSNR harness and cost model and mark
  * the Pareto-optimal points (maximal QSNR at no greater cost).
+ *
+ * Points are sharded across @p pool.  Every point re-seeds its own RNG
+ * from qsnr_cfg.seed (see measure_qsnr_db), so the result vector is
+ * bit-identical for any thread count — Figure 7 numbers do not depend
+ * on MX_THREADS.
  */
+std::vector<DesignPoint> evaluate(const std::vector<core::BdrFormat>& formats,
+                                  const core::QsnrRunConfig& qsnr_cfg,
+                                  const hw::CostModel& cost_model,
+                                  core::ThreadPool& pool);
+
+/** Same, on the process-wide pool (core::ThreadPool::shared()). */
 std::vector<DesignPoint> evaluate(const std::vector<core::BdrFormat>& formats,
                                   const core::QsnrRunConfig& qsnr_cfg,
                                   const hw::CostModel& cost_model);

@@ -63,6 +63,40 @@ TEST(Pareto, EqualCostKeepsOnlyBest)
     EXPECT_TRUE(pts[1].on_pareto_frontier);
 }
 
+TEST(Evaluate, ThreadCountInvariant)
+{
+    // The Figure 7 guarantee: sharding the sweep across a pool must not
+    // change a single bit of any DesignPoint (per-point RNG re-seeding
+    // makes each point independent of shard order).
+    SweepSpec spec;
+    spec.mantissa_bits = {2, 4, 7};
+    spec.k1_values = {16, 32};
+    spec.k2_values = {0, 2, 4};
+    spec.d2_values = {1, 2};
+    auto formats = enumerate_formats(spec);
+    ASSERT_GT(formats.size(), 10u);
+
+    core::QsnrRunConfig qcfg;
+    qcfg.num_vectors = 20;
+    qcfg.vector_length = 64;
+    hw::CostModel cost;
+
+    core::ThreadPool serial(1);
+    core::ThreadPool wide(4);
+    auto a = evaluate(formats, qcfg, cost, serial);
+    auto b = evaluate(formats, qcfg, cost, wide);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].format.name, b[i].format.name) << i;
+        EXPECT_EQ(a[i].qsnr_db, b[i].qsnr_db) << i; // exact, not near
+        EXPECT_EQ(a[i].cost.area_memory_product,
+                  b[i].cost.area_memory_product)
+            << i;
+        EXPECT_EQ(a[i].bits_per_element, b[i].bits_per_element) << i;
+        EXPECT_EQ(a[i].on_pareto_frontier, b[i].on_pareto_frontier) << i;
+    }
+}
+
 TEST(Evaluate, SmallSweepProducesConsistentRecords)
 {
     SweepSpec spec;
