@@ -1,21 +1,45 @@
 /**
  * @file
- * Direct-cast LLM inference example: pretrain a small causal LM in
- * FP32, then serve it under progressively narrower MX formats with
- * *both weights and activations* quantized by a straight cast — the
- * paper's headline generative-inference result (Table IV).
+ * Direct-cast LLM serving example: pretrain a small causal LM in FP32,
+ * freeze it under progressively narrower MX formats — weights quantized
+ * **once** via nn/frozen.h, exactly the paper's Table IV deployment
+ * story — and serve batched greedy decoding through the mx_serve
+ * InferenceEngine.  The frozen forward is bit-identical to fake
+ * quantization, so the quality table matches the per-call-quantize
+ * path while decoding stops paying the weight-quantize tax every step.
  *
  *   $ ./examples/llm_direct_cast
+ *
+ * Knobs: MX_SERVE_BATCH (max coalesced rows), MX_SERVE_QUEUE (bounded
+ * queue capacity).
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "data/synthetic.h"
 #include "models/transformer.h"
 #include "nn/optimizer.h"
+#include "serve/engine.h"
 
 using namespace mx;
 using namespace mx::models;
+using tensor::Tensor;
+
+namespace {
+
+double
+now_sec()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 int
 main()
@@ -41,16 +65,116 @@ main()
         opt.step();
     }
 
+    // --- Quality under direct cast: freeze once per format.  The
+    // frozen forward is bit-identical to fake quantization, so this is
+    // the same Table IV story with the weights quantized exactly once.
     auto eval = corpus.windows(256, cfg.seq_len, rng);
     std::printf("\n%-24s %10s\n", "serving format (w, a)", "LM loss");
     std::printf("%-24s %10.4f\n", "FP32", model.eval_loss(eval));
     for (const auto& fmt : {core::mx9(), core::mx6(), core::mx4()}) {
-        model.set_spec(nn::QuantSpec::forward_only(fmt));
+        model.freeze(nn::QuantSpec::forward_only(fmt));
         std::printf("(%s, %s)%*s %10.4f\n", fmt.name.c_str(),
                     fmt.name.c_str(),
                     static_cast<int>(14 - 2 * fmt.name.size()), "",
                     model.eval_loss(eval));
     }
-    std::printf("\nno fine-tuning, no outlier heuristics — just a cast.\n");
-    return 0;
+
+    // --- Serving quickstart: greedy decoding of several streams, each
+    // step one window request, batched by the engine.
+    const int streams = 6;
+    const int new_tokens = 32;
+    std::vector<std::vector<int>> ctx(static_cast<std::size_t>(streams));
+    {
+        stats::Rng prompt_rng(67);
+        auto prompts = corpus.windows(streams, cfg.seq_len, prompt_rng);
+        for (int s = 0; s < streams; ++s)
+            ctx[static_cast<std::size_t>(s)] = prompts.row(s);
+    }
+    auto window_of = [&](const std::vector<int>& c) {
+        std::vector<float> w(static_cast<std::size_t>(cfg.seq_len));
+        const std::size_t off = c.size() - static_cast<std::size_t>(
+                                               cfg.seq_len);
+        for (int t = 0; t < cfg.seq_len; ++t)
+            w[static_cast<std::size_t>(t)] = static_cast<float>(
+                c[off + static_cast<std::size_t>(t)]);
+        return w;
+    };
+    auto argmax = [&](const float* logits) {
+        int best = 0;
+        for (int v = 1; v < cfg.vocab; ++v)
+            if (logits[v] > logits[best])
+                best = v;
+        return best;
+    };
+    auto last_token_logits = [&](const Tensor& in) {
+        return model.window_logits(in);
+    };
+
+    // Baseline: the old example's serving mode — fake quantization
+    // re-quantizes every weight tensor on every decode step.
+    model.unfreeze();
+    model.set_spec(nn::QuantSpec::forward_only(core::mx9()));
+    auto baseline_ctx = ctx;
+    const double t_base = now_sec();
+    for (int step = 0; step < new_tokens; ++step)
+        for (auto& c : baseline_ctx) {
+            Tensor x({1, cfg.seq_len});
+            auto w = window_of(c);
+            std::copy(w.begin(), w.end(), x.data());
+            Tensor logits = last_token_logits(x);
+            c.push_back(argmax(logits.data()));
+        }
+    const double base_tps = static_cast<double>(streams * new_tokens) /
+                            (now_sec() - t_base);
+
+    // Frozen engine: quantize the weights once, then serve batched
+    // decode requests against the snapshot.
+    model.freeze(nn::QuantSpec::forward_only(core::mx9()));
+    double frozen_tps = 0;
+    double mean_batch = 0, p50_ms = 0;
+    auto frozen_ctx = ctx;
+    {
+        serve::EngineConfig ec;
+        ec.rows_independent = true; // eval forwards are mutation-free
+        serve::InferenceEngine engine(last_token_logits, cfg.seq_len, ec);
+        std::vector<double> lat;
+        const double t0 = now_sec();
+        for (int step = 0; step < new_tokens; ++step) {
+            std::vector<std::future<serve::Reply>> futures;
+            futures.reserve(frozen_ctx.size());
+            for (auto& c : frozen_ctx)
+                futures.push_back(engine.submit(window_of(c)));
+            for (int s = 0; s < streams; ++s) {
+                serve::Reply r = futures[static_cast<std::size_t>(s)].get();
+                frozen_ctx[static_cast<std::size_t>(s)].push_back(
+                    argmax(r.output.data()));
+                lat.push_back(r.latency_ms);
+            }
+        }
+        frozen_tps = static_cast<double>(streams * new_tokens) /
+                     (now_sec() - t0);
+        mean_batch = engine.stats().mean_batch_rows();
+        std::sort(lat.begin(), lat.end());
+        p50_ms = lat[lat.size() / 2];
+    }
+
+    std::printf("\ndecoding %d streams x %d tokens under (MX9, MX9):\n",
+                streams, new_tokens);
+    std::printf("  per-call quantize  : %8.1f tokens/s\n", base_tps);
+    std::printf("  frozen + engine    : %8.1f tokens/s  (%.2fx, mean "
+                "batch %.1f, p50 %.3f ms)\n",
+                frozen_tps, frozen_tps / base_tps, mean_batch, p50_ms);
+
+    // Greedy decode is deterministic and the frozen forward is
+    // bit-identical, so both serving modes emit the same tokens.
+    std::printf("  decode streams match the fake-quant baseline: %s\n",
+                frozen_ctx == baseline_ctx ? "yes" : "NO (bug!)");
+
+    std::printf("\nsample continuation (stream 0): ");
+    const auto& c0 = frozen_ctx[0];
+    for (std::size_t i = c0.size() - 12; i < c0.size(); ++i)
+        std::printf("%d ", c0[i]);
+    std::printf("\n\nno fine-tuning, no outlier heuristics — just a "
+                "cast, frozen once.\n");
+    return frozen_ctx == baseline_ctx ? 0 : 1;
 }

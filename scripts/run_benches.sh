@@ -23,6 +23,7 @@ OUT_DIR=${2:-"$BUILD_DIR/bench_results"}
 
 BENCHES=(
     perf_quantize
+    serve_latency
     table1_table2_formats
     fig1_scaling_example
     theorem1_bound

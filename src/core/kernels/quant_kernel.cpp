@@ -153,6 +153,41 @@ reference_dequantize_block(const QuantPlan& plan, int shared_exp,
     }
 }
 
+void
+QuantKernel::quantize_rows(const QuantPlan& plan, const float* in,
+                           float* out, std::size_t rows, std::size_t cols,
+                           const Rounder& rounder) const
+{
+    const std::size_t k1 = static_cast<std::size_t>(plan.k1);
+    if (cols % k1 == 0) {
+        // Blocks cannot straddle a row boundary, so the whole matrix is
+        // one contiguous span and one kernel call.
+        quantize(plan, std::span<const float>(in, rows * cols),
+                 std::span<float>(out, rows * cols), rounder);
+        return;
+    }
+    for (std::size_t r = 0; r < rows; ++r)
+        quantize(plan, std::span<const float>(in + r * cols, cols),
+                 std::span<float>(out + r * cols, cols), rounder);
+}
+
+void
+QuantKernel::quantize_pack_rows(const QuantPlan& plan, const float* in,
+                                std::size_t rows, std::size_t cols,
+                                const Rounder& rounder,
+                                BitWriter& writer) const
+{
+    const std::size_t k1 = static_cast<std::size_t>(plan.k1);
+    if (cols % k1 == 0) {
+        quantize_pack(plan, std::span<const float>(in, rows * cols),
+                      rounder, writer);
+        return;
+    }
+    for (std::size_t r = 0; r < rows; ++r)
+        quantize_pack(plan, std::span<const float>(in + r * cols, cols),
+                      rounder, writer);
+}
+
 } // namespace kernels
 } // namespace core
 } // namespace mx

@@ -157,6 +157,29 @@ class QuantKernel
     virtual void dequantize_block(const QuantPlan& plan,
                                   const Pow2BlockEncoding& enc,
                                   std::span<float> out) const = 0;
+
+    /**
+     * Fake-quantize a row-major [rows x cols] matrix whose blocks must
+     * not straddle row boundaries (the nn::quantize_rows contract).
+     * When cols is a whole number of k1 blocks the matrix collapses to
+     * one contiguous quantize() call; ragged widths run one call per
+     * row, each ending in its own short tail block — the same kernel
+     * fast path either way, with the plan hoisted out of the loop.
+     * in/out may alias row-for-row.
+     */
+    void quantize_rows(const QuantPlan& plan, const float* in, float* out,
+                       std::size_t rows, std::size_t cols,
+                       const Rounder& rounder) const;
+
+    /**
+     * Fused quantize+pack of a [rows x cols] matrix under the same
+     * no-block-straddles-a-row contract, emitting one bit-contiguous
+     * stream (row r's blocks directly follow row r-1's).  For aligned
+     * widths this is byte-for-byte the flat quantize_pack stream.
+     */
+    void quantize_pack_rows(const QuantPlan& plan, const float* in,
+                            std::size_t rows, std::size_t cols,
+                            const Rounder& rounder, BitWriter& writer) const;
 };
 
 namespace detail {

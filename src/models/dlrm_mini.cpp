@@ -31,7 +31,8 @@ DlrmMini::logits(const data::ClickBatch& batch, bool train)
     const std::int64_t n = batch.n;
     const std::int64_t d = cfg_.embed_dim;
     const int f = cfg_.num_tables + 1;
-    cached_n_ = n;
+    if (train)
+        cached_n_ = n; // eval forwards stay mutation-free
 
     // Gather per-table ids and run lookups + the bottom MLP.
     Tensor features({n, f, d});
@@ -172,6 +173,31 @@ DlrmMini::set_embedding_storage(std::optional<core::BdrFormat> fmt)
     cfg_.embedding_storage = fmt;
     for (auto& t : tables_)
         t->set_storage_format(fmt);
+}
+
+void
+DlrmMini::freeze()
+{
+    bottom_->freeze();
+    top_->freeze();
+    for (auto& t : tables_)
+        t->freeze();
+}
+
+void
+DlrmMini::freeze(const nn::QuantSpec& spec, bool keep_first_last_fp32)
+{
+    set_spec(spec, keep_first_last_fp32);
+    freeze();
+}
+
+void
+DlrmMini::unfreeze()
+{
+    bottom_->unfreeze();
+    top_->unfreeze();
+    for (auto& t : tables_)
+        t->unfreeze();
 }
 
 } // namespace models

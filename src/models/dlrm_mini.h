@@ -60,6 +60,15 @@ class DlrmMini
     /** Change embedding storage format. */
     void set_embedding_storage(std::optional<core::BdrFormat> fmt);
 
+    /** Freeze both MLPs and snapshot every embedding table (the
+     *  memory-bound recommendation-serving path). */
+    void freeze();
+    /** set_spec() then freeze(). */
+    void freeze(const nn::QuantSpec& spec,
+                bool keep_first_last_fp32 = false);
+    void unfreeze();
+    bool frozen() const { return top_->frozen(); }
+
     const DlrmConfig& config() const { return cfg_; }
 
   private:

@@ -46,14 +46,18 @@ LstmSeq2Seq::forward(const data::SequenceBatch& batch, bool train)
 {
     MX_CHECK_ARG(batch.seq_len == cfg_.seq_len,
                  "LstmSeq2Seq: sequence length mismatch");
-    cached_n_ = batch.n;
+    if (train)
+        cached_n_ = batch.n; // eval forwards stay mutation-free
 
     Tensor src = src_emb_->forward(batch.tokens, train);
     nn::LstmState enc_state = encoder_->initial_state(batch.n);
     encoder_->forward_seq(src, enc_state, train);
 
-    cached_dec_inputs_ = shift_right(batch.labels, batch.n, cfg_.seq_len);
-    Tensor tgt = tgt_emb_->forward(cached_dec_inputs_, train);
+    std::vector<int> dec_inputs =
+        shift_right(batch.labels, batch.n, cfg_.seq_len);
+    Tensor tgt = tgt_emb_->forward(dec_inputs, train);
+    if (train)
+        cached_dec_inputs_ = std::move(dec_inputs);
     nn::LstmState dec_state = enc_state; // decoder starts where enc ended
     Tensor hidden = decoder_->forward_seq(tgt, dec_state, train);
     return proj_->forward(hidden, train);
@@ -158,6 +162,33 @@ LstmSeq2Seq::set_spec(const nn::QuantSpec& spec)
     encoder_->spec() = spec;
     decoder_->spec() = spec;
     proj_->spec() = spec;
+}
+
+void
+LstmSeq2Seq::freeze()
+{
+    src_emb_->freeze();
+    tgt_emb_->freeze();
+    encoder_->freeze();
+    decoder_->freeze();
+    proj_->freeze();
+}
+
+void
+LstmSeq2Seq::freeze(const nn::QuantSpec& spec)
+{
+    set_spec(spec);
+    freeze();
+}
+
+void
+LstmSeq2Seq::unfreeze()
+{
+    src_emb_->unfreeze();
+    tgt_emb_->unfreeze();
+    encoder_->unfreeze();
+    decoder_->unfreeze();
+    proj_->unfreeze();
 }
 
 } // namespace models

@@ -55,6 +55,16 @@ class LstmSeq2Seq
 
     std::vector<nn::Param*> params();
     void set_spec(const nn::QuantSpec& spec);
+
+    /** Freeze both LSTMs, the projection and the embeddings under
+     *  their current specs (greedy decoding stops re-quantizing the
+     *  gate weights every step). */
+    void freeze();
+    /** set_spec() then freeze(). */
+    void freeze(const nn::QuantSpec& spec);
+    void unfreeze();
+    bool frozen() const { return proj_->frozen(); }
+
     const Seq2SeqConfig& config() const { return cfg_; }
 
   private:

@@ -42,6 +42,31 @@ MlpClassifier::params()
 }
 
 void
+MlpClassifier::freeze()
+{
+    net_.freeze();
+}
+
+void
+MlpClassifier::freeze(const nn::QuantSpec& spec, bool keep_first_last_fp32)
+{
+    set_spec(spec, keep_first_last_fp32);
+    freeze();
+}
+
+void
+MlpClassifier::unfreeze()
+{
+    net_.unfreeze();
+}
+
+bool
+MlpClassifier::frozen() const
+{
+    return net_.frozen();
+}
+
+void
 MlpClassifier::set_spec(const nn::QuantSpec& spec,
                         bool keep_first_last_fp32)
 {

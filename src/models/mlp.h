@@ -45,6 +45,15 @@ class MlpClassifier
     void set_spec(const nn::QuantSpec& spec,
                   bool keep_first_last_fp32 = false);
 
+    /** Freeze every layer under its current spec (direct-cast serving:
+     *  weights quantized once, not per request). */
+    void freeze();
+    /** set_spec() then freeze(). */
+    void freeze(const nn::QuantSpec& spec,
+                bool keep_first_last_fp32 = false);
+    void unfreeze();
+    bool frozen() const;
+
   private:
     stats::Rng rng_;
     nn::Sequential net_;

@@ -43,6 +43,27 @@ ResidualBlock::collect_params(std::vector<nn::Param*>& out)
     c2_->collect_params(out);
 }
 
+void
+ResidualBlock::freeze()
+{
+    c1_->freeze();
+    c2_->freeze();
+}
+
+void
+ResidualBlock::freeze(const nn::QuantSpec& spec)
+{
+    c1_->freeze(spec);
+    c2_->freeze(spec);
+}
+
+void
+ResidualBlock::unfreeze()
+{
+    c1_->unfreeze();
+    c2_->unfreeze();
+}
+
 ResNetMini::ResNetMini(std::int64_t image_size, std::int64_t channels,
                        std::int64_t num_classes, nn::QuantSpec spec,
                        std::uint64_t seed)
@@ -65,7 +86,8 @@ ResNetMini::logits(const Tensor& images, bool train)
     MX_CHECK_ARG(images.ndim() == 4 && images.dim(1) == 1 &&
                  images.dim(2) == image_size_,
                  "ResNetMini: input " << images.shape_string());
-    cached_n_ = images.dim(0);
+    if (train)
+        cached_n_ = images.dim(0);
     Tensor h = stem_act_->forward(stem_->forward(images, train), train);
     for (auto& b : blocks_)
         h = b->forward(h, train);
@@ -125,6 +147,31 @@ ResNetMini::set_spec(const nn::QuantSpec& spec, bool keep_first_last_fp32)
         b->conv2().spec() = spec;
     }
     head_->spec() = keep_first_last_fp32 ? nn::QuantSpec::fp32() : spec;
+}
+
+void
+ResNetMini::freeze()
+{
+    stem_->freeze();
+    for (auto& b : blocks_)
+        b->freeze();
+    head_->freeze();
+}
+
+void
+ResNetMini::freeze(const nn::QuantSpec& spec, bool keep_first_last_fp32)
+{
+    set_spec(spec, keep_first_last_fp32);
+    freeze();
+}
+
+void
+ResNetMini::unfreeze()
+{
+    stem_->unfreeze();
+    for (auto& b : blocks_)
+        b->unfreeze();
+    head_->unfreeze();
 }
 
 } // namespace models

@@ -29,6 +29,11 @@ class ResidualBlock : public nn::Layer
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<nn::Param*>& out) override;
 
+    void freeze() override;
+    void freeze(const nn::QuantSpec& spec) override;
+    void unfreeze() override;
+    bool frozen() const override { return c1_->frozen(); }
+
     /** The two convolutions (for spec rewiring). */
     nn::Conv2d& conv1() { return *c1_; }
     nn::Conv2d& conv2() { return *c2_; }
@@ -58,6 +63,14 @@ class ResNetMini
     std::vector<nn::Param*> params();
     void set_spec(const nn::QuantSpec& spec,
                   bool keep_first_last_fp32 = false);
+
+    /** Freeze every conv/linear under its current spec. */
+    void freeze();
+    /** set_spec() then freeze(). */
+    void freeze(const nn::QuantSpec& spec,
+                bool keep_first_last_fp32 = false);
+    void unfreeze();
+    bool frozen() const { return head_->frozen(); }
 
   private:
     std::int64_t image_size_, channels_, classes_;

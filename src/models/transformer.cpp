@@ -30,6 +30,33 @@ TransformerBlock::set_spec(const nn::QuantSpec& spec)
     ff2_->spec() = spec;
 }
 
+void
+TransformerBlock::freeze()
+{
+    ln1_->freeze();
+    ln2_->freeze();
+    attn_->freeze();
+    ff1_->freeze();
+    ff2_->freeze();
+}
+
+void
+TransformerBlock::freeze(const nn::QuantSpec& spec)
+{
+    set_spec(spec);
+    freeze();
+}
+
+void
+TransformerBlock::unfreeze()
+{
+    ln1_->unfreeze();
+    ln2_->unfreeze();
+    attn_->unfreeze();
+    ff1_->unfreeze();
+    ff2_->unfreeze();
+}
+
 Tensor
 TransformerBlock::forward(const Tensor& x, bool train)
 {
@@ -111,7 +138,8 @@ BertMini::encode(const data::SequenceBatch& batch, bool train)
 {
     MX_CHECK_ARG(batch.seq_len == cfg_.seq_len,
                  "BertMini: sequence length mismatch");
-    cached_n_ = batch.n;
+    if (train)
+        cached_n_ = batch.n; // eval forwards stay mutation-free
     Tensor h = tok_emb_->forward(batch.tokens, train);
     Tensor p = pos_emb_->forward(position_ids(batch.n, cfg_.seq_len), train);
     tensor::axpy(h, 1.0f, p);
@@ -142,7 +170,8 @@ BertMini::class_logits(const data::SequenceBatch& batch, bool train)
         std::copy(src, src + cfg_.d_model,
                   pooled.data() + i * cfg_.d_model);
     }
-    last_head_ = 1;
+    if (train)
+        last_head_ = 1;
     return cls_head_->forward(pooled, train);
 }
 
@@ -164,7 +193,8 @@ Tensor
 BertMini::qa_logits(const data::SequenceBatch& batch, bool train)
 {
     Tensor h = encode(batch, train);
-    last_head_ = 2;
+    if (train)
+        last_head_ = 2;
     return qa_head_->forward(h, train); // [n*T, 2]
 }
 
@@ -236,6 +266,43 @@ BertMini::set_spec(const nn::QuantSpec& spec)
     qa_head_->spec() = spec;
 }
 
+void
+BertMini::freeze()
+{
+    tok_emb_->freeze();
+    pos_emb_->freeze();
+    for (auto& b : blocks_)
+        b->freeze();
+    final_ln_->freeze();
+    cls_head_->freeze();
+    qa_head_->freeze();
+}
+
+void
+BertMini::freeze(const nn::QuantSpec& spec)
+{
+    set_spec(spec);
+    freeze();
+}
+
+void
+BertMini::unfreeze()
+{
+    tok_emb_->unfreeze();
+    pos_emb_->unfreeze();
+    for (auto& b : blocks_)
+        b->unfreeze();
+    final_ln_->unfreeze();
+    cls_head_->unfreeze();
+    qa_head_->unfreeze();
+}
+
+bool
+BertMini::frozen() const
+{
+    return cls_head_->frozen();
+}
+
 GptMini::GptMini(TransformerConfig cfg) : cfg_(cfg), rng_(cfg.seed)
 {
     tok_emb_ = std::make_unique<nn::Embedding>(cfg_.vocab, cfg_.d_model,
@@ -257,7 +324,8 @@ GptMini::encode(const data::SequenceBatch& batch, bool train)
 {
     MX_CHECK_ARG(batch.seq_len == cfg_.seq_len,
                  "GptMini: sequence length mismatch");
-    cached_n_ = batch.n;
+    if (train)
+        cached_n_ = batch.n; // eval forwards stay mutation-free
     Tensor h = tok_emb_->forward(batch.tokens, train);
     Tensor p = pos_emb_->forward(position_ids(batch.n, cfg_.seq_len), train);
     tensor::axpy(h, 1.0f, p);
@@ -270,6 +338,32 @@ Tensor
 GptMini::logits(const data::SequenceBatch& batch, bool train)
 {
     return lm_head_->forward(encode(batch, train), train);
+}
+
+Tensor
+GptMini::window_logits(const Tensor& windows)
+{
+    MX_CHECK_ARG(windows.ndim() == 2 && windows.dim(1) == cfg_.seq_len,
+                 "GptMini: windows " << windows.shape_string()
+                                     << " expects [*, " << cfg_.seq_len
+                                     << "]");
+    data::SequenceBatch b;
+    b.n = windows.dim(0);
+    b.seq_len = cfg_.seq_len;
+    b.tokens.resize(static_cast<std::size_t>(b.n * b.seq_len));
+    for (std::size_t i = 0; i < b.tokens.size(); ++i)
+        b.tokens[i] = static_cast<int>(windows.data()[i]);
+    // Only the last position feeds a next-token decision, so slice it
+    // out *before* the LM head: quantize_rows and Linear's eval
+    // forward are row-wise, so projecting the kept rows alone is
+    // bit-identical to projecting all n*T positions.
+    Tensor h = encode(b, /*train=*/false); // [n*T, d_model]
+    Tensor last({b.n, static_cast<std::int64_t>(cfg_.d_model)});
+    for (std::int64_t r = 0; r < b.n; ++r)
+        std::copy(h.data() + ((r + 1) * cfg_.seq_len - 1) * cfg_.d_model,
+                  h.data() + (r + 1) * cfg_.seq_len * cfg_.d_model,
+                  last.data() + r * cfg_.d_model);
+    return lm_head_->forward(last, /*train=*/false); // [n, vocab]
 }
 
 void
@@ -327,6 +421,41 @@ GptMini::set_spec(const nn::QuantSpec& spec)
     for (auto& b : blocks_)
         b->set_spec(spec);
     lm_head_->spec() = spec;
+}
+
+void
+GptMini::freeze()
+{
+    tok_emb_->freeze();
+    pos_emb_->freeze();
+    for (auto& b : blocks_)
+        b->freeze();
+    final_ln_->freeze();
+    lm_head_->freeze();
+}
+
+void
+GptMini::freeze(const nn::QuantSpec& spec)
+{
+    set_spec(spec);
+    freeze();
+}
+
+void
+GptMini::unfreeze()
+{
+    tok_emb_->unfreeze();
+    pos_emb_->unfreeze();
+    for (auto& b : blocks_)
+        b->unfreeze();
+    final_ln_->unfreeze();
+    lm_head_->unfreeze();
+}
+
+bool
+GptMini::frozen() const
+{
+    return lm_head_->frozen();
 }
 
 } // namespace models

@@ -33,6 +33,11 @@ class TransformerBlock : public nn::Layer
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<nn::Param*>& out) override;
 
+    void freeze() override;
+    void freeze(const nn::QuantSpec& spec) override;
+    void unfreeze() override;
+    bool frozen() const override { return ff1_->frozen(); }
+
     /** Re-point every contraction at a new quantization policy. */
     void set_spec(const nn::QuantSpec& spec);
 
@@ -85,6 +90,12 @@ class BertMini
     std::int64_t param_count();
     /** Swap the quantization policy on every contraction. */
     void set_spec(const nn::QuantSpec& spec);
+    /** Freeze every block/head under its current spec. */
+    void freeze();
+    /** set_spec() then freeze() (direct-cast serving). */
+    void freeze(const nn::QuantSpec& spec);
+    void unfreeze();
+    bool frozen() const;
     /** The configuration. */
     const TransformerConfig& config() const { return cfg_; }
 
@@ -114,6 +125,14 @@ class GptMini
     /** Backward from logit gradients. */
     void backward(const tensor::Tensor& grad);
 
+    /**
+     * Serving adapter: each request row is one token window encoded as
+     * floats ([B, seq_len]); returns the last position's next-token
+     * logits [B, vocab] from an eval-mode forward.  This is the batch
+     * function handed to serve::InferenceEngine for decode serving.
+     */
+    tensor::Tensor window_logits(const tensor::Tensor& windows);
+
     /** Mean LM loss (natural log) of a batch, no caching. */
     double eval_loss(const data::SequenceBatch& batch);
 
@@ -124,6 +143,12 @@ class GptMini
     std::vector<nn::Param*> params();
     std::int64_t param_count();
     void set_spec(const nn::QuantSpec& spec);
+    /** Freeze every block and the LM head under the current spec. */
+    void freeze();
+    /** set_spec() then freeze() (direct-cast serving). */
+    void freeze(const nn::QuantSpec& spec);
+    void unfreeze();
+    bool frozen() const;
     const TransformerConfig& config() const { return cfg_; }
 
   private:

@@ -84,7 +84,11 @@ Tensor
 Dropout::forward(const Tensor& x, bool train)
 {
     if (!train || p_ <= 0.0) {
-        mask_ = Tensor();
+        // Only a *training* forward may touch the mask (p == 0 clears
+        // it so backward is the identity); eval forwards stay
+        // mutation-free for concurrent frozen serving.
+        if (train)
+            mask_ = Tensor();
         return x;
     }
     mask_ = Tensor(x.shape());

@@ -30,6 +30,37 @@ MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
 }
 
 void
+MultiHeadAttention::freeze()
+{
+    wq_->freeze();
+    wk_->freeze();
+    wv_->freeze();
+    wo_->freeze();
+}
+
+void
+MultiHeadAttention::freeze(const QuantSpec& spec)
+{
+    set_spec(spec);
+    freeze();
+}
+
+void
+MultiHeadAttention::unfreeze()
+{
+    wq_->unfreeze();
+    wk_->unfreeze();
+    wv_->unfreeze();
+    wo_->unfreeze();
+}
+
+bool
+MultiHeadAttention::frozen() const
+{
+    return wq_->frozen();
+}
+
+void
 MultiHeadAttention::set_spec(const QuantSpec& spec)
 {
     spec_ = spec;
@@ -72,7 +103,9 @@ MultiHeadAttention::forward(const Tensor& x, bool train)
                  x.dim(0) % seq_len_ == 0,
                  "MultiHeadAttention: input " << x.shape_string());
     const std::int64_t batch = x.dim(0) / seq_len_;
-    cached_batch_ = batch;
+    if (train)
+        cached_batch_ = batch; // eval forwards stay mutation-free so
+                               // frozen models can serve concurrently
 
     Tensor q = wq_->forward(x, train);
     Tensor k = wk_->forward(x, train);

@@ -42,6 +42,13 @@ class MultiHeadAttention : public Layer
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<Param*>& out) override;
 
+    /** Freeze all four projections; the activation-activation
+     *  contractions (Q K^T, P V) keep their per-call quantization. */
+    void freeze() override;
+    void freeze(const QuantSpec& spec) override;
+    void unfreeze() override;
+    bool frozen() const override;
+
     /** Mutable access to the shared quantization policy. */
     void set_spec(const QuantSpec& spec);
 

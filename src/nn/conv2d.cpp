@@ -32,18 +32,34 @@ Conv2d::forward(const Tensor& x, bool train)
 {
     MX_CHECK_ARG(x.ndim() == 4 && x.dim(1) == in_c_,
                  "Conv2d: input " << x.shape_string());
-    geom_ = tensor::Conv2dGeometry{x.dim(0), in_c_, x.dim(2), x.dim(3),
-                                   out_c_, kernel_, stride_, pad_};
-    Tensor cols = tensor::im2col(x, geom_); // [B*oh*ow, C*k*k]
-    if (train)
+    MX_CHECK_ARG(!(frozen() && train),
+                 "Conv2d: frozen layers serve eval-mode forwards only; "
+                 "unfreeze() to train");
+    const tensor::Conv2dGeometry geom{x.dim(0), in_c_, x.dim(2), x.dim(3),
+                                      out_c_, kernel_, stride_, pad_};
+    Tensor cols = tensor::im2col(x, geom); // [B*oh*ow, C*k*k]
+    if (train) {
+        // Eval forwards stay mutation-free (concurrent serving);
+        // backward needs the geometry of the last training forward.
+        geom_ = geom;
         cached_cols_ = cols;
+    }
 
-    // out_rows = Q(cols) Q(W)^T: reduction over the patch dim.
-    Tensor rows = qmatmul_nt(cols, weight_.value, spec_.forward,
-                             spec_.rounding); // [B*oh*ow, outC]
-    const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
-    Tensor out({geom_.batch, out_c_, oh, ow});
-    for (std::int64_t b = 0; b < geom_.batch; ++b)
+    // out_rows = Q(cols) Q(W)^T: reduction over the patch dim.  The
+    // weight operand honours the Table IV (w, a) split; frozen mode
+    // reads the freeze-time snapshot instead of re-quantizing.
+    Tensor rows = frozen()
+        ? (spec_.forward
+               ? tensor::matmul_nt(quantize_rows(cols, *spec_.forward,
+                                                 spec_.rounding),
+                                   frozen_weight_.values())
+               : tensor::matmul_nt(cols, frozen_weight_.values()))
+        : qmatmul_nt2(cols, spec_.forward, weight_.value,
+                      spec_.weight_format(),
+                      spec_.rounding); // [B*oh*ow, outC]
+    const std::int64_t oh = geom.out_h(), ow = geom.out_w();
+    Tensor out({geom.batch, out_c_, oh, ow});
+    for (std::int64_t b = 0; b < geom.batch; ++b)
         for (std::int64_t y = 0; y < oh; ++y)
             for (std::int64_t xx = 0; xx < ow; ++xx)
                 for (std::int64_t c = 0; c < out_c_; ++c)
@@ -87,6 +103,27 @@ Conv2d::backward(const Tensor& grad_out)
     tensor::axpy(bias_.grad, 1.0f, db);
 
     return tensor::col2im(dcols, geom_);
+}
+
+void
+Conv2d::freeze()
+{
+    frozen_weight_ = FrozenTensor::build(weight_.value,
+                                         spec_.weight_format(),
+                                         spec_.rounding);
+}
+
+void
+Conv2d::freeze(const QuantSpec& spec)
+{
+    spec_ = spec;
+    freeze();
+}
+
+void
+Conv2d::unfreeze()
+{
+    frozen_weight_ = FrozenTensor();
 }
 
 void

@@ -11,6 +11,7 @@
  * is the same row quantization used by Linear.
  */
 
+#include "nn/frozen.h"
 #include "nn/linear.h"
 #include "tensor/tensor.h"
 
@@ -37,6 +38,12 @@ class Conv2d : public Layer
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<Param*>& out) override;
 
+    /** Snapshot the [outC, C*k*k] filter under the weight format. */
+    void freeze() override;
+    void freeze(const QuantSpec& spec) override;
+    void unfreeze() override;
+    bool frozen() const override { return frozen_weight_.valid(); }
+
     /** The quantization policy. */
     QuantSpec& spec() { return spec_; }
 
@@ -45,6 +52,7 @@ class Conv2d : public Layer
     QuantSpec spec_;
     Param weight_; // [outC, C * k * k]
     Param bias_;   // [outC]
+    FrozenTensor frozen_weight_;
     tensor::Conv2dGeometry geom_{};
     tensor::Tensor cached_cols_;
 };

@@ -19,13 +19,20 @@ Embedding::Embedding(std::int64_t vocab, std::int64_t dim, stats::Rng& rng)
 Tensor
 Embedding::forward(const std::vector<int>& ids, bool train)
 {
+    MX_CHECK_ARG(!(frozen_ && train),
+                 "Embedding: frozen tables serve eval-mode lookups only; "
+                 "unfreeze() to train");
     if (train)
         cached_ids_ = ids;
     Tensor out({static_cast<std::int64_t>(ids.size()), dim_});
 
     const Tensor* src = &table_.value;
     Tensor quantized;
-    if (storage_format_) {
+    if (frozen_ && frozen_table_.valid()) {
+        // Frozen: the MX-resident table was snapshotted once at
+        // freeze() — same grid values, no per-batch re-quantization.
+        src = &frozen_table_.values();
+    } else if (storage_format_) {
         // Emulate an MX-resident table: reads see format-grid values.
         quantized = quantize_rows(table_.value, *storage_format_);
         src = &quantized;
@@ -63,6 +70,24 @@ void
 Embedding::set_storage_format(std::optional<core::BdrFormat> fmt)
 {
     storage_format_ = std::move(fmt);
+    if (frozen_)
+        freeze(); // re-snapshot under the new format
+}
+
+void
+Embedding::freeze()
+{
+    frozen_table_ = storage_format_
+        ? FrozenTensor::build(table_.value, storage_format_)
+        : FrozenTensor();
+    frozen_ = true;
+}
+
+void
+Embedding::unfreeze()
+{
+    frozen_table_ = FrozenTensor();
+    frozen_ = false;
 }
 
 } // namespace nn

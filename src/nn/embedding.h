@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "core/bdr_format.h"
+#include "nn/frozen.h"
 #include "nn/layer.h"
 #include "nn/quant.h"
 #include "stats/rng.h"
@@ -38,8 +39,22 @@ class Embedding
     /** Scatter-add gradients for the last forward's ids. */
     void backward(const tensor::Tensor& grad_out);
 
-    /** Quantize table storage (MX-resident tables, e.g. for DLRM). */
+    /** Quantize table storage (MX-resident tables, e.g. for DLRM).
+     *  A frozen table is re-snapshotted under the new format. */
     void set_storage_format(std::optional<core::BdrFormat> fmt);
+
+    /**
+     * Snapshot the quantized table once (nn/frozen.h) so frozen lookups
+     * stop re-quantizing the whole table per batch — the memory-bound
+     * recommendation-serving case.  No-op storage-wise when no storage
+     * format is set (lookups already read raw FP32 rows).
+     */
+    void freeze();
+    void unfreeze();
+    bool frozen() const { return frozen_; }
+
+    /** The frozen table snapshot (valid while frozen and quantized). */
+    const FrozenTensor& frozen_table() const { return frozen_table_; }
 
     /** The table parameter. */
     Param& table() { return table_; }
@@ -50,6 +65,8 @@ class Embedding
     std::int64_t vocab_, dim_;
     Param table_;
     std::optional<core::BdrFormat> storage_format_;
+    FrozenTensor frozen_table_;
+    bool frozen_ = false;
     std::vector<int> cached_ids_;
 };
 

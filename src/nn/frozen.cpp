@@ -1,0 +1,143 @@
+#include "nn/frozen.h"
+
+#include <algorithm>
+
+#include "core/bitstream.h"
+#include "core/check.h"
+#include "core/kernels/dispatch.h"
+#include "nn/quant.h"
+
+namespace mx {
+namespace nn {
+
+using tensor::Tensor;
+
+namespace {
+
+/** True for the pow2 hardware-scaled block family (BFP/MX). */
+bool
+is_pow2_block(const core::BdrFormat& fmt)
+{
+    return fmt.s_kind == core::ScaleKind::Pow2Hw &&
+           fmt.elem == core::ElementKind::SignMagnitude;
+}
+
+/**
+ * Row-aware pow2 pack: one bit-contiguous stream whose blocks never
+ * straddle a row boundary — exactly the block layout quantize_rows
+ * produces.  For aligned widths this is byte-identical to
+ * formats::pack on the flat span.
+ */
+formats::PackedTensor
+pack_rows_pow2(const core::BdrFormat& fmt,
+               const core::kernels::QuantPlan& plan, const Tensor& w,
+               core::RoundingMode rounding)
+{
+    core::Rounder rounder(rounding);
+    core::BitWriter writer;
+    core::kernels::active_kernel().quantize_pack_rows(
+        plan, w.data(), static_cast<std::size_t>(w.dim(0)),
+        static_cast<std::size_t>(w.dim(1)), rounder, writer);
+    formats::PackedTensor p;
+    p.format = fmt;
+    p.num_elements = static_cast<std::size_t>(w.numel());
+    p.bit_size = writer.bit_count();
+    p.bytes = writer.take();
+    return p;
+}
+
+/** Row-aware pow2 decode, mirroring pack_rows_pow2's block layout. */
+void
+unpack_rows_pow2(const formats::PackedTensor& packed,
+                 const core::kernels::QuantPlan& plan, std::int64_t rows,
+                 std::int64_t cols, Tensor& out)
+{
+    const core::kernels::QuantKernel& kernel =
+        core::kernels::active_kernel();
+    const std::size_t k1 = static_cast<std::size_t>(plan.k1);
+    core::BitReader reader(packed.bytes);
+    core::Pow2BlockEncoding enc; // reused; assign keeps capacity
+    for (std::int64_t r = 0; r < rows; ++r) {
+        float* row = out.data() + r * cols;
+        const std::size_t n = static_cast<std::size_t>(cols);
+        for (std::size_t off = 0; off < n; off += k1) {
+            const std::size_t len = std::min(k1, n - off);
+            enc.shared_exp =
+                static_cast<int>(reader.read(plan.d1)) - plan.e_max;
+            const std::size_t n_sub = plan.num_sub_blocks(len);
+            enc.sub_shift.assign(n_sub, 0);
+            for (std::size_t s = 0; s < n_sub; ++s)
+                enc.sub_shift[s] = plan.d2 > 0
+                    ? static_cast<std::uint8_t>(reader.read(plan.d2))
+                    : 0;
+            enc.mantissa.assign(len, 0);
+            for (std::size_t i = 0; i < len; ++i) {
+                const std::uint64_t code = reader.read(1 + plan.m);
+                const std::int32_t mag =
+                    static_cast<std::int32_t>(code >> 1);
+                enc.mantissa[i] = (code & 1) != 0 ? -mag : mag;
+            }
+            kernel.dequantize_block(plan, enc,
+                                    std::span<float>(row + off, len));
+        }
+    }
+}
+
+} // namespace
+
+FrozenTensor
+FrozenTensor::build(const Tensor& w,
+                    const std::optional<core::BdrFormat>& fmt,
+                    core::RoundingMode rounding)
+{
+    MX_CHECK_ARG(w.ndim() == 2, "FrozenTensor: needs a 2-d weight, got "
+                                    << w.shape_string());
+    FrozenTensor f;
+    if (!fmt.has_value()) {
+        f.values_ = w;
+        return f;
+    }
+    MX_CHECK_ARG(rounding != core::RoundingMode::Stochastic,
+                 "FrozenTensor: freezing needs deterministic rounding — "
+                 "a stochastic snapshot cannot reproduce per-call "
+                 "fake quantization");
+    f.format_ = *fmt;
+    f.values_ = quantize_rows(w, *fmt, rounding);
+    if (is_pow2_block(*fmt)) {
+        f.plan_ = core::kernels::make_quant_plan(*fmt);
+        f.packed_ = pack_rows_pow2(*fmt, *f.plan_, w, rounding);
+    } else {
+        // Software-scaled families use one per-tensor JIT scale in both
+        // quantize_rows and the codec, so the flat pack matches.
+        f.packed_ = formats::pack(*fmt, w.span(), rounding);
+    }
+    return f;
+}
+
+double
+FrozenTensor::bits_per_element() const
+{
+    return packed_.has_value() ? packed_->bits_per_element() : 32.0;
+}
+
+Tensor
+FrozenTensor::unpacked() const
+{
+    MX_CHECK_ARG(valid(), "FrozenTensor: unpacked() before build()");
+    if (!packed_.has_value())
+        return values_;
+    Tensor out(values_.shape());
+    if (plan_.has_value()) {
+        unpack_rows_pow2(*packed_, *plan_, values_.dim(0), values_.dim(1),
+                         out);
+        return out;
+    }
+    std::vector<float> flat = formats::unpack(*packed_);
+    MX_CHECK(static_cast<std::int64_t>(flat.size()) == values_.numel(),
+             "FrozenTensor: packed element count drifted");
+    std::copy(flat.begin(), flat.end(), out.data());
+    return out;
+}
+
+} // namespace nn
+} // namespace mx

@@ -1,0 +1,98 @@
+#pragma once
+
+/**
+ * @file
+ * Prequantized weight snapshots for direct-cast inference.
+ *
+ * The paper's deployment story (Section V, Table IV) quantizes weights
+ * **once** and then serves them, but the fake-quant compute flow in
+ * nn/quant.h re-quantizes `weight_.value` on every forward call.  A
+ * FrozenTensor is the freeze half of that split: it captures the exact
+ * value-grid tensor `quantize_rows(w, fmt)` would produce — so a frozen
+ * forward is bit-identical to the fake-quant forward by construction —
+ * plus, for the pow2 block family (BFP/MX), the packed bit stream and
+ * QuantPlan a native serving stack would hold in memory.
+ *
+ * Freezing requires deterministic rounding: a stochastic-rounding
+ * snapshot could never reproduce the per-call result.
+ */
+
+#include <optional>
+
+#include "core/bdr_format.h"
+#include "core/kernels/quant_kernel.h"
+#include "core/rounding.h"
+#include "formats/block_codec.h"
+#include "tensor/tensor.h"
+
+namespace mx {
+namespace nn {
+
+/** An immutable quantized snapshot of one 2-d weight tensor. */
+class FrozenTensor
+{
+  public:
+    /** Invalid (unfrozen) snapshot. */
+    FrozenTensor() = default;
+
+    /**
+     * Snapshot @p w under @p fmt.
+     *
+     * @param w        2-d weight, rows along the contraction layout the
+     *                 layer feeds to its matmuls
+     * @param fmt      target format; nullopt freezes the FP32 values
+     *                 as-is (no packed artifact)
+     * @param rounding mantissa rounding; must be deterministic
+     */
+    static FrozenTensor build(const tensor::Tensor& w,
+                              const std::optional<core::BdrFormat>& fmt,
+                              core::RoundingMode rounding =
+                                  core::RoundingMode::NearestEven);
+
+    /** True once build() has run. */
+    bool valid() const { return values_.numel() > 0; }
+
+    /** True when the snapshot went through a quantization format. */
+    bool quantized() const { return format_.has_value(); }
+
+    /** The cached serving tensor: bit-identical to
+     *  quantize_rows(w, fmt) (or w itself for nullopt). */
+    const tensor::Tensor& values() const { return values_; }
+
+    /** The freeze format (nullopt = FP32 passthrough). */
+    const std::optional<core::BdrFormat>& format() const { return format_; }
+
+    /** The packed bit stream a native stack would store (engaged for
+     *  every quantized snapshot; row-aware for ragged widths). */
+    const std::optional<formats::PackedTensor>& packed() const
+    {
+        return packed_;
+    }
+
+    /** The kernel plan (engaged for the pow2 block family only). */
+    const std::optional<core::kernels::QuantPlan>& plan() const
+    {
+        return plan_;
+    }
+
+    /** Storage bits per element of the packed artifact (32 when not
+     *  quantized). */
+    double bits_per_element() const;
+
+    /**
+     * Decode the packed stream back to a tensor.  The codec property
+     * `decode(encode(x)) == fake_quantize(x)` makes this bit-identical
+     * to values() — the test suite asserts it, proving the snapshot is
+     * a real container, not just cached rounding.
+     */
+    tensor::Tensor unpacked() const;
+
+  private:
+    tensor::Tensor values_;
+    std::optional<core::BdrFormat> format_;
+    std::optional<formats::PackedTensor> packed_;
+    std::optional<core::kernels::QuantPlan> plan_;
+};
+
+} // namespace nn
+} // namespace mx

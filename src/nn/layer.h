@@ -20,6 +20,8 @@
 namespace mx {
 namespace nn {
 
+struct QuantSpec; // nn/quant.h
+
 /** A trainable parameter: value plus accumulated gradient. */
 struct Param
 {
@@ -59,6 +61,32 @@ class Layer
 
     /** Append non-owning pointers to this layer's parameters. */
     virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+    /**
+     * Freeze for inference under the layer's *current* quantization
+     * policy: parameter-owning layers snapshot their quantized weights
+     * once (nn/frozen.h) so eval-mode forwards stop re-quantizing them
+     * per call — the direct-cast serving split.  Stateless layers need
+     * no snapshot, so the default is a no-op.  A frozen layer rejects
+     * forward(x, train=true) until unfreeze().
+     */
+    virtual void freeze() {}
+
+    /** Re-point the layer's quantization policy at @p spec, then
+     *  freeze.  The default ignores the spec (stateless layers). */
+    virtual void
+    freeze(const QuantSpec& spec)
+    {
+        (void)spec;
+        freeze();
+    }
+
+    /** Drop the frozen snapshot and return to the trainable
+     *  fake-quant path (weights re-quantized per forward). */
+    virtual void unfreeze() {}
+
+    /** True while a frozen snapshot is active. */
+    virtual bool frozen() const { return false; }
 
     /** Zero all parameter gradients. */
     void

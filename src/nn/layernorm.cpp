@@ -22,6 +22,9 @@ LayerNorm::forward(const Tensor& x, bool train)
 {
     MX_CHECK_ARG(x.ndim() == 2 && x.dim(1) == dim_,
                  "LayerNorm: input " << x.shape_string());
+    MX_CHECK_ARG(!(frozen_ && train),
+                 "LayerNorm: frozen layers serve eval-mode forwards "
+                 "only; unfreeze() to train");
     const std::int64_t rows = x.dim(0);
     Tensor norm(x.shape());
     Tensor invstd({rows});

@@ -29,9 +29,18 @@ class LayerNorm : public Layer
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<Param*>& out) override;
 
+    /** LayerNorm is element-wise (never MX-quantized), so freezing
+     *  only marks the layer inference-only: no snapshot to build, but
+     *  train-mode forwards are rejected like every frozen layer. */
+    using Layer::freeze; // keep the freeze(QuantSpec) overload visible
+    void freeze() override { frozen_ = true; }
+    void unfreeze() override { frozen_ = false; }
+    bool frozen() const override { return frozen_; }
+
   private:
     std::int64_t dim_;
     bool bf16_output_;
+    bool frozen_ = false;
     float eps_;
     Param gamma_, beta_;
     tensor::Tensor cached_norm_;   // (x - mean) / std

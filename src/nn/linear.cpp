@@ -28,6 +28,21 @@ Linear::forward(const Tensor& x, bool train)
     MX_CHECK_ARG(x.ndim() == 2 && x.dim(1) == in_,
                  "Linear: input " << x.shape_string() << " expects [*, "
                                   << in_ << "]");
+    if (frozen()) {
+        MX_CHECK_ARG(!train, "Linear: frozen layers serve eval-mode "
+                             "forwards only; unfreeze() to train");
+        // Q(W) comes from the freeze-time snapshot; only the
+        // activations are quantized per call — bit-identical to the
+        // fake-quant path because quantize_rows is deterministic.
+        Tensor y = spec_.forward
+            ? tensor::matmul_nt(quantize_rows(x, *spec_.forward,
+                                              spec_.rounding),
+                                frozen_weight_.values())
+            : tensor::matmul_nt(x, frozen_weight_.values());
+        if (with_bias_)
+            y = tensor::add_row_bias(y, bias_.value);
+        return y;
+    }
     if (train)
         cached_input_ = x;
     // Y = Q(X along K) Q(W along K)^T: both row dims are the reduction.
@@ -36,6 +51,27 @@ Linear::forward(const Tensor& x, bool train)
     if (with_bias_)
         y = tensor::add_row_bias(y, bias_.value);
     return y;
+}
+
+void
+Linear::freeze()
+{
+    frozen_weight_ = FrozenTensor::build(weight_.value,
+                                         spec_.weight_format(),
+                                         spec_.rounding);
+}
+
+void
+Linear::freeze(const QuantSpec& spec)
+{
+    spec_ = spec;
+    freeze();
+}
+
+void
+Linear::unfreeze()
+{
+    frozen_weight_ = FrozenTensor();
 }
 
 Tensor

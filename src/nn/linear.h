@@ -5,6 +5,7 @@
  * Fully-connected layer with MX-quantized contractions (Figure 8).
  */
 
+#include "nn/frozen.h"
 #include "nn/layer.h"
 #include "nn/quant.h"
 #include "stats/rng.h"
@@ -36,6 +37,16 @@ class Linear : public Layer
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<Param*>& out) override;
 
+    /** Snapshot Q(W) under the current spec's weight format. */
+    void freeze() override;
+    /** Adopt @p spec, then freeze. */
+    void freeze(const QuantSpec& spec) override;
+    void unfreeze() override;
+    bool frozen() const override { return frozen_weight_.valid(); }
+
+    /** The frozen weight snapshot (valid only while frozen). */
+    const FrozenTensor& frozen_weight() const { return frozen_weight_; }
+
     /** The layer's quantization policy (mutable for cast experiments). */
     QuantSpec& spec() { return spec_; }
 
@@ -50,6 +61,7 @@ class Linear : public Layer
     bool with_bias_;
     Param weight_;
     Param bias_;
+    FrozenTensor frozen_weight_;
     tensor::Tensor cached_input_;
 };
 

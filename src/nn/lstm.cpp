@@ -65,6 +65,44 @@ Lstm::Lstm(std::int64_t input_dim, std::int64_t hidden_dim,
         bias_.value.data()[j] = 1.0f;
 }
 
+Tensor
+Lstm::gate_matmul(const Tensor& a, const Param& w,
+                  const FrozenTensor& fz) const
+{
+    if (frozen())
+        return tensor::matmul_nt(
+            spec_.forward ? quantize_rows(a, *spec_.forward, spec_.rounding)
+                          : a,
+            fz.values());
+    // The weight operand honours the Table IV (w, a) split, falling
+    // back to the shared forward format when none is set.
+    return qmatmul_nt2(a, spec_.forward, w.value, spec_.weight_format(),
+                       spec_.rounding);
+}
+
+void
+Lstm::freeze()
+{
+    frozen_w_ih_ = FrozenTensor::build(w_ih_.value, spec_.weight_format(),
+                                       spec_.rounding);
+    frozen_w_hh_ = FrozenTensor::build(w_hh_.value, spec_.weight_format(),
+                                       spec_.rounding);
+}
+
+void
+Lstm::freeze(const QuantSpec& spec)
+{
+    spec_ = spec;
+    freeze();
+}
+
+void
+Lstm::unfreeze()
+{
+    frozen_w_ih_ = FrozenTensor();
+    frozen_w_hh_ = FrozenTensor();
+}
+
 LstmState
 Lstm::initial_state(std::int64_t batch) const
 {
@@ -81,20 +119,23 @@ Lstm::forward_seq(const Tensor& x, LstmState& state, bool train)
     const std::int64_t batch = x.dim(0) / seq_len_;
     MX_CHECK_ARG(state.h.dim(0) == batch && state.c.dim(0) == batch,
                  "Lstm: state batch mismatch");
-    cached_batch_ = batch;
-    if (train)
+    MX_CHECK_ARG(!(frozen() && train),
+                 "Lstm: frozen layers serve eval-mode forwards only; "
+                 "unfreeze() to train");
+    if (train) {
+        cached_batch_ = batch; // eval forwards stay mutation-free
         cache_.assign(static_cast<std::size_t>(seq_len_), StepCache{});
+    }
 
     Tensor out = Tensor::zeros({batch * seq_len_, hidden_dim_});
     const std::int64_t H = hidden_dim_;
 
     for (std::int64_t t = 0; t < seq_len_; ++t) {
         Tensor xt = slice_step(x, batch, seq_len_, t, input_dim_);
-        // Pre-activations: x W_ih^T + h W_hh^T + b, both MX-quantized.
-        Tensor pre = qmatmul_nt(xt, w_ih_.value, spec_.forward,
-                                spec_.rounding);
-        Tensor hpre = qmatmul_nt(state.h, w_hh_.value, spec_.forward,
-                                 spec_.rounding);
+        // Pre-activations: x W_ih^T + h W_hh^T + b, both MX-quantized
+        // (weights from the frozen snapshot when one is active).
+        Tensor pre = gate_matmul(xt, w_ih_, frozen_w_ih_);
+        Tensor hpre = gate_matmul(state.h, w_hh_, frozen_w_hh_);
         tensor::axpy(pre, 1.0f, hpre);
         pre = tensor::add_row_bias(pre, bias_.value);
 

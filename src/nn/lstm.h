@@ -9,6 +9,7 @@
  * the gate nonlinearities are element-wise and stay in scalar float.
  */
 
+#include "nn/frozen.h"
 #include "nn/layer.h"
 #include "nn/quant.h"
 #include "stats/rng.h"
@@ -69,10 +70,22 @@ class Lstm
 
     void collect_params(std::vector<Param*>& out);
 
+    /** Snapshot Q(W_ih) and Q(W_hh) under the weight format so every
+     *  timestep of every frozen forward reuses them. */
+    void freeze();
+    /** Adopt @p spec, then freeze. */
+    void freeze(const QuantSpec& spec);
+    void unfreeze();
+    bool frozen() const { return frozen_w_ih_.valid(); }
+
     /** The quantization policy. */
     QuantSpec& spec() { return spec_; }
 
   private:
+    /** One gate contraction a W^T, weight side frozen when available. */
+    tensor::Tensor gate_matmul(const tensor::Tensor& a, const Param& w,
+                               const FrozenTensor& fz) const;
+
     struct StepCache
     {
         tensor::Tensor x;       // [B, D]
@@ -87,6 +100,7 @@ class Lstm
     Param w_ih_; // [4H, D]
     Param w_hh_; // [4H, H]
     Param bias_; // [4H]
+    FrozenTensor frozen_w_ih_, frozen_w_hh_;
     std::vector<StepCache> cache_;
     std::int64_t cached_batch_ = 0;
 };

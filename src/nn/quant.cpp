@@ -19,26 +19,17 @@ quantize_rows(const Tensor& t, const core::BdrFormat& fmt,
     if (fmt.s_kind == core::ScaleKind::Pow2Hw &&
         fmt.elem == core::ElementKind::SignMagnitude) {
         // Plan once per tensor, then execute through the dispatched
-        // kernel.  When rows are a whole number of k1-blocks, the whole
-        // tensor is one contiguous kernel call: blocks cannot straddle
-        // a row boundary, so this is exactly the per-row result.
+        // kernel's row-aware entry point: aligned widths collapse to a
+        // single contiguous call, ragged widths run one kernel call per
+        // row so each row ends in its own short tail block — both are
+        // the kernel fast path (no per-block fallback).
         const core::kernels::QuantPlan plan =
             core::kernels::make_quant_plan(fmt);
-        const core::kernels::QuantKernel& kernel =
-            core::kernels::active_kernel();
         core::Rounder rounder(rounding);
-        const std::int64_t rows = t.dim(0), cols = t.dim(1);
-        if (cols % fmt.k1 == 0) {
-            kernel.quantize(plan, t.span(), out.span(), rounder);
-            return out;
-        }
-        for (std::int64_t r = 0; r < rows; ++r) {
-            std::span<const float> in(t.data() + r * cols,
-                                      static_cast<std::size_t>(cols));
-            std::span<float> dst(out.data() + r * cols,
-                                 static_cast<std::size_t>(cols));
-            kernel.quantize(plan, in, dst, rounder);
-        }
+        core::kernels::active_kernel().quantize_rows(
+            plan, t.data(), out.data(),
+            static_cast<std::size_t>(t.dim(0)),
+            static_cast<std::size_t>(t.dim(1)), rounder);
     } else {
         // Per-tensor software scale (INT / FP / VSQ): one JIT scale for
         // the whole tensor, matching per-tensor scaling practice.

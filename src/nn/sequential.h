@@ -5,10 +5,12 @@
  * Ordered layer container with pass-through forward/backward.
  */
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "nn/layer.h"
+#include "nn/quant.h"
 
 namespace mx {
 namespace nn {
@@ -59,6 +61,38 @@ class Sequential : public Layer
     {
         for (auto& l : layers_)
             l->collect_params(out);
+    }
+
+    /** Freeze every layer under its own current spec (preserves
+     *  mixed-precision recipes like keep-first/last-FP32). */
+    void
+    freeze() override
+    {
+        for (auto& l : layers_)
+            l->freeze();
+    }
+
+    /** Re-point every layer at @p spec, then freeze. */
+    void
+    freeze(const QuantSpec& spec) override
+    {
+        for (auto& l : layers_)
+            l->freeze(spec);
+    }
+
+    void
+    unfreeze() override
+    {
+        for (auto& l : layers_)
+            l->unfreeze();
+    }
+
+    /** True when any layer holds a frozen snapshot. */
+    bool
+    frozen() const override
+    {
+        return std::any_of(layers_.begin(), layers_.end(),
+                           [](const auto& l) { return l->frozen(); });
     }
 
     /** Number of layers. */

@@ -1,0 +1,247 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "core/check.h"
+
+namespace mx {
+namespace serve {
+
+using tensor::Tensor;
+
+namespace {
+
+std::size_t
+env_size(const char* name, std::size_t fallback)
+{
+    const char* v = std::getenv(name);
+    if (v == nullptr || v[0] == '\0')
+        return fallback;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0' || parsed == 0)
+        return fallback;
+    return static_cast<std::size_t>(parsed);
+}
+
+double
+ms_between(std::chrono::steady_clock::time_point a,
+           std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+} // namespace
+
+std::size_t
+EngineConfig::default_max_batch()
+{
+    return env_size("MX_SERVE_BATCH", 16);
+}
+
+std::size_t
+EngineConfig::default_queue_capacity()
+{
+    return env_size("MX_SERVE_QUEUE", 256);
+}
+
+double
+EngineStats::mean_batch_rows() const
+{
+    if (batches == 0)
+        return 0.0;
+    // From the histogram, not `requests`: rows still queued have been
+    // accepted but not batched yet.
+    std::uint64_t rows = 0;
+    for (std::size_t b = 0; b < batch_size_hist.size(); ++b)
+        rows += batch_size_hist[b] * b;
+    return static_cast<double>(rows) / static_cast<double>(batches);
+}
+
+InferenceEngine::InferenceEngine(BatchFn fn, std::int64_t in_dim,
+                                 EngineConfig cfg)
+    : fn_(std::move(fn)), in_dim_(in_dim), cfg_(cfg)
+{
+    MX_CHECK_ARG(fn_ != nullptr, "InferenceEngine: null batch function");
+    MX_CHECK_ARG(in_dim_ >= 1, "InferenceEngine: bad input width");
+    if (cfg_.max_batch == 0)
+        cfg_.max_batch = EngineConfig::default_max_batch();
+    if (cfg_.queue_capacity == 0)
+        cfg_.queue_capacity = EngineConfig::default_queue_capacity();
+    if (cfg_.pool == nullptr)
+        cfg_.pool = &core::ThreadPool::shared();
+    stats_.batch_size_hist.assign(cfg_.max_batch + 1, 0);
+    worker_ = std::thread([this] { worker_loop(); });
+}
+
+InferenceEngine::~InferenceEngine()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    worker_.join();
+}
+
+std::future<Reply>
+InferenceEngine::submit(std::vector<float> row)
+{
+    MX_CHECK_ARG(static_cast<std::int64_t>(row.size()) == in_dim_,
+                 "InferenceEngine: request row has " << row.size()
+                     << " features, engine expects " << in_dim_);
+    std::unique_lock<std::mutex> lk(mu_);
+    MX_CHECK_ARG(!stop_, "InferenceEngine: submit after shutdown");
+    not_full_.wait(lk, [this] {
+        return queue_.size() < cfg_.queue_capacity || stop_;
+    });
+    MX_CHECK_ARG(!stop_, "InferenceEngine: shut down while waiting for "
+                         "queue space");
+    Pending p;
+    p.row = std::move(row);
+    p.enqueued = std::chrono::steady_clock::now();
+    std::future<Reply> fut = p.promise.get_future();
+    queue_.push_back(std::move(p));
+    ++stats_.requests;
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    not_empty_.notify_one();
+    return fut;
+}
+
+void
+InferenceEngine::drain()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_.wait(lk, [this] { return queue_.empty() && !busy_; });
+}
+
+EngineStats
+InferenceEngine::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+void
+InferenceEngine::worker_loop()
+{
+    for (;;) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            not_empty_.wait(lk, [this] { return !queue_.empty() || stop_; });
+            if (queue_.empty()) // stop_ set and nothing left to serve
+                return;
+            busy_ = true;
+            while (!queue_.empty() && batch.size() < cfg_.max_batch) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            ++stats_.batches;
+            ++stats_.batch_size_hist[batch.size()];
+        }
+        not_full_.notify_all();
+
+        execute(batch);
+
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            busy_ = false;
+        }
+        idle_.notify_all();
+    }
+}
+
+void
+InferenceEngine::execute(std::vector<Pending>& batch)
+{
+    const std::int64_t rows = static_cast<std::int64_t>(batch.size());
+    const auto picked_up = std::chrono::steady_clock::now();
+
+    // Gather request rows [lo, hi) into one contiguous input tensor.
+    auto gather = [&](std::int64_t lo, std::int64_t hi) {
+        Tensor in({hi - lo, in_dim_});
+        for (std::int64_t r = lo; r < hi; ++r)
+            std::copy(batch[static_cast<std::size_t>(r)].row.begin(),
+                      batch[static_cast<std::size_t>(r)].row.end(),
+                      in.data() + (r - lo) * in_dim_);
+        return in;
+    };
+
+    // Shard row-independent batches into contiguous chunks across the
+    // pool; chunking cannot change any output row (each row's result
+    // depends only on that row), so the reply stream is bit-identical
+    // to the single-call execution.
+    const std::size_t lanes = cfg_.pool->thread_count();
+    const std::size_t n_chunks =
+        cfg_.rows_independent && rows > 1 && lanes > 1
+            ? std::min<std::size_t>(static_cast<std::size_t>(rows), lanes)
+            : 1;
+
+    std::vector<Tensor> outs(n_chunks);
+    try {
+        if (n_chunks == 1) {
+            outs[0] = fn_(gather(0, rows));
+        } else {
+            const std::int64_t base = rows / static_cast<std::int64_t>(
+                                                 n_chunks);
+            const std::int64_t rem = rows % static_cast<std::int64_t>(
+                                                n_chunks);
+            std::vector<std::int64_t> starts(n_chunks + 1, 0);
+            for (std::size_t c = 0; c < n_chunks; ++c)
+                starts[c + 1] = starts[c] + base +
+                                (static_cast<std::int64_t>(c) < rem ? 1 : 0);
+            cfg_.pool->parallel_for(n_chunks, [&](std::size_t c) {
+                outs[c] = fn_(gather(starts[c], starts[c + 1]));
+            });
+        }
+        std::int64_t out_dim = -1;
+        std::int64_t covered = 0;
+        for (const Tensor& o : outs) {
+            MX_CHECK_ARG(o.ndim() == 2,
+                         "InferenceEngine: batch function must return a "
+                         "2-d [rows, out] tensor");
+            MX_CHECK_ARG(out_dim < 0 || o.dim(1) == out_dim,
+                         "InferenceEngine: batch function changed its "
+                         "output width mid-batch");
+            out_dim = o.dim(1);
+            covered += o.dim(0);
+        }
+        MX_CHECK_ARG(covered == rows,
+                     "InferenceEngine: batch function returned "
+                         << covered << " rows for a " << rows
+                         << "-row batch");
+
+        const auto done = std::chrono::steady_clock::now();
+        std::size_t idx = 0;
+        for (const Tensor& o : outs) {
+            for (std::int64_t r = 0; r < o.dim(0); ++r, ++idx) {
+                Pending& p = batch[idx];
+                Reply reply;
+                reply.output.assign(o.data() + r * out_dim,
+                                    o.data() + (r + 1) * out_dim);
+                reply.queue_ms = ms_between(p.enqueued, picked_up);
+                reply.latency_ms = ms_between(p.enqueued, done);
+                reply.batch_rows = batch.size();
+                p.promise.set_value(std::move(reply));
+            }
+        }
+    } catch (...) {
+        // Fail the whole batch with the thrown error; the engine keeps
+        // serving subsequent batches.
+        const std::exception_ptr err = std::current_exception();
+        for (Pending& p : batch) {
+            try {
+                p.promise.set_exception(err);
+            } catch (const std::future_error&) {
+                // Already completed before the throw; leave it.
+            }
+        }
+    }
+}
+
+} // namespace serve
+} // namespace mx

@@ -1,0 +1,161 @@
+#pragma once
+
+/**
+ * @file
+ * mx_serve: a batched quantized-inference engine.
+ *
+ * The deployment half of the freeze-and-serve split (nn/frozen.h): a
+ * model is frozen once — weights quantized and snapshotted — and an
+ * InferenceEngine then serves single-row requests against it.  The
+ * engine owns a bounded request queue and a micro-batcher: a worker
+ * drains up to `max_batch` queued requests at a time, coalesces their
+ * rows into one [B, in] tensor, executes the batch (sharded across
+ * core::ThreadPool when the model declares its rows independent), and
+ * completes each request's future with its output row plus queue/total
+ * latency and the batch size it rode in.
+ *
+ * Determinism contract: because every layer's eval forward is
+ * row-independent and deterministic, a request's output is bit-identical
+ * no matter how the batcher coalesces it — alone, with 7 strangers, or
+ * sharded across lanes.  tests/test_serve.cpp pins this.
+ *
+ * Knobs (also per-engine via EngineConfig):
+ *   MX_SERVE_BATCH  max rows coalesced per batch      (default 16)
+ *   MX_SERVE_QUEUE  bounded queue capacity in rows    (default 256)
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace mx {
+namespace serve {
+
+/** Engine sizing; zeros resolve from the environment at construction. */
+struct EngineConfig
+{
+    /** Max rows coalesced into one batch (0 = $MX_SERVE_BATCH / 16). */
+    std::size_t max_batch = 0;
+    /** Bounded queue capacity; submit() blocks when full
+     *  (0 = $MX_SERVE_QUEUE / 256). */
+    std::size_t queue_capacity = 0;
+    /**
+     * Declare that the batch function maps each input row to its output
+     * row independently and its eval path is thread-safe (true for all
+     * frozen mx models: eval forwards are mutation-free).  The engine
+     * then shards large batches across the thread pool.
+     */
+    bool rows_independent = false;
+    /** Pool for sharded execution (nullptr = ThreadPool::shared()). */
+    core::ThreadPool* pool = nullptr;
+
+    /** $MX_SERVE_BATCH, or 16. */
+    static std::size_t default_max_batch();
+    /** $MX_SERVE_QUEUE, or 256. */
+    static std::size_t default_queue_capacity();
+};
+
+/** One completed request. */
+struct Reply
+{
+    std::vector<float> output; ///< The request's output row.
+    double queue_ms = 0;       ///< Enqueue -> batch pickup.
+    double latency_ms = 0;     ///< Enqueue -> completion.
+    std::size_t batch_rows = 0; ///< Size of the coalesced batch.
+};
+
+/** Aggregate counters (snapshot via InferenceEngine::stats()). */
+struct EngineStats
+{
+    std::uint64_t requests = 0; ///< Rows accepted by submit().
+    std::uint64_t batches = 0;  ///< Batches executed.
+    std::size_t max_queue_depth = 0; ///< High-water mark of the queue.
+    /** batch_size_hist[b] = batches that coalesced exactly b rows
+     *  (index 0 unused; size = max_batch + 1). */
+    std::vector<std::uint64_t> batch_size_hist;
+
+    /** Mean coalesced batch size. */
+    double mean_batch_rows() const;
+};
+
+/**
+ * Serves single-row requests against one frozen model, coalescing them
+ * into batches.  One worker thread owns the model (models are not
+ * re-entrant across batches); within a batch, execution shards across
+ * the thread pool when the config declares rows independent.
+ */
+class InferenceEngine
+{
+  public:
+    /** Batch executor: [B, in] -> [B, out] (rows aligned). */
+    using BatchFn = std::function<tensor::Tensor(const tensor::Tensor&)>;
+
+    /**
+     * @param fn     the frozen model's batched eval forward
+     * @param in_dim request row width
+     * @param cfg    sizing knobs (zeros resolve from the environment)
+     */
+    InferenceEngine(BatchFn fn, std::int64_t in_dim, EngineConfig cfg = {});
+
+    /** Drains already-accepted requests, then joins the worker. */
+    ~InferenceEngine();
+
+    InferenceEngine(const InferenceEngine&) = delete;
+    InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+    /**
+     * Enqueue one request row; blocks while the queue is at capacity
+     * (back-pressure).  The future completes when its batch executes;
+     * it carries the batch function's exception if one was thrown.
+     */
+    std::future<Reply> submit(std::vector<float> row);
+
+    /** Block until every accepted request has completed. */
+    void drain();
+
+    /** Counter snapshot. */
+    EngineStats stats() const;
+
+    std::int64_t in_dim() const { return in_dim_; }
+    std::size_t max_batch() const { return cfg_.max_batch; }
+    std::size_t queue_capacity() const { return cfg_.queue_capacity; }
+
+  private:
+    struct Pending
+    {
+        std::vector<float> row;
+        std::promise<Reply> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void worker_loop();
+    void execute(std::vector<Pending>& batch);
+
+    BatchFn fn_;
+    std::int64_t in_dim_;
+    EngineConfig cfg_;
+
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::condition_variable idle_;
+    std::deque<Pending> queue_;
+    bool stop_ = false;
+    bool busy_ = false;
+    EngineStats stats_;
+
+    std::thread worker_;
+};
+
+} // namespace serve
+} // namespace mx

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * InferenceEngine tests: replies match the direct forward bit-for-bit,
+ * the batcher's coalescing choices cannot change any output (the serve
+ * determinism contract), the bounded queue applies back-pressure, and
+ * batch-function errors propagate through the request futures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "models/mlp.h"
+#include "models/transformer.h"
+#include "nn/quant.h"
+#include "serve/engine.h"
+#include "stats/rng.h"
+
+using namespace mx;
+using tensor::Tensor;
+
+namespace {
+
+/** A frozen MX9 MLP and its engine batch function. */
+struct FrozenMlp
+{
+    models::MlpClassifier model;
+
+    FrozenMlp()
+        : model(16, {24}, 4, nn::QuantSpec::forward_only(core::mx9()), 91)
+    {
+        model.freeze();
+    }
+
+    serve::InferenceEngine::BatchFn
+    fn()
+    {
+        return [this](const Tensor& batch) {
+            return model.logits(batch, /*train=*/false);
+        };
+    }
+};
+
+std::vector<std::vector<float>>
+random_rows(std::size_t n, std::int64_t dim, std::uint64_t seed)
+{
+    stats::Rng rng(seed);
+    std::vector<std::vector<float>> rows(n);
+    for (auto& r : rows) {
+        r.resize(static_cast<std::size_t>(dim));
+        for (float& v : r)
+            v = static_cast<float>(rng.uniform(-2.0, 2.0));
+    }
+    return rows;
+}
+
+} // namespace
+
+TEST(InferenceEngine, RepliesMatchDirectForwardBitForBit)
+{
+    FrozenMlp m;
+    serve::EngineConfig cfg;
+    cfg.max_batch = 4;
+    cfg.queue_capacity = 32;
+    cfg.rows_independent = true;
+    serve::InferenceEngine engine(m.fn(), 16, cfg);
+
+    auto rows = random_rows(10, 16, 7);
+    std::vector<std::future<serve::Reply>> futures;
+    for (const auto& r : rows)
+        futures.push_back(engine.submit(r));
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        serve::Reply reply = futures[i].get();
+        Tensor x({1, 16});
+        std::copy(rows[i].begin(), rows[i].end(), x.data());
+        Tensor direct = m.model.logits(x, false);
+        ASSERT_EQ(reply.output.size(), static_cast<std::size_t>(4));
+        for (std::int64_t j = 0; j < 4; ++j)
+            EXPECT_EQ(reply.output[static_cast<std::size_t>(j)],
+                      direct.data()[j])
+                << "request " << i << " logit " << j;
+        EXPECT_GE(reply.batch_rows, 1u);
+        EXPECT_LE(reply.batch_rows, 4u);
+        EXPECT_GE(reply.latency_ms, reply.queue_ms);
+        EXPECT_GE(reply.queue_ms, 0.0);
+    }
+
+    serve::EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.requests, 10u);
+    std::uint64_t hist_rows = 0, hist_batches = 0;
+    for (std::size_t b = 0; b < stats.batch_size_hist.size(); ++b) {
+        hist_rows += stats.batch_size_hist[b] * b;
+        hist_batches += stats.batch_size_hist[b];
+    }
+    EXPECT_EQ(hist_rows, stats.requests);
+    EXPECT_EQ(hist_batches, stats.batches);
+}
+
+TEST(InferenceEngine, CoalescingOrderCannotChangeOutputs)
+{
+    // The same request stream through a no-batching engine, a heavily
+    // coalescing engine, and a sharded engine must produce identical
+    // bits: batching is an execution detail, never a numeric one.
+    FrozenMlp m;
+    auto rows = random_rows(16, 16, 11);
+
+    auto run = [&](std::size_t max_batch, bool rows_independent,
+                   core::ThreadPool* pool) {
+        serve::EngineConfig cfg;
+        cfg.max_batch = max_batch;
+        cfg.queue_capacity = 64;
+        cfg.rows_independent = rows_independent;
+        cfg.pool = pool;
+        serve::InferenceEngine engine(m.fn(), 16, cfg);
+        std::vector<std::future<serve::Reply>> futures;
+        for (const auto& r : rows)
+            futures.push_back(engine.submit(r));
+        std::vector<std::vector<float>> outs;
+        for (auto& f : futures)
+            outs.push_back(f.get().output);
+        return outs;
+    };
+
+    core::ThreadPool pool(4);
+    auto singles = run(1, false, nullptr);
+    auto batched = run(8, false, nullptr);
+    auto sharded = run(16, true, &pool);
+    ASSERT_EQ(singles.size(), batched.size());
+    for (std::size_t i = 0; i < singles.size(); ++i) {
+        EXPECT_EQ(singles[i], batched[i]) << "request " << i;
+        EXPECT_EQ(singles[i], sharded[i]) << "request " << i;
+    }
+}
+
+TEST(InferenceEngine, TransformerSequencesAreCoalescingInvariant)
+{
+    // Sequence models serve one whole token window per request row; the
+    // batcher coalesces windows, never tokens, so outputs stay exact.
+    models::TransformerConfig cfg;
+    cfg.vocab = 16;
+    cfg.d_model = 32;
+    cfg.heads = 2;
+    cfg.layers = 1;
+    cfg.seq_len = 8;
+    cfg.spec = nn::QuantSpec::forward_only(core::mx9());
+    models::GptMini model(cfg);
+    model.freeze();
+
+    // One output row per request window: the last position's logits.
+    auto batch_fn = [&](const Tensor& in) {
+        return model.window_logits(in);
+    };
+
+    stats::Rng rng(13);
+    std::vector<std::vector<float>> windows(6);
+    for (auto& w : windows) {
+        w.resize(static_cast<std::size_t>(cfg.seq_len));
+        for (float& t : w)
+            t = static_cast<float>(rng.next_u64() % cfg.vocab);
+    }
+
+    auto run = [&](std::size_t max_batch, bool shard) {
+        serve::EngineConfig ec;
+        ec.max_batch = max_batch;
+        ec.queue_capacity = 16;
+        ec.rows_independent = shard;
+        serve::InferenceEngine engine(batch_fn, cfg.seq_len, ec);
+        std::vector<std::future<serve::Reply>> futures;
+        for (const auto& w : windows)
+            futures.push_back(engine.submit(w));
+        std::vector<std::vector<float>> outs;
+        for (auto& f : futures)
+            outs.push_back(f.get().output);
+        return outs;
+    };
+
+    auto singles = run(1, false);
+    auto coalesced = run(6, true);
+    for (std::size_t i = 0; i < windows.size(); ++i)
+        EXPECT_EQ(singles[i], coalesced[i]) << "window " << i;
+}
+
+TEST(InferenceEngine, BoundedQueueAppliesBackpressure)
+{
+    serve::EngineConfig cfg;
+    cfg.max_batch = 1;
+    cfg.queue_capacity = 2;
+    serve::InferenceEngine engine(
+        [](const Tensor& in) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            return in; // echo
+        },
+        4, cfg);
+
+    auto rows = random_rows(12, 4, 17);
+    std::vector<std::future<serve::Reply>> futures;
+    for (const auto& r : rows)
+        futures.push_back(engine.submit(r)); // blocks while queue full
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(futures[i].get().output, rows[i]);
+
+    serve::EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.requests, 12u);
+    EXPECT_LE(stats.max_queue_depth, 2u);
+}
+
+TEST(InferenceEngine, DrainWaitsForAllAcceptedWork)
+{
+    serve::EngineConfig cfg;
+    cfg.max_batch = 4;
+    cfg.queue_capacity = 16;
+    serve::InferenceEngine engine(
+        [](const Tensor& in) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            return in;
+        },
+        4, cfg);
+    auto rows = random_rows(8, 4, 19);
+    std::vector<std::future<serve::Reply>> futures;
+    for (const auto& r : rows)
+        futures.push_back(engine.submit(r));
+    engine.drain();
+    for (auto& f : futures)
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+}
+
+TEST(InferenceEngine, BatchFunctionErrorsPropagateToFutures)
+{
+    serve::EngineConfig cfg;
+    cfg.max_batch = 4;
+    cfg.queue_capacity = 8;
+    serve::InferenceEngine engine(
+        [](const Tensor&) -> Tensor {
+            throw std::runtime_error("model exploded");
+        },
+        4, cfg);
+    auto fut = engine.submit(std::vector<float>(4, 0.5f));
+    EXPECT_THROW(fut.get(), std::runtime_error);
+    // The engine keeps serving after a failed batch.
+    auto fut2 = engine.submit(std::vector<float>(4, 0.25f));
+    EXPECT_THROW(fut2.get(), std::runtime_error);
+}
+
+TEST(InferenceEngine, RejectsMalformedRequestsAndBatchFns)
+{
+    FrozenMlp m;
+    serve::InferenceEngine engine(m.fn(), 16);
+    EXPECT_THROW(engine.submit(std::vector<float>(3, 0.0f)),
+                 ArgumentError);
+    EXPECT_THROW(serve::InferenceEngine(nullptr, 4), ArgumentError);
+    EXPECT_THROW(serve::InferenceEngine(m.fn(), 0), ArgumentError);
+}
+
+TEST(InferenceEngine, EnvironmentKnobsResolveDefaults)
+{
+    ::setenv("MX_SERVE_BATCH", "3", 1);
+    ::setenv("MX_SERVE_QUEUE", "5", 1);
+    EXPECT_EQ(serve::EngineConfig::default_max_batch(), 3u);
+    EXPECT_EQ(serve::EngineConfig::default_queue_capacity(), 5u);
+    {
+        FrozenMlp m;
+        serve::InferenceEngine engine(m.fn(), 16);
+        EXPECT_EQ(engine.max_batch(), 3u);
+        EXPECT_EQ(engine.queue_capacity(), 5u);
+    }
+    ::setenv("MX_SERVE_BATCH", "not-a-number", 1);
+    EXPECT_EQ(serve::EngineConfig::default_max_batch(), 16u);
+    ::unsetenv("MX_SERVE_BATCH");
+    ::unsetenv("MX_SERVE_QUEUE");
+    EXPECT_EQ(serve::EngineConfig::default_max_batch(), 16u);
+    EXPECT_EQ(serve::EngineConfig::default_queue_capacity(), 256u);
+}
