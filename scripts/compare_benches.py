@@ -176,7 +176,7 @@ def main() -> int:
     ap.add_argument(
         "--verbose",
         action="store_true",
-        help="also print metrics that passed",
+        help="deprecated no-op: passing metrics always print",
     )
     args = ap.parse_args()
 
@@ -197,9 +197,11 @@ def main() -> int:
         base, cur, args.throughput_tol, args.qsnr_tol
     )
 
-    if args.verbose:
-        for line in notes:
-            print(f"  {line}")
+    # Per-metric comparison lines print on success too, so CI logs show
+    # the speedup a PR actually delivered, not only its failures
+    # (--verbose is kept for compatibility; it no longer gates output).
+    for line in notes:
+        print(f"  {line}")
     print(
         f"compare_benches: {len(base)} baseline bench(es), "
         f"{len(regressions)} regression(s)"

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Run every bench binary and collect the BENCH_<name>.json reports.
 #
-#   scripts/run_benches.sh [BUILD_DIR] [OUT_DIR]
+#   scripts/run_benches.sh [--only=NAMES] [BUILD_DIR] [OUT_DIR]
 #
+#   --only=NAMES  comma-separated name filter so a single bench (e.g.
+#                 gemm_packed) can be rerun without the full suite;
+#                 each entry must exactly match a known bench name
 #   BUILD_DIR  cmake build tree (default: build; configured+built on
 #              demand when missing)
 #   OUT_DIR    where the JSON reports land (default: BUILD_DIR/bench_results)
 #
 # Environment:
 #   MX_BENCH_FAST=1   shrink Monte-Carlo sizes for a smoke run
-#   MX_BENCH_ONLY=perf_quantize,fig7_pareto   run a subset
+#   MX_BENCH_ONLY=perf_quantize,fig7_pareto   same filter as --only
 #
 # Exit status is the number of benches that failed their claim checks
 # or were requested but had no binary (0 = everything ran and
@@ -18,11 +21,22 @@
 set -u
 
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
-BUILD_DIR=${1:-"$REPO_ROOT/build"}
-OUT_DIR=${2:-"$BUILD_DIR/bench_results"}
+
+ONLY=""
+POSITIONAL=()
+for arg in "$@"; do
+    case "$arg" in
+        --only=*) ONLY="${arg#--only=}" ;;
+        --only)   echo "usage: --only=name1,name2" >&2; exit 2 ;;
+        *)        POSITIONAL+=("$arg") ;;
+    esac
+done
+BUILD_DIR=${POSITIONAL[0]:-"$REPO_ROOT/build"}
+OUT_DIR=${POSITIONAL[1]:-"$BUILD_DIR/bench_results"}
 
 BENCHES=(
     perf_quantize
+    gemm_packed
     serve_latency
     table1_table2_formats
     fig1_scaling_example
@@ -38,8 +52,26 @@ BENCHES=(
     table7_gpt_train
 )
 
-if [ -n "${MX_BENCH_ONLY:-}" ]; then
-    IFS=',' read -r -a BENCHES <<< "$MX_BENCH_ONLY"
+# --only beats MX_BENCH_ONLY; both take a comma-separated name list.
+FILTER=${ONLY:-${MX_BENCH_ONLY:-}}
+if [ -n "$FILTER" ]; then
+    IFS=',' read -r -a REQUESTED <<< "$FILTER"
+    SELECTED=()
+    for want in "${REQUESTED[@]}"; do
+        found=0
+        for b in "${BENCHES[@]}"; do
+            if [ "$b" = "$want" ]; then
+                SELECTED+=("$b")
+                found=1
+                break
+            fi
+        done
+        if [ "$found" = 0 ]; then
+            echo "== unknown bench '$want' (known: ${BENCHES[*]})" >&2
+            exit 2
+        fi
+    done
+    BENCHES=("${SELECTED[@]}")
 fi
 
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
@@ -50,9 +82,16 @@ echo "== building bench_all"
 cmake --build "$BUILD_DIR" --target bench_all -j "$(nproc)" || exit 1
 
 mkdir -p "$OUT_DIR"
-# Drop stale reports so a bench that dies before writing its JSON can't
-# leave a previous run's numbers masquerading as current results.
-rm -f "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/fig7_sweep.csv
+# Drop the selected benches' stale artifacts so one that dies before
+# writing its output can't leave a previous run's numbers masquerading
+# as current results; a filtered rerun keeps the other benches'
+# reports.
+for b in "${BENCHES[@]}"; do
+    rm -f "$OUT_DIR/BENCH_$b.json"
+    if [ "$b" = "fig7_pareto" ]; then
+        rm -f "$OUT_DIR"/fig7_sweep.csv
+    fi
+done
 export MX_BENCH_OUT_DIR="$OUT_DIR"
 
 failures=0

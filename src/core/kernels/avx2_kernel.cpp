@@ -45,14 +45,11 @@ namespace {
 /** Stack capacity for per-block scratch; larger k1 delegates. */
 constexpr std::size_t kStackBlock = 512;
 
-/** 2^e as a double (normal range; ldexp covers decode-side extremes). */
+/** 2^e as a double (the shared detail::pow2_double). */
 inline double
 pow2d(int e)
 {
-    if (e >= -1022 && e <= 1023)
-        return std::bit_cast<double>(
-            static_cast<std::uint64_t>(e + 1023) << 52);
-    return std::ldexp(1.0, e);
+    return detail::pow2_double(e);
 }
 
 /** Horizontal max of 8 floats. */

@@ -41,19 +41,16 @@ span_exponent(const float* p, std::size_t n)
 }
 
 /**
- * 2^e as a double.  Exponent-field assembly for the normal range (every
- * step/inv_step of a nonzero block lands there: shared_e is bounded by
- * the float exponent range, so e stays within [-427, 427]); ldexp
- * handles the decode of all-zero blocks, whose e_min-based exponent can
- * leave the normal range for wide d1.
+ * 2^e as a double: the shared detail::pow2_double (every step/inv_step
+ * of a nonzero block lands in the normal range: shared_e is bounded by
+ * the float exponent range, so e stays within [-427, 427]; the ldexp
+ * fallback covers the decode of all-zero blocks, whose e_min-based
+ * exponent can leave the normal range for wide d1).
  */
 inline double
 pow2d(int e)
 {
-    if (e >= -1022 && e <= 1023)
-        return std::bit_cast<double>(
-            static_cast<std::uint64_t>(e + 1023) << 52);
-    return std::ldexp(1.0, e);
+    return detail::pow2_double(e);
 }
 
 } // namespace

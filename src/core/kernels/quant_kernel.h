@@ -24,6 +24,8 @@
  * overridable with MX_FORCE_SCALAR=1).
  */
 
+#include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -183,6 +185,23 @@ class QuantKernel
 };
 
 namespace detail {
+
+/**
+ * 2^e as a double.  Exponent-field assembly for the normal range; ldexp
+ * handles the extremes (all-zero-block decode exponents and combined
+ * packed-GEMM block exponents can leave the normal range for wide d1).
+ * Shared by every kernel implementation — quantize, dequantize, and the
+ * packed-GEMM block alignment — so scale arithmetic is bit-identical
+ * across the scalar, AVX2, and gemm execution paths by construction.
+ */
+inline double
+pow2_double(int e)
+{
+    if (e >= -1022 && e <= 1023)
+        return std::bit_cast<double>(
+            static_cast<std::uint64_t>(e + 1023) << 52);
+    return std::ldexp(1.0, e);
+}
 
 /**
  * Emit one quantized block's fields into the packed stream — the layout

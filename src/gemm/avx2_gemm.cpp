@@ -1,0 +1,151 @@
+/**
+ * @file
+ * AVX2 PackedGemmKernel.  Bit-identical to the scalar reference by
+ * construction: every step up to the one double->float rounding per
+ * k1-block pair is exact integer arithmetic, so reassociating it across
+ * SIMD lanes cannot change the result.
+ *
+ * Fast path (the MX family: k1 = 16, k2 = 2 on both sides, m <= 7 —
+ * MX9/MX6/MX4 and their mx_custom neighbours):
+ *   - one _mm256_madd_epi16 multiplies 16 int16 mantissa pairs and adds
+ *     adjacent products, yielding all 8 k2-sub-block dot products of a
+ *     block in one instruction;
+ *   - the 8 combined shifts (budget - taua_s - taub_s) come from two
+ *     8-byte tau loads widened to epi32, applied with _mm256_sllv_epi32
+ *     (the per-sub-block shifter of Figure 6);
+ *   - the 8 shifted sub-sums fit int32 by the GemmPlan headroom check
+ *     and reduce horizontally to the block integer.
+ * Everything else — ragged tail blocks, non-16 k1, d2 = 0 sides, wide
+ * mantissas — delegates per block to detail::block_contrib, the same
+ * routine the scalar kernel runs.
+ *
+ * This translation unit is the only one in mx_gemm compiled with
+ * -mavx2; callers reach it through gemm::active_gemm_kernel(), which is
+ * slaved to the core/kernels runtime CPU dispatch.
+ */
+
+#include "gemm/packed_gemm.h"
+
+#if defined(MX_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace mx {
+namespace gemm {
+
+namespace {
+
+/** Horizontal sum of 8 int32 lanes (exact). */
+inline std::int32_t
+hsum_epi32(__m256i v)
+{
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                              _mm256_extracti128_si256(v, 1));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(s);
+}
+
+class Avx2GemmKernel final : public PackedGemmKernel
+{
+  public:
+    const char* name() const override { return "avx2"; }
+
+    void
+    gemm(const GemmPlan& plan, const PackedOperand& a,
+         const PackedOperand& b, float* c) const override
+    {
+        const bool fast =
+            plan.a.k1 == 16 && plan.a.k2 == 2 && plan.b.k2 == 2 &&
+            plan.a.d2 > 0 && plan.b.d2 > 0 &&
+            // 8 shifted sub-sums summed in int32: products reach
+            // 2^(ma+mb+1) per pair, << budget, x8 sub-blocks.
+            plan.a.m + plan.b.m + 1 + plan.budget + 3 <= 31;
+        if (!fast) {
+            scalar_gemm_kernel().gemm(plan, a, b, c);
+            return;
+        }
+
+        const std::size_t cols = a.cols();
+        MX_CHECK_ARG(a.valid() && b.valid() && cols == b.cols() &&
+                     a.plan().k1 == plan.a.k1 && a.plan().m == plan.a.m &&
+                     b.plan().k1 == plan.b.k1 && b.plan().m == plan.b.m,
+                     "gemm: operands do not match the GemmPlan");
+        const std::size_t full = cols / 16; // whole 16-element blocks
+        const std::size_t tail_off = full * 16;
+        const __m256i vbudget = _mm256_set1_epi32(plan.budget);
+
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+            const std::int16_t* am = a.row_mantissa(i);
+            const std::uint8_t* atau = a.row_tau(i);
+            const std::int16_t* aexp = a.row_exp(i);
+            float* crow = c + i * b.rows();
+            for (std::size_t j = 0; j < b.rows(); ++j) {
+                const std::int16_t* bm = b.row_mantissa(j);
+                const std::uint8_t* btau = b.row_tau(j);
+                const std::int16_t* bexp = b.row_exp(j);
+                float acc = 0.0f;
+                for (std::size_t blk = 0; blk < full; ++blk) {
+                    const std::size_t off = blk * 16;
+                    // 8 sub-block dot products in one madd.
+                    const __m256i ma = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(am + off));
+                    const __m256i mb = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(bm + off));
+                    const __m256i dots = _mm256_madd_epi16(ma, mb);
+                    // Per-sub-block shifts from the two tau streams.
+                    const __m256i ta = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                        reinterpret_cast<const __m128i*>(atau + off / 2)));
+                    const __m256i tb = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                        reinterpret_cast<const __m128i*>(btau + off / 2)));
+                    const __m256i shift = _mm256_sub_epi32(
+                        vbudget, _mm256_add_epi32(ta, tb));
+                    const __m256i aligned = _mm256_sllv_epi32(dots, shift);
+                    const std::int64_t blki = hsum_epi32(aligned);
+                    acc += static_cast<float>(
+                        static_cast<double>(blki) *
+                        core::kernels::detail::pow2_double(
+                            aexp[blk] + bexp[blk] - plan.exp_bias));
+                }
+                if (tail_off < cols)
+                    acc += detail::block_contrib(plan, am, atau,
+                                                 aexp[full], bm, btau,
+                                                 bexp[full], tail_off,
+                                                 cols - tail_off);
+                crow[j] = acc;
+            }
+        }
+    }
+};
+
+} // namespace
+
+const PackedGemmKernel*
+avx2_gemm_kernel()
+{
+    static const Avx2GemmKernel kernel;
+    return &kernel;
+}
+
+} // namespace gemm
+} // namespace mx
+
+#else // !MX_HAVE_AVX2
+
+namespace mx {
+namespace gemm {
+
+const PackedGemmKernel*
+avx2_gemm_kernel()
+{
+    return nullptr;
+}
+
+} // namespace gemm
+} // namespace mx
+
+#endif // MX_HAVE_AVX2

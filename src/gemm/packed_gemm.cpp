@@ -1,0 +1,216 @@
+#include "gemm/packed_gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/check.h"
+#include "core/kernels/dispatch.h"
+
+namespace mx {
+namespace gemm {
+
+namespace {
+
+/** GEMMs executed (relaxed: observability only). */
+std::atomic<std::uint64_t> g_calls{0};
+
+/** -1 = unresolved, else a Mode value. */
+std::atomic<int> g_mode{-1};
+
+int
+env_mode()
+{
+    const char* v = std::getenv("MX_GEMM");
+    if (v != nullptr && std::strcmp(v, "0") == 0)
+        return static_cast<int>(Mode::Off);
+    if (v != nullptr && std::strcmp(v, "1") == 0)
+        return static_cast<int>(Mode::On);
+    return static_cast<int>(Mode::Auto);
+}
+
+bool
+env_verifies_gemm()
+{
+    const char* v = std::getenv("MX_GEMM_VERIFY");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+void
+check_pair(const GemmPlan& plan, const PackedOperand& a,
+           const PackedOperand& b)
+{
+    MX_CHECK_ARG(a.valid() && b.valid(), "gemm: invalid operand");
+    MX_CHECK_ARG(a.cols() == b.cols(),
+                 "gemm: contraction widths differ (" << a.cols() << " vs "
+                                                     << b.cols() << ")");
+    MX_CHECK_ARG(a.plan().k1 == plan.a.k1 && a.plan().m == plan.a.m &&
+                 b.plan().k1 == plan.b.k1 && b.plan().m == plan.b.m,
+                 "gemm: operand plans do not match the GemmPlan");
+}
+
+class ScalarGemmKernel final : public PackedGemmKernel
+{
+  public:
+    const char* name() const override { return "scalar"; }
+
+    void
+    gemm(const GemmPlan& plan, const PackedOperand& a,
+         const PackedOperand& b, float* c) const override
+    {
+        check_pair(plan, a, b);
+        const std::size_t k1 = static_cast<std::size_t>(plan.a.k1);
+        const std::size_t cols = a.cols();
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+            const std::int16_t* am = a.row_mantissa(i);
+            const std::uint8_t* atau = a.row_tau(i);
+            const std::int16_t* aexp = a.row_exp(i);
+            float* crow = c + i * b.rows();
+            for (std::size_t j = 0; j < b.rows(); ++j) {
+                const std::int16_t* bm = b.row_mantissa(j);
+                const std::uint8_t* btau = b.row_tau(j);
+                const std::int16_t* bexp = b.row_exp(j);
+                float acc = 0.0f;
+                std::size_t blk = 0;
+                for (std::size_t off = 0; off < cols; off += k1, ++blk)
+                    acc += detail::block_contrib(
+                        plan, am, atau, aexp[blk], bm, btau, bexp[blk],
+                        off, std::min(k1, cols - off));
+                crow[j] = acc;
+            }
+        }
+    }
+};
+
+/** Dequantized-reference cross-check behind MX_GEMM_VERIFY=1. */
+void
+verify_against_reference(const PackedOperand& a, const PackedOperand& b,
+                         const float* c)
+{
+    auto dequant = [](const PackedOperand& op) {
+        const core::kernels::QuantPlan& p = op.plan();
+        tensor::Tensor t({static_cast<std::int64_t>(op.rows()),
+                          static_cast<std::int64_t>(op.cols())});
+        for (std::size_t r = 0; r < op.rows(); ++r) {
+            const std::int16_t* mant = op.row_mantissa(r);
+            const std::uint8_t* tau = op.row_tau(r);
+            const std::int16_t* exp = op.row_exp(r);
+            float* out = t.data() + r * op.cols();
+            for (std::size_t k = 0; k < op.cols(); ++k) {
+                const int e = exp[k / static_cast<std::size_t>(p.k1)] -
+                              tau[k / static_cast<std::size_t>(p.k2)] -
+                              (p.m - 1);
+                out[k] = static_cast<float>(
+                    static_cast<double>(mant[k]) *
+                    core::kernels::detail::pow2_double(e));
+            }
+        }
+        return t;
+    };
+    tensor::Tensor ref = tensor::matmul_nt(dequant(a), dequant(b));
+    double cmax = 0.0;
+    for (std::int64_t i = 0; i < ref.numel(); ++i)
+        cmax = std::max(cmax, std::fabs(static_cast<double>(ref.data()[i])));
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+        const double diff =
+            std::fabs(static_cast<double>(c[i]) - ref.data()[i]);
+        // The packed path accumulates across blocks in FP32 where the
+        // reference accumulates in FP64; the divergence bound is a few
+        // float ulps of the result magnitude per block.
+        MX_CHECK(diff <= 1e-4 * std::max(cmax, 1e-30),
+                 "MX_GEMM_VERIFY: packed GEMM diverged from the "
+                 "dequantized reference by " << diff << " at index " << i);
+    }
+}
+
+} // namespace
+
+const PackedGemmKernel&
+scalar_gemm_kernel()
+{
+    static const ScalarGemmKernel kernel;
+    return kernel;
+}
+
+const PackedGemmKernel&
+active_gemm_kernel()
+{
+    // Slaved to the quantize-kernel dispatch: same CPU probe, same
+    // MX_FORCE_SCALAR override, same set_force_scalar test hook.
+    const PackedGemmKernel* avx2 = avx2_gemm_kernel();
+    if (avx2 != nullptr &&
+        &core::kernels::active_kernel() != &core::kernels::scalar_kernel())
+        return *avx2;
+    return scalar_gemm_kernel();
+}
+
+Mode
+mode()
+{
+    int m = g_mode.load(std::memory_order_acquire);
+    if (m < 0) {
+        // Benign race: concurrent first calls resolve identically.
+        m = env_mode();
+        g_mode.store(m, std::memory_order_release);
+    }
+    return static_cast<Mode>(m);
+}
+
+void
+set_mode(Mode m)
+{
+    g_mode.store(static_cast<int>(m), std::memory_order_release);
+}
+
+bool
+packed_profitable()
+{
+    return &active_gemm_kernel() != &scalar_gemm_kernel();
+}
+
+bool
+route_packed(bool packed_only)
+{
+    switch (mode()) {
+      case Mode::Off: return false;
+      case Mode::On: return true;
+      case Mode::Auto: return packed_only || packed_profitable();
+    }
+    return false;
+}
+
+std::uint64_t
+call_count()
+{
+    return g_calls.load(std::memory_order_relaxed);
+}
+
+tensor::Tensor
+matmul_nt_packed(const tensor::Tensor& x,
+                 const core::kernels::QuantPlan& a_plan,
+                 const PackedOperand& w, core::RoundingMode rounding)
+{
+    MX_CHECK_ARG(x.ndim() == 2 && w.valid() &&
+                 x.dim(1) == static_cast<std::int64_t>(w.cols()),
+                 "matmul_nt_packed: activation shape "
+                     << x.shape_string() << " does not match packed ["
+                     << w.rows() << " x " << w.cols() << "]");
+    const GemmPlan plan = make_gemm_plan(a_plan, w.plan());
+    core::Rounder rounder(rounding);
+    const PackedOperand a = PackedOperand::quantize(
+        a_plan, x.data(), static_cast<std::size_t>(x.dim(0)), w.cols(),
+        rounder);
+    tensor::Tensor c(
+        {x.dim(0), static_cast<std::int64_t>(w.rows())});
+    active_gemm_kernel().gemm(plan, a, w, c.data());
+    g_calls.fetch_add(1, std::memory_order_relaxed);
+    static const bool verify = env_verifies_gemm();
+    if (verify)
+        verify_against_reference(a, w, c.data());
+    return c;
+}
+
+} // namespace gemm
+} // namespace mx

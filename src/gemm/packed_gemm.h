@@ -1,0 +1,172 @@
+#pragma once
+
+/**
+ * @file
+ * mx_gemm: packed-domain matrix multiplication (the Figure 6 pipeline).
+ *
+ * Executes C = A * B^T directly on quantized MX/BFP operands — integer
+ * mantissa dot products per k2 sub-block, one tau shift per sub-block,
+ * one shared-exponent alignment per k1-block pair, FP32 accumulation
+ * across blocks — without dequantizing either operand to FP32.  The
+ * contract every kernel implementation must honour bit-for-bit, per
+ * output element C[i,j], in row-block order:
+ *
+ *   acc_f32 = 0
+ *   for each k1-block pair (Ea, Eb):
+ *     blk_i64 = 0
+ *     for each pairwise sub-step of g elements (taua, taub constant):
+ *       S     = sum_k Ma_k * Mb_k                    // integer dot
+ *       blk  += S << (budget - taua - taub)          // tau alignment
+ *     acc_f32 += float(double(blk) *
+ *                      2^(Ea + Eb - exp_bias))       // exp alignment
+ *   C[i,j] = acc_f32
+ *
+ * Every integer step is exact (the GemmPlan proves int64 headroom), so
+ * any implementation that reorders the integer work — AVX2 madd lanes,
+ * per-sub-block int32 partial sums — produces the same block integer,
+ * and the single double->float rounding per block pins the FP result:
+ * scalar and AVX2 are bit-identical by construction, and
+ * tests/test_gemm.cpp asserts it across formats, shapes, and ragged
+ * widths.
+ *
+ * Kernel selection rides the existing core/kernels/dispatch layer: the
+ * AVX2 gemm kernel is active exactly when the AVX2 quantize kernel is
+ * (same CPU probe, same MX_FORCE_SCALAR override, same
+ * set_force_scalar test hook).
+ *
+ * Knobs:
+ *   MX_GEMM=auto     (default) frozen layers take the packed path when
+ *                    it is profitable (the AVX2 gemm kernel is active)
+ *                    or required (the FP32 grid values were dropped);
+ *                    otherwise they serve on the dequantized values
+ *   MX_GEMM=1        always take the packed path, even on the scalar
+ *                    kernel (exercises the reference semantics
+ *                    end-to-end; ~5x slower than the values matmul)
+ *   MX_GEMM=0        never take the packed path
+ *   MX_GEMM_VERIFY=1 cross-check every packed GEMM against the
+ *                    dequantized reference matmul (debugging)
+ */
+
+#include <cstdint>
+
+#include "gemm/gemm_plan.h"
+#include "gemm/packed_operand.h"
+#include "tensor/tensor.h"
+
+namespace mx {
+namespace gemm {
+
+/** The execute side: one virtual call per whole GEMM. */
+class PackedGemmKernel
+{
+  public:
+    virtual ~PackedGemmKernel() = default;
+
+    /** Implementation name for reports and tests ("scalar", "avx2"). */
+    virtual const char* name() const = 0;
+
+    /**
+     * C[a.rows x b.rows] = A * B^T in the packed domain.  @p a and
+     * @p b must share the contraction width (a.cols == b.cols) and
+     * match @p plan's operand plans.
+     */
+    virtual void gemm(const GemmPlan& plan, const PackedOperand& a,
+                      const PackedOperand& b, float* c) const = 0;
+};
+
+/** The portable reference implementation (always available). */
+const PackedGemmKernel& scalar_gemm_kernel();
+
+/** The AVX2 implementation, or nullptr when the build lacks AVX2. */
+const PackedGemmKernel* avx2_gemm_kernel();
+
+/**
+ * The kernel the frozen serving path routes through: AVX2 when the
+ * quantize dispatch resolved to AVX2 (core/kernels/dispatch.h — CPU
+ * probe, MX_FORCE_SCALAR, set_force_scalar), scalar otherwise.
+ */
+const PackedGemmKernel& active_gemm_kernel();
+
+/** Routing policy of the frozen serving path. */
+enum class Mode
+{
+    Auto, ///< Packed when profitable (AVX2) or required (values dropped).
+    On,   ///< Always packed, even on the scalar kernel.
+    Off,  ///< Never packed; serve on the dequantized values.
+};
+
+/** The active policy: MX_GEMM in the environment ("0" = Off, "1" = On,
+ *  anything else = Auto), overridable at runtime with set_mode(). */
+Mode mode();
+
+/** Runtime override of mode(); pins until the next call. */
+void set_mode(Mode m);
+
+/** True when the packed path is the faster engine on this host right
+ *  now (the AVX2 gemm kernel is active). */
+bool packed_profitable();
+
+/**
+ * The routing decision a frozen layer makes per forward: @p packed_only
+ * is true when the layer has no FP32 grid values left to fall back to.
+ */
+bool route_packed(bool packed_only);
+
+/** Packed GEMMs executed since process start (routing observability:
+ *  proves a forward actually took the packed path). */
+std::uint64_t call_count();
+
+/**
+ * C = X * W^T with X[M, K] float activations and W[N, K] packed:
+ * quantizes X on the fly into the execution view (the same
+ * quantization the fake-quant path applies) and runs the active
+ * packed kernel.  Never materializes a dequantized FP32 copy of W.
+ *
+ * @p a_plan is the activation-side plan (may differ from w.plan() —
+ * Table IV (w, a) format splits); gemm_compatible(a_plan, w.plan())
+ * must hold.
+ */
+tensor::Tensor matmul_nt_packed(const tensor::Tensor& x,
+                                const core::kernels::QuantPlan& a_plan,
+                                const PackedOperand& w,
+                                core::RoundingMode rounding =
+                                    core::RoundingMode::NearestEven);
+
+namespace detail {
+
+/**
+ * One k1-block pair's contribution in the packed domain — the scalar
+ * semantics every kernel must reproduce exactly.  Pointers are the
+ * operands' whole-row views (PackedOperand::row_mantissa / row_tau);
+ * @p off is the block's element offset within the row and @p n its
+ * length (k1 or a ragged tail).
+ */
+inline float
+block_contrib(const GemmPlan& plan, const std::int16_t* am_row,
+              const std::uint8_t* atau_row, int aexp,
+              const std::int16_t* bm_row, const std::uint8_t* btau_row,
+              int bexp, std::size_t off, std::size_t n)
+{
+    const std::size_t g = static_cast<std::size_t>(plan.g);
+    const std::size_t k2a = static_cast<std::size_t>(plan.a.k2);
+    const std::size_t k2b = static_cast<std::size_t>(plan.b.k2);
+    std::int64_t blk = 0;
+    for (std::size_t s = 0; s < n; s += g) {
+        const std::size_t hi = std::min(n, s + g);
+        std::int64_t dot = 0;
+        for (std::size_t k = s; k < hi; ++k)
+            dot += static_cast<std::int32_t>(am_row[off + k]) *
+                   bm_row[off + k];
+        const int shift = plan.budget - atau_row[(off + s) / k2a] -
+                          btau_row[(off + s) / k2b];
+        blk += dot << shift;
+    }
+    return static_cast<float>(
+        static_cast<double>(blk) *
+        core::kernels::detail::pow2_double(aexp + bexp - plan.exp_bias));
+}
+
+} // namespace detail
+
+} // namespace gemm
+} // namespace mx

@@ -1,0 +1,128 @@
+#include "gemm/packed_operand.h"
+
+#include <algorithm>
+
+#include "core/bitstream.h"
+#include "core/check.h"
+#include "core/kernels/dispatch.h"
+#include "gemm/gemm_plan.h"
+
+namespace mx {
+namespace gemm {
+
+using core::kernels::QuantPlan;
+
+std::size_t
+row_bits(const QuantPlan& plan, std::size_t cols)
+{
+    const std::size_t k1 = static_cast<std::size_t>(plan.k1);
+    const std::size_t blocks = (cols + k1 - 1) / k1;
+    const std::size_t subs = plan.num_sub_blocks(cols);
+    return blocks * static_cast<std::size_t>(plan.d1) +
+           subs * static_cast<std::size_t>(plan.d2) +
+           cols * static_cast<std::size_t>(1 + plan.m);
+}
+
+PackedOperand::PackedOperand(const QuantPlan& plan, std::size_t rows,
+                             std::size_t cols)
+    : plan_(plan), rows_(rows), cols_(cols)
+{
+    MX_CHECK_ARG(rows > 0 && cols > 0,
+                 "PackedOperand: empty operand [" << rows << " x " << cols
+                                                  << "]");
+    MX_CHECK_ARG(operand_eligible(plan),
+                 "PackedOperand: mantissa too wide for the int16 "
+                 "execution view (m=" << plan.m << ")");
+    blocks_per_row_ = (cols + static_cast<std::size_t>(plan.k1) - 1) /
+                      static_cast<std::size_t>(plan.k1);
+    subs_per_row_ = plan.num_sub_blocks(cols);
+    mantissa_.resize(rows * cols);
+    tau_.assign(rows * subs_per_row_, 0);
+    exp_.resize(rows * blocks_per_row_);
+}
+
+std::size_t
+PackedOperand::row_bit_offset(std::size_t r) const
+{
+    MX_CHECK_ARG(r < rows_, "PackedOperand: row out of range");
+    return r * row_bits(plan_, cols_);
+}
+
+std::size_t
+PackedOperand::memory_bytes() const
+{
+    return mantissa_.size() * sizeof(std::int16_t) + tau_.size() +
+           exp_.size() * sizeof(std::int16_t);
+}
+
+PackedOperand
+PackedOperand::decode(const QuantPlan& plan,
+                      const std::vector<std::uint8_t>& bytes,
+                      std::size_t rows, std::size_t cols)
+{
+    PackedOperand op(plan, rows, cols);
+    MX_CHECK_ARG(bytes.size() * 8 >= rows * row_bits(plan, cols),
+                 "PackedOperand::decode: stream too short for ["
+                     << rows << " x " << cols << "]");
+    const std::size_t k1 = static_cast<std::size_t>(plan.k1);
+    core::BitReader reader(bytes);
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::int16_t* mant = op.mantissa_.data() + r * cols;
+        std::uint8_t* tau = op.tau_.data() + r * op.subs_per_row_;
+        std::int16_t* exp = op.exp_.data() + r * op.blocks_per_row_;
+        std::size_t sub = 0;
+        for (std::size_t off = 0; off < cols; off += k1) {
+            const std::size_t n = std::min(k1, cols - off);
+            *exp++ = static_cast<std::int16_t>(
+                static_cast<int>(reader.read(plan.d1)) - plan.e_max);
+            const std::size_t n_sub = plan.num_sub_blocks(n);
+            for (std::size_t s = 0; s < n_sub; ++s)
+                tau[sub++] =
+                    static_cast<std::uint8_t>(reader.read(plan.d2));
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint64_t code = reader.read(1 + plan.m);
+                const std::int16_t mag =
+                    static_cast<std::int16_t>(code >> 1);
+                mant[off + i] = (code & 1) != 0
+                                    ? static_cast<std::int16_t>(-mag)
+                                    : mag;
+            }
+        }
+    }
+    return op;
+}
+
+PackedOperand
+PackedOperand::quantize(const QuantPlan& plan, const float* x,
+                        std::size_t rows, std::size_t cols,
+                        const core::Rounder& rounder)
+{
+    PackedOperand op(plan, rows, cols);
+    const core::kernels::QuantKernel& kernel =
+        core::kernels::active_kernel();
+    const std::size_t k1 = static_cast<std::size_t>(plan.k1);
+    std::vector<float> grid(k1); // dequantized scratch (discarded)
+    core::Pow2BlockEncoding enc; // reused; assign keeps capacity
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::int16_t* mant = op.mantissa_.data() + r * cols;
+        std::uint8_t* tau = op.tau_.data() + r * op.subs_per_row_;
+        std::int16_t* exp = op.exp_.data() + r * op.blocks_per_row_;
+        std::size_t sub = 0;
+        for (std::size_t off = 0; off < cols; off += k1) {
+            const std::size_t n = std::min(k1, cols - off);
+            kernel.quantize_block(
+                plan, std::span<const float>(x + r * cols + off, n),
+                std::span<float>(grid.data(), n), rounder, &enc);
+            *exp++ = static_cast<std::int16_t>(enc.shared_exp);
+            for (std::uint8_t t : enc.sub_shift)
+                tau[sub++] = t;
+            for (std::size_t i = 0; i < n; ++i)
+                mant[off + i] =
+                    static_cast<std::int16_t>(enc.mantissa[i]);
+        }
+    }
+    return op;
+}
+
+} // namespace gemm
+} // namespace mx

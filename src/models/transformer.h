@@ -129,7 +129,9 @@ class GptMini
      * Serving adapter: each request row is one token window encoded as
      * floats ([B, seq_len]); returns the last position's next-token
      * logits [B, vocab] from an eval-mode forward.  This is the batch
-     * function handed to serve::InferenceEngine for decode serving.
+     * function handed to serve::InferenceEngine for decode serving;
+     * once frozen, its weight matmuls (projections + FFNs) run in the
+     * packed domain via mx_gemm on the SIMD leg.
      */
     tensor::Tensor window_logits(const tensor::Tensor& windows);
 

@@ -43,7 +43,9 @@ class MultiHeadAttention : public Layer
     void collect_params(std::vector<Param*>& out) override;
 
     /** Freeze all four projections; the activation-activation
-     *  contractions (Q K^T, P V) keep their per-call quantization. */
+     *  contractions (Q K^T, P V) keep their per-call quantization.
+     *  Frozen projection matmuls ride the packed-domain mx_gemm path
+     *  through Linear when the routing policy engages it. */
     void freeze() override;
     void freeze(const QuantSpec& spec) override;
     void unfreeze() override;

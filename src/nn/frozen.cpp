@@ -5,6 +5,7 @@
 #include "core/bitstream.h"
 #include "core/check.h"
 #include "core/kernels/dispatch.h"
+#include "gemm/gemm_plan.h"
 #include "nn/quant.h"
 
 namespace mx {
@@ -93,6 +94,9 @@ FrozenTensor::build(const Tensor& w,
     MX_CHECK_ARG(w.ndim() == 2, "FrozenTensor: needs a 2-d weight, got "
                                     << w.shape_string());
     FrozenTensor f;
+    f.built_ = true;
+    f.rows_ = w.dim(0);
+    f.cols_ = w.dim(1);
     if (!fmt.has_value()) {
         f.values_ = w;
         return f;
@@ -106,12 +110,31 @@ FrozenTensor::build(const Tensor& w,
     if (is_pow2_block(*fmt)) {
         f.plan_ = core::kernels::make_quant_plan(*fmt);
         f.packed_ = pack_rows_pow2(*fmt, *f.plan_, w, rounding);
+        // The gemm-ready execution view, decoded straight from the bit
+        // stream (the stream, not the grid tensor, is the source of
+        // truth a native serving stack would hold).
+        if (gemm::operand_eligible(*f.plan_))
+            f.operand_ = gemm::PackedOperand::decode(
+                *f.plan_, f.packed_->bytes,
+                static_cast<std::size_t>(f.rows_),
+                static_cast<std::size_t>(f.cols_));
     } else {
         // Software-scaled families use one per-tensor JIT scale in both
         // quantize_rows and the codec, so the flat pack matches.
         f.packed_ = formats::pack(*fmt, w.span(), rounding);
     }
     return f;
+}
+
+void
+FrozenTensor::drop_values()
+{
+    MX_CHECK_ARG(valid(), "FrozenTensor: drop_values() before build()");
+    MX_CHECK_ARG(operand_.has_value(),
+                 "FrozenTensor: drop_values() needs an engaged gemm "
+                 "view — without it the grid tensor is the only "
+                 "execution form");
+    values_ = tensor::Tensor();
 }
 
 double
@@ -126,14 +149,13 @@ FrozenTensor::unpacked() const
     MX_CHECK_ARG(valid(), "FrozenTensor: unpacked() before build()");
     if (!packed_.has_value())
         return values_;
-    Tensor out(values_.shape());
+    Tensor out({rows_, cols_});
     if (plan_.has_value()) {
-        unpack_rows_pow2(*packed_, *plan_, values_.dim(0), values_.dim(1),
-                         out);
+        unpack_rows_pow2(*packed_, *plan_, rows_, cols_, out);
         return out;
     }
     std::vector<float> flat = formats::unpack(*packed_);
-    MX_CHECK(static_cast<std::int64_t>(flat.size()) == values_.numel(),
+    MX_CHECK(static_cast<std::int64_t>(flat.size()) == out.numel(),
              "FrozenTensor: packed element count drifted");
     std::copy(flat.begin(), flat.end(), out.data());
     return out;

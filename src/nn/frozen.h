@@ -9,9 +9,15 @@
  * nn/quant.h re-quantizes `weight_.value` on every forward call.  A
  * FrozenTensor is the freeze half of that split: it captures the exact
  * value-grid tensor `quantize_rows(w, fmt)` would produce — so a frozen
- * forward is bit-identical to the fake-quant forward by construction —
- * plus, for the pow2 block family (BFP/MX), the packed bit stream and
- * QuantPlan a native serving stack would hold in memory.
+ * forward on the dequantized-values path is bit-identical to the
+ * fake-quant forward by construction — plus, for the pow2 block family
+ * (BFP/MX), the packed bit stream and QuantPlan a native serving stack
+ * would hold in memory, and the gemm-ready integer execution view
+ * (gemm::PackedOperand) the packed-domain GEMM consumes directly.
+ *
+ * When the packed GEMM serves a layer, the FP32 grid tensor is only a
+ * fallback; drop_values() releases it so a frozen model's weight memory
+ * is the packed artifact alone — no dequantized FP32 copy anywhere.
  *
  * Freezing requires deterministic rounding: a stochastic-rounding
  * snapshot could never reproduce the per-call result.
@@ -23,6 +29,7 @@
 #include "core/kernels/quant_kernel.h"
 #include "core/rounding.h"
 #include "formats/block_codec.h"
+#include "gemm/packed_operand.h"
 #include "tensor/tensor.h"
 
 namespace mx {
@@ -50,13 +57,14 @@ class FrozenTensor
                                   core::RoundingMode::NearestEven);
 
     /** True once build() has run. */
-    bool valid() const { return values_.numel() > 0; }
+    bool valid() const { return built_; }
 
     /** True when the snapshot went through a quantization format. */
     bool quantized() const { return format_.has_value(); }
 
     /** The cached serving tensor: bit-identical to
-     *  quantize_rows(w, fmt) (or w itself for nullopt). */
+     *  quantize_rows(w, fmt) (or w itself for nullopt).  Empty after
+     *  drop_values(); use unpacked() to rebuild it on demand. */
     const tensor::Tensor& values() const { return values_; }
 
     /** The freeze format (nullopt = FP32 passthrough). */
@@ -75,6 +83,30 @@ class FrozenTensor
         return plan_;
     }
 
+    /**
+     * The gemm-ready execution view of the packed stream: int16
+     * mantissas + sub-shifts + shared exponents with per-row block
+     * offsets (ragged widths need no re-plan).  Engaged for pow2 block
+     * formats whose mantissas fit the view (every MX/MSFP format);
+     * nullopt otherwise — the layer then serves on the values() path.
+     */
+    const std::optional<gemm::PackedOperand>& gemm_operand() const
+    {
+        return operand_;
+    }
+
+    /** Snapshot shape (valid even after drop_values()). */
+    std::int64_t rows() const { return rows_; }
+    std::int64_t cols() const { return cols_; }
+
+    /**
+     * Release the FP32 grid tensor, keeping the packed artifact and the
+     * gemm view — the serving-memory configuration in which no
+     * dequantized FP32 weight copy exists.  Requires an engaged gemm
+     * view (otherwise the snapshot would lose its only execution form).
+     */
+    void drop_values();
+
     /** Storage bits per element of the packed artifact (32 when not
      *  quantized). */
     double bits_per_element() const;
@@ -82,8 +114,8 @@ class FrozenTensor
     /**
      * Decode the packed stream back to a tensor.  The codec property
      * `decode(encode(x)) == fake_quantize(x)` makes this bit-identical
-     * to values() — the test suite asserts it, proving the snapshot is
-     * a real container, not just cached rounding.
+     * to the grid values — the test suite asserts it, proving the
+     * snapshot is a real container, not just cached rounding.
      */
     tensor::Tensor unpacked() const;
 
@@ -92,6 +124,9 @@ class FrozenTensor
     std::optional<core::BdrFormat> format_;
     std::optional<formats::PackedTensor> packed_;
     std::optional<core::kernels::QuantPlan> plan_;
+    std::optional<gemm::PackedOperand> operand_;
+    std::int64_t rows_ = 0, cols_ = 0;
+    bool built_ = false;
 };
 
 } // namespace nn

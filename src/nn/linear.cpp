@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "gemm/packed_gemm.h"
 
 namespace mx {
 namespace nn {
@@ -31,14 +32,7 @@ Linear::forward(const Tensor& x, bool train)
     if (frozen()) {
         MX_CHECK_ARG(!train, "Linear: frozen layers serve eval-mode "
                              "forwards only; unfreeze() to train");
-        // Q(W) comes from the freeze-time snapshot; only the
-        // activations are quantized per call — bit-identical to the
-        // fake-quant path because quantize_rows is deterministic.
-        Tensor y = spec_.forward
-            ? tensor::matmul_nt(quantize_rows(x, *spec_.forward,
-                                              spec_.rounding),
-                                frozen_weight_.values())
-            : tensor::matmul_nt(x, frozen_weight_.values());
+        Tensor y = frozen_matmul(x);
         if (with_bias_)
             y = tensor::add_row_bias(y, bias_.value);
         return y;
@@ -51,6 +45,65 @@ Linear::forward(const Tensor& x, bool train)
     if (with_bias_)
         y = tensor::add_row_bias(y, bias_.value);
     return y;
+}
+
+bool
+Linear::packed_pairable() const
+{
+    // The packed path needs a gemm-ready weight view and an activation
+    // format from the pow2 block family that pairs with it.
+    if (!frozen_weight_.gemm_operand().has_value() ||
+        !spec_.forward.has_value() ||
+        spec_.forward->s_kind != core::ScaleKind::Pow2Hw ||
+        spec_.forward->elem != core::ElementKind::SignMagnitude)
+        return false;
+    return gemm::gemm_compatible(
+        core::kernels::make_quant_plan(*spec_.forward),
+        frozen_weight_.gemm_operand()->plan());
+}
+
+Tensor
+Linear::frozen_matmul(const Tensor& x) const
+{
+    // Packed-domain path (Figure 6): when the activation format pairs
+    // with the snapshot's gemm-ready view and the routing policy picks
+    // it (MX_GEMM — packed when the AVX2 kernel is active or the FP32
+    // values were dropped), the weight matmul runs on the MX bit
+    // stream's integer mantissas — no dequantized FP32 weight copy is
+    // touched or allocated.
+    const bool packed_only = frozen_weight_.values().numel() == 0;
+    if (packed_pairable() && gemm::route_packed(packed_only))
+        return gemm::matmul_nt_packed(
+            x, core::kernels::make_quant_plan(*spec_.forward),
+            *frozen_weight_.gemm_operand(), spec_.rounding);
+    // Dequantized-values fallback: Q(W) from the freeze-time grid
+    // tensor; only the activations are quantized per call —
+    // bit-identical to the fake-quant path because quantize_rows is
+    // deterministic.
+    MX_CHECK_ARG(frozen_weight_.values().numel() > 0,
+                 "Linear: frozen values were dropped and the packed "
+                 "GEMM path is unavailable (MX_GEMM=0, or the spec "
+                 "changed to an activation format that cannot pair "
+                 "with the packed weight)");
+    return spec_.forward
+        ? tensor::matmul_nt(quantize_rows(x, *spec_.forward,
+                                          spec_.rounding),
+                            frozen_weight_.values())
+        : tensor::matmul_nt(x, frozen_weight_.values());
+}
+
+void
+Linear::drop_frozen_values()
+{
+    MX_CHECK_ARG(frozen(), "Linear: drop_frozen_values() needs freeze()");
+    // Without a pairable activation format the packed path could never
+    // engage and dropping the grid tensor would brick every future
+    // forward — reject up front instead.
+    MX_CHECK_ARG(packed_pairable(),
+                 "Linear: drop_frozen_values() needs a spec the packed "
+                 "GEMM can serve (pow2-block activation format pairing "
+                 "with the packed weight)");
+    frozen_weight_.drop_values();
 }
 
 void

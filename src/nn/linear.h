@@ -47,6 +47,14 @@ class Linear : public Layer
     /** The frozen weight snapshot (valid only while frozen). */
     const FrozenTensor& frozen_weight() const { return frozen_weight_; }
 
+    /**
+     * Release the snapshot's FP32 grid tensor, serving exclusively from
+     * the packed artifact through the mx_gemm packed-domain path (the
+     * snapshot must carry a gemm view).  After this, no dequantized
+     * FP32 copy of the weight exists anywhere in the layer.
+     */
+    void drop_frozen_values();
+
     /** The layer's quantization policy (mutable for cast experiments). */
     QuantSpec& spec() { return spec_; }
 
@@ -56,6 +64,15 @@ class Linear : public Layer
     Param& bias() { return bias_; }
 
   private:
+    /** True when the frozen snapshot and the current activation format
+     *  can pair into a packed-domain GEMM. */
+    bool packed_pairable() const;
+
+    /** The frozen weight matmul: packed-domain mx_gemm when the
+     *  snapshot and activation format allow it, dequantized grid
+     *  values otherwise. */
+    tensor::Tensor frozen_matmul(const tensor::Tensor& x) const;
+
     std::int64_t in_, out_;
     QuantSpec spec_;
     bool with_bias_;

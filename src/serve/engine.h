@@ -5,8 +5,12 @@
  * mx_serve: a batched quantized-inference engine.
  *
  * The deployment half of the freeze-and-serve split (nn/frozen.h): a
- * model is frozen once — weights quantized and snapshotted — and an
- * InferenceEngine then serves single-row requests against it.  The
+ * model is frozen once — weights quantized, snapshotted, and packed —
+ * and an InferenceEngine then serves single-row requests against it.
+ * Frozen weight matmuls inside the batch function execute in the
+ * packed domain (gemm/packed_gemm.h) when the routing policy engages
+ * it, so engine batches never touch a dequantized FP32 weight copy on
+ * the SIMD leg.  The
  * engine owns a bounded request queue and a micro-batcher: a worker
  * drains up to `max_batch` queued requests at a time, coalesces their
  * rows into one [B, in] tensor, executes the batch (sharded across

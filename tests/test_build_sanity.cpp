@@ -29,6 +29,9 @@
 #include "data/synthetic.h"
 #include "formats/block_codec.h"
 #include "formats/packed.h"
+#include "gemm/gemm_plan.h"
+#include "gemm/packed_gemm.h"
+#include "gemm/packed_operand.h"
 #include "hw/area_model.h"
 #include "hw/cost.h"
 #include "hw/memory_model.h"
@@ -93,6 +96,13 @@ TEST(BuildSanity, TensorAndNnLink)
     tensor::Tensor b = tensor::Tensor::randn({4, 8}, rng);
     auto c = nn::qmatmul_nt(a, b, core::mx9());
     EXPECT_EQ(c.numel(), 16);
+}
+
+TEST(BuildSanity, GemmPlansLink)
+{
+    auto plan = core::kernels::make_quant_plan(core::mx9());
+    EXPECT_TRUE(gemm::gemm_compatible(plan, plan));
+    EXPECT_EQ(gemm::make_gemm_plan(plan, plan).g, 2);
 }
 
 TEST(BuildSanity, HwCostModelLinks)

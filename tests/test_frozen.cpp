@@ -1,10 +1,17 @@
 /**
  * @file
  * Freeze-and-serve property tests: a frozen layer/model's eval forward
- * must be bit-identical to the fake-quant forward for every layer type,
- * across MX9/MX6/MX4 and both kernel dispatch legs; the FrozenTensor
- * packed artifact must decode back to exactly the cached grid values
- * (including ragged row widths whose blocks end in short tails).
+ * on the dequantized-values path must be bit-identical to the
+ * fake-quant forward for every layer type, across MX9/MX6/MX4 and both
+ * kernel dispatch legs; the FrozenTensor packed artifact must decode
+ * back to exactly the cached grid values (including ragged row widths
+ * whose blocks end in short tails).
+ *
+ * The packed-domain mx_gemm serving path is pinned separately in
+ * tests/test_gemm.cpp (it accumulates across blocks in FP32, so its
+ * contract is FP32-accumulation agreement plus QSNR floors, not bit
+ * identity); a suite-wide environment disables it here so these tests
+ * always exercise the values fallback they were written for.
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +21,7 @@
 #include "core/kernels/dispatch.h"
 #include "core/quantize.h"
 #include "formats/block_codec.h"
+#include "gemm/packed_gemm.h"
 #include "models/dlrm_mini.h"
 #include "models/lstm_seq2seq.h"
 #include "models/mlp.h"
@@ -29,6 +37,17 @@ using namespace mx::nn;
 using tensor::Tensor;
 
 namespace {
+
+/** Pin the dequantized-values serving path for the whole suite. */
+class LegacyPathEnvironment : public ::testing::Environment
+{
+  public:
+    void SetUp() override { gemm::set_mode(gemm::Mode::Off); }
+    void TearDown() override { gemm::set_mode(gemm::Mode::Auto); }
+};
+
+[[maybe_unused]] const ::testing::Environment* const kLegacyPath =
+    ::testing::AddGlobalTestEnvironment(new LegacyPathEnvironment);
 
 /** Run @p body once per kernel dispatch leg, restoring the default. */
 template <typename Fn>

@@ -1,0 +1,563 @@
+/**
+ * @file
+ * Packed-domain GEMM property tests (the Figure 6 execution pipeline):
+ *
+ *  - the FP32 matmul oracle the packed GEMM's QSNR is measured against
+ *    (tensor::matmul_nt / nn::qmatmul_nt pinned to a naive
+ *    double-accumulation reference across random shapes, ragged k1
+ *    tails included, on both kernel dispatch legs);
+ *  - scalar and AVX2 packed kernels bit-identical for every MX format
+ *    pair across shapes, ragged widths, and magnitude spreads;
+ *  - packed execution agrees with the dequantized reference matmul to
+ *    FP32-accumulation tolerance, and QSNR vs the FP32 oracle clears
+ *    the pinned per-format floor;
+ *  - the frozen nn::Linear / nn::MultiHeadAttention serving path
+ *    actually routes through mx_gemm and keeps working after the FP32
+ *    grid tensor is dropped — no dequantized weight copy anywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/kernels/dispatch.h"
+#include "gemm/gemm_plan.h"
+#include "gemm/packed_gemm.h"
+#include "gemm/packed_operand.h"
+#include "nn/attention.h"
+#include "nn/frozen.h"
+#include "nn/linear.h"
+#include "nn/quant.h"
+#include "stats/rng.h"
+#include "tensor/tensor.h"
+
+using namespace mx;
+using core::kernels::QuantPlan;
+using core::kernels::make_quant_plan;
+using tensor::Tensor;
+
+namespace {
+
+/** Run @p body once per kernel dispatch leg, restoring the default. */
+template <typename Fn>
+void
+for_each_dispatch(Fn&& body)
+{
+    for (int leg = 0; leg < 2; ++leg) {
+        core::kernels::set_force_scalar(leg == 1);
+        body(leg == 1 ? "scalar" : "default");
+    }
+    core::kernels::set_force_scalar(false);
+}
+
+std::vector<core::BdrFormat>
+mx_formats()
+{
+    return {core::mx9(), core::mx6(), core::mx4()};
+}
+
+/** Random [rows x cols] with per-row magnitude spread: some rows pick
+ *  up a large scale so block exponents differ across the row walk. */
+Tensor
+spread_randn(std::int64_t rows, std::int64_t cols, stats::Rng& rng)
+{
+    Tensor t = Tensor::randn({rows, cols}, rng, 1.0f);
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const double s = std::pow(10.0, rng.uniform(-3.0, 3.0));
+        for (std::int64_t c = 0; c < cols; ++c)
+            t.data()[r * cols + c] *= static_cast<float>(s);
+    }
+    // An all-zero row exercises the e_min / tau=beta encoding.
+    if (rows > 2)
+        for (std::int64_t c = 0; c < cols; ++c)
+            t.data()[2 * cols + c] = 0.0f;
+    return t;
+}
+
+/** Naive triple-loop double-accumulation reference for C = A * B^T. */
+Tensor
+matmul_nt_reference(const Tensor& a, const Tensor& b)
+{
+    const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    Tensor c({m, n});
+    for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::int64_t kk = 0; kk < k; ++kk)
+                acc += static_cast<double>(a.data()[i * k + kk]) *
+                       b.data()[j * k + kk];
+            c.data()[i * n + j] = static_cast<float>(acc);
+        }
+    return c;
+}
+
+double
+max_abs(const Tensor& t)
+{
+    double m = 0.0;
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        m = std::max(m, std::fabs(static_cast<double>(t.data()[i])));
+    return m;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// The FP32 matmul oracle (satellite): pin tensor::matmul_nt and
+// nn::qmatmul_nt to the naive double-accumulation reference.
+// ---------------------------------------------------------------------------
+
+TEST(MatmulOracle, MatmulNtMatchesNaiveDoubleReference)
+{
+    stats::Rng rng(101);
+    const std::int64_t shapes[][3] = {
+        {1, 1, 1}, {3, 19, 5}, {8, 16, 8}, {7, 35, 11}, {16, 64, 16}};
+    for (const auto& s : shapes) {
+        Tensor a = spread_randn(s[0], s[1], rng);
+        Tensor b = spread_randn(s[2], s[1], rng);
+        Tensor got = tensor::matmul_nt(a, b);
+        Tensor want = matmul_nt_reference(a, b);
+        EXPECT_EQ(tensor::max_abs_diff(got, want), 0.0)
+            << "[" << s[0] << "," << s[1] << "," << s[2] << "]";
+    }
+}
+
+TEST(MatmulOracle, QmatmulNtMatchesQuantizeThenOracleBothLegs)
+{
+    stats::Rng rng(102);
+    for_each_dispatch([&](const char* leg) {
+        for (const auto& fmt : mx_formats()) {
+            // 19 and 35 end every row in a ragged k1 tail block.
+            for (std::int64_t k : {16, 19, 35, 64}) {
+                Tensor a = spread_randn(4, k, rng);
+                Tensor b = spread_randn(6, k, rng);
+                Tensor got = nn::qmatmul_nt(a, b, fmt);
+                Tensor want = matmul_nt_reference(
+                    nn::quantize_rows(a, fmt), nn::quantize_rows(b, fmt));
+                EXPECT_EQ(tensor::max_abs_diff(got, want), 0.0)
+                    << fmt.name << " k=" << k << " leg=" << leg;
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// GemmPlan pairing rules.
+// ---------------------------------------------------------------------------
+
+TEST(GemmPlan, MxPairsAreCompatibleAndPlanned)
+{
+    for (const auto& fa : mx_formats()) {
+        for (const auto& fb : mx_formats()) {
+            const QuantPlan a = make_quant_plan(fa), b = make_quant_plan(fb);
+            ASSERT_TRUE(gemm::gemm_compatible(a, b))
+                << fa.name << " x " << fb.name;
+            const gemm::GemmPlan p = gemm::make_gemm_plan(a, b);
+            EXPECT_EQ(p.g, 2);
+            EXPECT_EQ(p.budget, 2);
+            EXPECT_EQ(p.exp_bias, (a.m - 1) + (b.m - 1) + 2);
+        }
+    }
+}
+
+TEST(GemmPlan, BfpSideUsesBlockConstantShift)
+{
+    const QuantPlan mx = make_quant_plan(core::mx9());
+    const QuantPlan bfp = make_quant_plan(core::msfp16());
+    ASSERT_TRUE(gemm::gemm_compatible(mx, bfp));
+    const gemm::GemmPlan p = gemm::make_gemm_plan(mx, bfp);
+    EXPECT_EQ(p.g, 2);       // governed by the MX side's k2
+    EXPECT_EQ(p.budget, 1);  // only the MX side shifts
+}
+
+TEST(GemmPlan, MismatchedK1AndWideMantissaRejected)
+{
+    const QuantPlan a = make_quant_plan(core::mx9());
+    const QuantPlan b32 = make_quant_plan(core::mx_custom(7, 8, 32, 1, 2));
+    EXPECT_FALSE(gemm::gemm_compatible(a, b32));
+    EXPECT_THROW(gemm::make_gemm_plan(a, b32), ArgumentError);
+
+    const QuantPlan wide = make_quant_plan(core::bfp_custom(23, 8, 16));
+    EXPECT_FALSE(gemm::operand_eligible(wide));
+    EXPECT_FALSE(gemm::gemm_compatible(a, wide));
+}
+
+// ---------------------------------------------------------------------------
+// PackedOperand: the decoded view equals the quantize-time encodings
+// and exposes per-row stream offsets.
+// ---------------------------------------------------------------------------
+
+TEST(PackedOperand, DecodeEqualsQuantizeAndRowOffsetsAreUniform)
+{
+    stats::Rng rng(103);
+    for (const auto& fmt : mx_formats()) {
+        for (std::int64_t cols : {48, 19}) {
+            Tensor w = spread_randn(5, cols, rng);
+            nn::FrozenTensor f = nn::FrozenTensor::build(w, fmt);
+            ASSERT_TRUE(f.gemm_operand().has_value()) << fmt.name;
+            const gemm::PackedOperand& dec = *f.gemm_operand();
+
+            const QuantPlan plan = make_quant_plan(fmt);
+            core::Rounder rounder;
+            const gemm::PackedOperand enc = gemm::PackedOperand::quantize(
+                plan, w.data(), 5, static_cast<std::size_t>(cols),
+                rounder);
+
+            ASSERT_EQ(dec.rows(), enc.rows());
+            ASSERT_EQ(dec.cols(), enc.cols());
+            for (std::size_t r = 0; r < dec.rows(); ++r) {
+                for (std::size_t c = 0; c < dec.cols(); ++c)
+                    EXPECT_EQ(dec.row_mantissa(r)[c], enc.row_mantissa(r)[c])
+                        << fmt.name << " [" << r << "," << c << "]";
+                for (std::size_t s = 0; s < dec.subs_per_row(); ++s)
+                    EXPECT_EQ(dec.row_tau(r)[s], enc.row_tau(r)[s]);
+                for (std::size_t b = 0; b < dec.blocks_per_row(); ++b)
+                    EXPECT_EQ(dec.row_exp(r)[b], enc.row_exp(r)[b]);
+                EXPECT_EQ(dec.row_bit_offset(r),
+                          r * gemm::row_bits(plan,
+                                             static_cast<std::size_t>(
+                                                 cols)));
+            }
+            // The view is an integer artifact: smaller than the FP32
+            // tensor it replaces.
+            EXPECT_LT(dec.memory_bytes(),
+                      static_cast<std::size_t>(w.numel()) * sizeof(float));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel semantics: dequantized-reference agreement, QSNR floors, and
+// scalar/AVX2 bit-identity.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct GemmCase
+{
+    std::int64_t m, k, n;
+};
+
+const GemmCase kCases[] = {{1, 16, 1},  {4, 19, 6},   {8, 64, 16},
+                           {5, 35, 9},  {16, 128, 24}, {3, 256, 7}};
+
+/** Per-format QSNR floor of a packed GEMM against the FP32 oracle on
+ *  Gaussian operands — dominated by the quantization error of the two
+ *  operands (measured ~43/~25/~13 dB), pinned with generous margin so
+ *  only a real execution bug can trip it. */
+double
+qsnr_floor(const core::BdrFormat& fmt)
+{
+    if (fmt.name == "MX9")
+        return 35.0;
+    if (fmt.name == "MX6")
+        return 18.0;
+    return 8.0; // MX4
+}
+
+} // namespace
+
+TEST(PackedGemm, MatchesDequantizedReference)
+{
+    stats::Rng rng(104);
+    for_each_dispatch([&](const char* leg) {
+        for (const auto& fmt : mx_formats()) {
+            for (const GemmCase& cs : kCases) {
+                Tensor x = spread_randn(cs.m, cs.k, rng);
+                Tensor w = spread_randn(cs.n, cs.k, rng);
+                const QuantPlan plan = make_quant_plan(fmt);
+                nn::FrozenTensor f = nn::FrozenTensor::build(w, fmt);
+                Tensor got =
+                    gemm::matmul_nt_packed(x, plan, *f.gemm_operand());
+
+                // Dequantized reference: the same operands through the
+                // fake-quant FP32 path.  The packed path accumulates
+                // across blocks in FP32 where the reference uses FP64,
+                // so agreement is to float-accumulation tolerance.
+                Tensor ref = tensor::matmul_nt(nn::quantize_rows(x, fmt),
+                                               f.values());
+                EXPECT_LE(tensor::max_abs_diff(got, ref),
+                          1e-5 * std::max(max_abs(ref), 1e-20))
+                    << fmt.name << " [" << cs.m << "," << cs.k << ","
+                    << cs.n << "] leg=" << leg;
+            }
+        }
+    });
+}
+
+TEST(PackedGemm, QsnrAgainstFp32OracleClearsPinnedFloor)
+{
+    stats::Rng rng(113);
+    for_each_dispatch([&](const char* leg) {
+        for (const auto& fmt : mx_formats()) {
+            const QuantPlan plan = make_quant_plan(fmt);
+            double sig = 0.0, noise = 0.0;
+            for (std::int64_t k : {16, 64, 256}) {
+                Tensor x = Tensor::randn({8, k}, rng, 1.0f);
+                Tensor w = Tensor::randn({16, k}, rng, 0.3f);
+                nn::FrozenTensor f = nn::FrozenTensor::build(w, fmt);
+                Tensor got =
+                    gemm::matmul_nt_packed(x, plan, *f.gemm_operand());
+                Tensor oracle = matmul_nt_reference(x, w);
+                for (std::int64_t i = 0; i < oracle.numel(); ++i) {
+                    const double r = oracle.data()[i];
+                    const double d =
+                        r - static_cast<double>(got.data()[i]);
+                    sig += r * r;
+                    noise += d * d;
+                }
+            }
+            const double db = 10.0 * std::log10(sig / noise);
+            EXPECT_GE(db, qsnr_floor(fmt))
+                << fmt.name << " leg=" << leg;
+        }
+    });
+}
+
+TEST(PackedGemm, ScalarAndAvx2BitIdentical)
+{
+    if (gemm::avx2_gemm_kernel() == nullptr ||
+        !core::kernels::avx2_supported())
+        GTEST_SKIP() << "no AVX2 on this host/build";
+    stats::Rng rng(105);
+    for (const auto& fa : mx_formats()) {
+        for (const auto& fb : mx_formats()) {
+            for (const GemmCase& cs : kCases) {
+                Tensor x = spread_randn(cs.m, cs.k, rng);
+                Tensor w = spread_randn(cs.n, cs.k, rng);
+                const QuantPlan pa = make_quant_plan(fa);
+                const QuantPlan pb = make_quant_plan(fb);
+                core::Rounder rounder;
+                const auto a = gemm::PackedOperand::quantize(
+                    pa, x.data(), static_cast<std::size_t>(cs.m),
+                    static_cast<std::size_t>(cs.k), rounder);
+                const auto b = gemm::PackedOperand::quantize(
+                    pb, w.data(), static_cast<std::size_t>(cs.n),
+                    static_cast<std::size_t>(cs.k), rounder);
+                const gemm::GemmPlan plan = gemm::make_gemm_plan(pa, pb);
+                Tensor cs_out({cs.m, cs.n}), cv_out({cs.m, cs.n});
+                gemm::scalar_gemm_kernel().gemm(plan, a, b, cs_out.data());
+                gemm::avx2_gemm_kernel()->gemm(plan, a, b, cv_out.data());
+                EXPECT_EQ(tensor::max_abs_diff(cs_out, cv_out), 0.0)
+                    << fa.name << " x " << fb.name << " [" << cs.m << ","
+                    << cs.k << "," << cs.n << "]";
+            }
+        }
+    }
+}
+
+TEST(PackedGemm, DispatchLegsProduceIdenticalResults)
+{
+    stats::Rng rng(106);
+    for (const auto& fmt : mx_formats()) {
+        Tensor x = spread_randn(6, 67, rng); // ragged tail
+        Tensor w = spread_randn(9, 67, rng);
+        const QuantPlan plan = make_quant_plan(fmt);
+        nn::FrozenTensor f = nn::FrozenTensor::build(w, fmt);
+        core::kernels::set_force_scalar(false);
+        Tensor deflt = gemm::matmul_nt_packed(x, plan, *f.gemm_operand());
+        core::kernels::set_force_scalar(true);
+        Tensor scalar = gemm::matmul_nt_packed(x, plan, *f.gemm_operand());
+        core::kernels::set_force_scalar(false);
+        EXPECT_EQ(tensor::max_abs_diff(deflt, scalar), 0.0) << fmt.name;
+    }
+}
+
+TEST(PackedGemm, MixedWeightActivationFormats)
+{
+    // Table IV (w, a) splits: weights MX4, activations MX9.
+    stats::Rng rng(107);
+    Tensor x = spread_randn(5, 48, rng);
+    Tensor w = spread_randn(7, 48, rng);
+    const QuantPlan pa = make_quant_plan(core::mx9());
+    nn::FrozenTensor f = nn::FrozenTensor::build(w, core::mx4());
+    Tensor got = gemm::matmul_nt_packed(x, pa, *f.gemm_operand());
+    Tensor ref = tensor::matmul_nt(nn::quantize_rows(x, core::mx9()),
+                                   f.values());
+    EXPECT_LE(tensor::max_abs_diff(got, ref),
+              1e-5 * std::max(max_abs(ref), 1e-20));
+}
+
+TEST(PackedGemm, DeterministicAcrossRepeatedCalls)
+{
+    stats::Rng rng(108);
+    Tensor x = spread_randn(4, 35, rng);
+    Tensor w = spread_randn(6, 35, rng);
+    const QuantPlan plan = make_quant_plan(core::mx9());
+    nn::FrozenTensor f = nn::FrozenTensor::build(w, core::mx9());
+    Tensor first = gemm::matmul_nt_packed(x, plan, *f.gemm_operand());
+    for (int i = 0; i < 3; ++i) {
+        Tensor again = gemm::matmul_nt_packed(x, plan, *f.gemm_operand());
+        EXPECT_EQ(tensor::max_abs_diff(first, again), 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The serving path: frozen layers route through mx_gemm and need no
+// dequantized FP32 weight copy.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Pin a routing mode for one test body, restoring Auto. */
+class ScopedMode
+{
+  public:
+    explicit ScopedMode(gemm::Mode m) { gemm::set_mode(m); }
+    ~ScopedMode() { gemm::set_mode(gemm::Mode::Auto); }
+};
+
+} // namespace
+
+TEST(FrozenGemmRouting, AutoRoutesByProfitabilityAndNecessity)
+{
+    // Auto policy: packed exactly when the AVX2 gemm kernel is active
+    // (profitable) or the layer has no FP32 values left (required).
+    ScopedMode mode(gemm::Mode::Auto);
+    stats::Rng rng(114);
+    nn::Linear layer(32, 8, nn::QuantSpec::forward_only(core::mx9()),
+                     rng);
+    Tensor x = Tensor::randn({4, 32}, rng);
+    layer.freeze();
+
+    core::kernels::set_force_scalar(true);
+    EXPECT_FALSE(gemm::packed_profitable());
+    std::uint64_t before = gemm::call_count();
+    layer.forward(x, false);
+    EXPECT_EQ(gemm::call_count(), before)
+        << "Auto must serve on the values path when only the scalar "
+           "gemm kernel is available";
+    layer.drop_frozen_values();
+    before = gemm::call_count();
+    layer.forward(x, false);
+    EXPECT_GT(gemm::call_count(), before)
+        << "Auto must take the packed path once the values are gone";
+    core::kernels::set_force_scalar(false);
+
+    // With the pin released the dispatch re-resolves from the
+    // environment; when that lands on AVX2 the packed path engages on
+    // profitability alone (values are already gone here, so re-freeze
+    // to get the FP32 fallback back first).
+    layer.freeze();
+    if (gemm::packed_profitable()) {
+        before = gemm::call_count();
+        layer.forward(x, false);
+        EXPECT_GT(gemm::call_count(), before);
+    }
+}
+
+TEST(FrozenGemmRouting, LinearTakesPackedPathAndSurvivesDropValues)
+{
+    ScopedMode mode(gemm::Mode::On);
+    for_each_dispatch([&](const char* leg) {
+        for (const auto& fmt : mx_formats()) {
+            for (std::int64_t in : {32, 19}) {
+                stats::Rng rng(109);
+                nn::Linear layer(in, 8, nn::QuantSpec::forward_only(fmt),
+                                 rng);
+                Tensor x = Tensor::randn({4, in}, rng, 2.0f);
+                Tensor fake = layer.forward(x, false);
+                layer.freeze();
+
+                const std::uint64_t before = gemm::call_count();
+                Tensor frozen = layer.forward(x, false);
+                EXPECT_GT(gemm::call_count(), before)
+                    << "frozen forward did not route through mx_gemm ("
+                    << fmt.name << " leg=" << leg << ")";
+                EXPECT_LE(tensor::max_abs_diff(fake, frozen),
+                          1e-5 * std::max(max_abs(fake), 1e-20))
+                    << fmt.name << " in=" << in << " leg=" << leg;
+
+                // Drop the FP32 grid tensor: the packed artifact is now
+                // the only weight container, and serving still works,
+                // bit-identically to the pre-drop packed forward.
+                layer.drop_frozen_values();
+                EXPECT_EQ(layer.frozen_weight().values().numel(), 0);
+                ASSERT_TRUE(layer.frozen());
+                Tensor after = layer.forward(x, false);
+                EXPECT_EQ(tensor::max_abs_diff(frozen, after), 0.0);
+
+                // Disabling the packed path with no values left must
+                // fail loudly, not silently dequantize.
+                gemm::set_mode(gemm::Mode::Off);
+                EXPECT_THROW(layer.forward(x, false), ArgumentError);
+                gemm::set_mode(gemm::Mode::On);
+            }
+        }
+    });
+}
+
+TEST(FrozenGemmRouting, LegacyPathStillBitIdenticalWhenDisabled)
+{
+    ScopedMode mode(gemm::Mode::Off);
+    for (const auto& fmt : mx_formats()) {
+        stats::Rng rng(110);
+        nn::Linear layer(48, 8, nn::QuantSpec::forward_only(fmt), rng);
+        Tensor x = Tensor::randn({4, 48}, rng, 2.0f);
+        Tensor fake = layer.forward(x, false);
+        layer.freeze();
+        const std::uint64_t before = gemm::call_count();
+        Tensor frozen = layer.forward(x, false);
+        EXPECT_EQ(gemm::call_count(), before) << "MX_GEMM=0 not honoured";
+        EXPECT_EQ(tensor::max_abs_diff(fake, frozen), 0.0) << fmt.name;
+    }
+}
+
+TEST(FrozenGemmRouting, AttentionProjectionsRideThePackedPath)
+{
+    ScopedMode mode(gemm::Mode::On);
+    for_each_dispatch([&](const char* leg) {
+        stats::Rng rng(111);
+        nn::MultiHeadAttention attn(32, 2, 8, /*causal=*/true,
+                                    nn::QuantSpec::forward_only(
+                                        core::mx9()),
+                                    rng);
+        Tensor x = Tensor::randn({2 * 8, 32}, rng);
+        Tensor fake = attn.forward(x, false);
+        attn.freeze();
+        const std::uint64_t before = gemm::call_count();
+        Tensor frozen = attn.forward(x, false);
+        // All four projections (Q, K, V, O) run packed.
+        EXPECT_GE(gemm::call_count(), before + 4) << "leg=" << leg;
+        EXPECT_LE(tensor::max_abs_diff(fake, frozen),
+                  1e-5 * std::max(max_abs(fake), 1e-20))
+            << "leg=" << leg;
+    });
+}
+
+TEST(FrozenGemmRouting, NonPackableFormatsFallBackToValues)
+{
+    // FP8 weights have no pow2-block packed artifact: the frozen path
+    // must serve on the grid values, not through mx_gemm.
+    stats::Rng rng(112);
+    nn::Linear layer(32, 8,
+                     nn::QuantSpec::forward_only(core::fp8_e4m3()), rng);
+    Tensor x = Tensor::randn({4, 32}, rng);
+    Tensor fake = layer.forward(x, false);
+    layer.freeze();
+    EXPECT_FALSE(layer.frozen_weight().gemm_operand().has_value());
+    const std::uint64_t before = gemm::call_count();
+    Tensor frozen = layer.forward(x, false);
+    EXPECT_EQ(gemm::call_count(), before);
+    EXPECT_EQ(tensor::max_abs_diff(fake, frozen), 0.0);
+    EXPECT_THROW(layer.drop_frozen_values(), ArgumentError);
+}
+
+TEST(FrozenGemmRouting, DropValuesRejectedWhenActivationsCannotPair)
+{
+    // A weights-only quantization spec (FP32 activations over packed
+    // MX9 weights) produces a gemm view, but the packed path can never
+    // engage without a pow2-block activation format — dropping the
+    // grid tensor would brick the layer, so it must be rejected.
+    stats::Rng rng(115);
+    nn::QuantSpec spec;
+    spec.weight_forward = core::mx9();
+    nn::Linear layer(32, 8, spec, rng);
+    Tensor x = Tensor::randn({4, 32}, rng);
+    layer.freeze();
+    ASSERT_TRUE(layer.frozen_weight().gemm_operand().has_value());
+    EXPECT_THROW(layer.drop_frozen_values(), ArgumentError);
+    // And the layer still serves on the values path afterwards.
+    layer.forward(x, false);
+}

@@ -77,6 +77,34 @@ TEST(Matmul, ShapeChecks)
     EXPECT_THROW(matmul_nt(a, b), ArgumentError);
 }
 
+TEST(Matmul, NtOracleBitExactAcrossShapes)
+{
+    // matmul_nt is the FP32 oracle the packed-domain GEMM's QSNR is
+    // measured against (tests/test_gemm.cpp): pin it bit-for-bit to
+    // sequential double accumulation across shapes whose contraction
+    // widths include ragged k1=16 tails (19, 35) and magnitude spreads
+    // large enough that accumulation order would show.
+    stats::Rng rng(3);
+    const std::int64_t shapes[][3] = {
+        {1, 1, 1}, {2, 16, 3}, {5, 19, 4}, {3, 35, 8}, {9, 64, 7}};
+    for (const auto& s : shapes) {
+        Tensor a = Tensor::randn({s[0], s[1]}, rng);
+        Tensor b = Tensor::randn({s[2], s[1]}, rng);
+        for (std::int64_t i = 0; i < s[0]; ++i)
+            a.at(i, (i * 7) % s[1]) *= 1e4f;
+        Tensor c = matmul_nt(a, b);
+        for (std::int64_t i = 0; i < s[0]; ++i)
+            for (std::int64_t j = 0; j < s[2]; ++j) {
+                double acc = 0;
+                for (std::int64_t k = 0; k < s[1]; ++k)
+                    acc += static_cast<double>(a.at(i, k)) * b.at(j, k);
+                EXPECT_EQ(c.at(i, j), static_cast<float>(acc))
+                    << "[" << s[0] << "," << s[1] << "," << s[2]
+                    << "] at (" << i << "," << j << ")";
+            }
+    }
+}
+
 TEST(Transpose, Involution)
 {
     stats::Rng rng(3);
