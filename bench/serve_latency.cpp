@@ -6,7 +6,10 @@
  * path snapshots Q(W) once and the serve engine coalesces requests
  * into micro-batches.  Reports single-stream throughput for both modes
  * plus engine throughput, p50/p99 request latency and the coalesced
- * batch-size profile, into BENCH_serve_latency.json.
+ * batch-size profile; a replica sweep (frozen snapshots are shared
+ * handles, so N workers cost N eval scratches, not N weight copies);
+ * and the decode-session comparison (warm prefix reuse vs recomputing
+ * every visible position per token).  Into BENCH_serve_latency.json.
  *
  *   $ ./bench/serve_latency
  */
@@ -14,14 +17,17 @@
 #include <algorithm>
 #include <cstdio>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "bench_report.h"
 #include "gemm/packed_gemm.h"
 #include "models/mlp.h"
+#include "models/serve_adapters.h"
 #include "models/transformer.h"
 #include "nn/quant.h"
 #include "serve/engine.h"
+#include "serve/session_cache.h"
 #include "stats/rng.h"
 
 using namespace mx;
@@ -159,6 +165,55 @@ main()
     ok = ok && mlp_ok;
 
     // ------------------------------------------------------------------
+    // Replica sweep: N workers over the one bounded queue, each serving
+    // the same frozen model (eval forwards are mutation-free; the
+    // FrozenTensor snapshots are shared handles).  Per-batch pool
+    // sharding stays off — the replica is the parallelism unit.
+    // ------------------------------------------------------------------
+    bench::banner("MLP serving: replica sweep (MX_SERVE_REPLICAS)");
+    const std::size_t hardware_lanes =
+        std::max(1u, std::thread::hardware_concurrency());
+    auto run_replicas = [&](std::size_t replicas) {
+        serve::EngineConfig rc;
+        rc.replicas = replicas;
+        rc.queue_capacity = 256;
+        serve::InferenceEngine engine(
+            [&](const Tensor& batch) { return mlp.logits(batch, false); },
+            mlp_in, rc);
+        std::vector<double> lat;
+        double mean_batch = 0;
+        const double wall = run_engine(engine, mlp_rows, lat, mean_batch);
+        return static_cast<double>(mlp_requests) / wall;
+    };
+    const double mlp_r1 = run_replicas(1);
+    const double mlp_r2 = run_replicas(2);
+    const double mlp_r4 = run_replicas(4);
+    std::printf("  %zu hardware lanes\n", hardware_lanes);
+    std::printf("  1 replica  : %10.1f rows/s\n", mlp_r1);
+    std::printf("  2 replicas : %10.1f rows/s  (%.2fx)\n", mlp_r2,
+                mlp_r2 / mlp_r1);
+    std::printf("  4 replicas : %10.1f rows/s  (%.2fx)\n", mlp_r4,
+                mlp_r4 / mlp_r1);
+    report.metric("hardware_lanes", static_cast<double>(hardware_lanes),
+                  "threads");
+    report.metric("serve_mlp_replica1_items_per_sec", mlp_r1, "rows/s");
+    report.metric("serve_mlp_replica2_items_per_sec", mlp_r2, "rows/s");
+    report.metric("serve_mlp_replica4_items_per_sec", mlp_r4, "rows/s");
+    report.metric("mlp_replica4_scaling", mlp_r4 / mlp_r1, "x");
+
+    // Replication must never *cost* throughput (lock contention on the
+    // queue/stats mutex would); the near-linear-scaling claim needs
+    // spare physical lanes and is only recorded where they exist.
+    const bool replicas_ok = mlp_r4 >= 0.70 * mlp_r1;
+    report.flag("mlp_replicas4_not_slower", replicas_ok);
+    ok = ok && replicas_ok;
+    if (hardware_lanes >= 6) {
+        const bool scaling_ok = mlp_r4 >= 2.5 * mlp_r1;
+        report.flag("mlp_replicas4_ge_2_5x_replica1", scaling_ok);
+        ok = ok && scaling_ok;
+    }
+
+    // ------------------------------------------------------------------
     // Transformer workload: one decode window per request (Table IV
     // generative serving).  The forward is matmul-bound (seq_len rows
     // amortize each weight), so the frozen win is smaller than the
@@ -258,6 +313,126 @@ main()
         report.flag("gpt_packed_ge_1_3x_over_values_path", packed_ok);
         ok = ok && packed_ok;
     }
+
+    // ------------------------------------------------------------------
+    // Decode sessions: greedy decode of growing contexts through
+    // decode_logits, warm (per-layer K/V prefix reuse) vs cold
+    // (recompute every visible position per token).  Both run
+    // causal-visibility quantization, so the token streams must be
+    // identical — the speedup is pure work elimination.
+    // ------------------------------------------------------------------
+    bench::banner("GPT decode: warm session prefix vs full recompute");
+    models::TransformerConfig dcfg;
+    dcfg.vocab = 64;
+    dcfg.d_model = 64;
+    dcfg.heads = 4;
+    dcfg.layers = 2;
+    dcfg.seq_len = 16;
+    dcfg.spec = spec;
+    dcfg.seed = 79;
+    models::GptMini dgpt(dcfg);
+    dgpt.freeze();
+    const int dstreams = static_cast<int>(bench::scaled(8, 4));
+    const int prompt_len = 2;
+    std::vector<std::vector<int>> prompts(
+        static_cast<std::size_t>(dstreams));
+    for (int s = 0; s < dstreams; ++s) {
+        auto& p = prompts[static_cast<std::size_t>(s)];
+        p.resize(prompt_len);
+        for (int& t : p)
+            t = static_cast<int>(rng.next_u64() %
+                                 static_cast<std::uint64_t>(dcfg.vocab));
+    }
+    auto argmax_tok = [&](const float* logits) {
+        int best = 0;
+        for (int v = 1; v < dcfg.vocab; ++v)
+            if (logits[v] > logits[best])
+                best = v;
+        return best;
+    };
+
+    // Direct model-level decode (no engine) isolates the algorithmic
+    // win per token.
+    auto decode_direct = [&](bool warm) {
+        std::vector<models::GptDecodeSession> sessions(
+            static_cast<std::size_t>(dstreams));
+        auto ctx = prompts;
+        std::int64_t tokens = 0;
+        const double t0 = now_sec();
+        for (int step = prompt_len; step < dcfg.seq_len; ++step)
+            for (int s = 0; s < dstreams; ++s) {
+                auto& c = ctx[static_cast<std::size_t>(s)];
+                Tensor logits = dgpt.decode_logits(
+                    c, warm ? &sessions[static_cast<std::size_t>(s)]
+                            : nullptr);
+                c.push_back(argmax_tok(logits.data()));
+                ++tokens;
+            }
+        const double tps = static_cast<double>(tokens) /
+                           (now_sec() - t0);
+        return std::make_pair(tps, ctx);
+    };
+    auto [cold_tps, cold_ctx] = decode_direct(false);
+    auto [warm_tps, warm_ctx] = decode_direct(true);
+
+    // The full serving stack: replicated engine + session-aware batch
+    // function + LRU session cache.
+    double engine_warm_tps = 0;
+    {
+        serve::SessionCache sessions(
+            static_cast<std::size_t>(2 * dstreams));
+        serve::EngineConfig ec;
+        ec.queue_capacity = 64;
+        serve::InferenceEngine engine(
+            models::gpt_decode_batch_fn(dgpt, sessions), dcfg.seq_len,
+            ec);
+        auto ctx = prompts;
+        std::int64_t tokens = 0;
+        const double t0 = now_sec();
+        for (int step = prompt_len; step < dcfg.seq_len; ++step) {
+            std::vector<std::future<serve::Reply>> futures;
+            futures.reserve(static_cast<std::size_t>(dstreams));
+            for (int s = 0; s < dstreams; ++s)
+                futures.push_back(engine.submit(
+                    models::GptMini::pack_decode_row(
+                        ctx[static_cast<std::size_t>(s)], dcfg.seq_len),
+                    static_cast<std::uint64_t>(s + 1)));
+            for (int s = 0; s < dstreams; ++s) {
+                serve::Reply r = futures[static_cast<std::size_t>(s)]
+                                     .get();
+                ctx[static_cast<std::size_t>(s)].push_back(
+                    argmax_tok(r.output.data()));
+                ++tokens;
+            }
+        }
+        engine_warm_tps = static_cast<double>(tokens) /
+                          (now_sec() - t0);
+    }
+
+    const double reuse_speedup = warm_tps / cold_tps;
+    std::printf("  cold (recompute window)  : %10.1f tokens/s\n",
+                cold_tps);
+    std::printf("  warm (prefix reuse)      : %10.1f tokens/s  (%.2fx)\n",
+                warm_tps, reuse_speedup);
+    std::printf("  warm via session engine  : %10.1f tokens/s\n",
+                engine_warm_tps);
+    std::printf("  warm streams match cold  : %s\n",
+                warm_ctx == cold_ctx ? "yes" : "NO (bug!)");
+
+    report.metric("serve_gpt_decode_cold_items_per_sec", cold_tps,
+                  "tokens/s");
+    report.metric("serve_gpt_decode_warm_items_per_sec", warm_tps,
+                  "tokens/s");
+    report.metric("serve_gpt_session_engine_items_per_sec",
+                  engine_warm_tps, "tokens/s");
+    report.metric("gpt_prefix_reuse_speedup", reuse_speedup, "x");
+
+    const bool decode_match = warm_ctx == cold_ctx;
+    report.flag("gpt_decode_warm_matches_cold", decode_match);
+    ok = ok && decode_match;
+    const bool reuse_ok = warm_tps >= 1.15 * cold_tps;
+    report.flag("gpt_warm_prefix_beats_recompute", reuse_ok);
+    ok = ok && reuse_ok;
 
     // The engine's micro-batching must not give back the frozen win to
     // queueing overhead (loose floor: throughput is noisy).

@@ -1,0 +1,115 @@
+#include "core/env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace mx {
+namespace core {
+namespace env {
+
+namespace {
+
+/** Trimmed, lower-cased copy of the raw value. */
+std::string
+normalize(const char* raw)
+{
+    std::string v(raw);
+    const auto is_space = [](unsigned char c) { return std::isspace(c); };
+    while (!v.empty() && is_space(static_cast<unsigned char>(v.front())))
+        v.erase(v.begin());
+    while (!v.empty() && is_space(static_cast<unsigned char>(v.back())))
+        v.pop_back();
+    std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return v;
+}
+
+/** Warn once per variable per process (a knob read in a hot loop must
+ *  not spam stderr). */
+void
+warn_once(const char* name, const char* raw, const std::string& expected)
+{
+    static std::mutex mu;
+    static std::set<std::string>* warned = new std::set<std::string>;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!warned->insert(name).second)
+            return;
+    }
+    std::fprintf(stderr,
+                 "mx: ignoring malformed %s=\"%s\" (expected %s); using "
+                 "the default\n",
+                 name, raw, expected.c_str());
+}
+
+} // namespace
+
+std::size_t
+size_knob(const char* name, std::size_t fallback, std::size_t min_value)
+{
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return fallback;
+    const std::string v = normalize(raw);
+    bool ok = !v.empty() &&
+              std::all_of(v.begin(), v.end(), [](unsigned char c) {
+                  return std::isdigit(c);
+              });
+    unsigned long long parsed = 0;
+    if (ok) {
+        errno = 0;
+        parsed = std::strtoull(v.c_str(), nullptr, 10);
+        ok = errno == 0 && parsed >= min_value;
+    }
+    if (!ok) {
+        warn_once(name, raw,
+                  "an integer >= " + std::to_string(min_value));
+        return fallback;
+    }
+    return static_cast<std::size_t>(parsed);
+}
+
+bool
+flag_knob(const char* name, bool fallback)
+{
+    return enum_knob(name, fallback ? 1 : 0,
+                     {{"1", 1},
+                      {"true", 1},
+                      {"on", 1},
+                      {"yes", 1},
+                      {"0", 0},
+                      {"false", 0},
+                      {"off", 0},
+                      {"no", 0}}) != 0;
+}
+
+int
+enum_knob(const char* name, int fallback,
+          std::initializer_list<EnumToken> tokens)
+{
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return fallback;
+    const std::string v = normalize(raw);
+    for (const EnumToken& t : tokens)
+        if (v == t.token)
+            return t.value;
+    std::string expected = "one of:";
+    for (const EnumToken& t : tokens) {
+        expected += ' ';
+        expected += t.token;
+    }
+    warn_once(name, raw, expected);
+    return fallback;
+}
+
+} // namespace env
+} // namespace core
+} // namespace mx

@@ -1,8 +1,8 @@
 #include "core/kernels/dispatch.h"
 
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
+
+#include "core/env.h"
 
 namespace mx {
 namespace core {
@@ -13,8 +13,7 @@ namespace {
 bool
 env_forces_scalar()
 {
-    const char* v = std::getenv("MX_FORCE_SCALAR");
-    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+    return env::flag_knob("MX_FORCE_SCALAR", false);
 }
 
 /** Cached selection; nullptr = not resolved yet. */

@@ -1,7 +1,8 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "core/env.h"
 
 namespace mx {
 namespace core {
@@ -11,25 +12,15 @@ namespace {
 /** True while the current thread is executing pool work. */
 thread_local bool tl_in_pool = false;
 
-std::size_t
-env_threads()
-{
-    const char* v = std::getenv("MX_THREADS");
-    if (!v || v[0] == '\0')
-        return 0;
-    char* end = nullptr;
-    const long parsed = std::strtol(v, &end, 10);
-    if (end == v || *end != '\0' || parsed < 1)
-        return 0;
-    return static_cast<std::size_t>(parsed);
-}
-
 } // namespace
 
 std::size_t
 ThreadPool::default_thread_count()
 {
-    const std::size_t from_env = env_threads();
+    // 0 (explicit or as the unset fallback) = "no override": fall
+    // through to the hardware concurrency.
+    const std::size_t from_env =
+        env::size_knob("MX_THREADS", 0, /*min_value=*/0);
     if (from_env > 0)
         return from_env;
     const unsigned hw = std::thread::hardware_concurrency();

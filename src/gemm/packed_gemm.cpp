@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <cstdlib>
-#include <cstring>
 
 #include "core/check.h"
+#include "core/env.h"
 #include "core/kernels/dispatch.h"
 
 namespace mx {
@@ -23,19 +22,23 @@ std::atomic<int> g_mode{-1};
 int
 env_mode()
 {
-    const char* v = std::getenv("MX_GEMM");
-    if (v != nullptr && std::strcmp(v, "0") == 0)
-        return static_cast<int>(Mode::Off);
-    if (v != nullptr && std::strcmp(v, "1") == 0)
-        return static_cast<int>(Mode::On);
-    return static_cast<int>(Mode::Auto);
+    // The shared knob parser warns once on anything unrecognized —
+    // this site used to map "ON", "auto " and "2" to Auto in silence.
+    return core::env::enum_knob(
+        "MX_GEMM", static_cast<int>(Mode::Auto),
+        {{"auto", static_cast<int>(Mode::Auto)},
+         {"1", static_cast<int>(Mode::On)},
+         {"on", static_cast<int>(Mode::On)},
+         {"true", static_cast<int>(Mode::On)},
+         {"0", static_cast<int>(Mode::Off)},
+         {"off", static_cast<int>(Mode::Off)},
+         {"false", static_cast<int>(Mode::Off)}});
 }
 
 bool
 env_verifies_gemm()
 {
-    const char* v = std::getenv("MX_GEMM_VERIFY");
-    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+    return core::env::flag_knob("MX_GEMM_VERIFY", false);
 }
 
 void

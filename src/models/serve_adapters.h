@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Glue between the model miniatures and mx_serve: the decode-serving
+ * adapter that gives serve::InferenceEngine requests a per-stream
+ * prefix cache.
+ *
+ * Header-only on purpose: mx_models stays link-independent of
+ * mx_serve; binaries that serve (examples, benches, tests) link both.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "models/transformer.h"
+#include "serve/engine.h"
+#include "serve/session_cache.h"
+
+namespace mx {
+namespace models {
+
+/**
+ * Builds the session-aware batch function for GPT decode serving: each
+ * request row is a pack_decode_row() context, each reply row the
+ * stream's next-token logits.  Sessions check their GptDecodeSession
+ * out of @p cache for the duration of the row (checkout semantics —
+ * see serve/session_cache.h), so the function is safe on any replica
+ * count; rows tagged session 0, a disabled cache, or a cache miss all
+ * take the bit-identical full-recompute path.
+ *
+ * @p model and @p cache must outlive the engine.  The model's eval
+ * forward is mutation-free, so one model instance serves every
+ * replica.
+ */
+inline serve::InferenceEngine::SessionBatchFn
+gpt_decode_batch_fn(GptMini& model, serve::SessionCache& cache)
+{
+    return [&model, &cache](const tensor::Tensor& in,
+                            const std::vector<std::uint64_t>& sessions) {
+        const std::int64_t seq_len = model.config().seq_len;
+        const std::int64_t vocab = model.config().vocab;
+        tensor::Tensor out({in.dim(0), vocab});
+        for (std::int64_t r = 0; r < in.dim(0); ++r) {
+            const std::vector<int> tokens = GptMini::unpack_decode_row(
+                in.data() + r * seq_len, seq_len);
+            std::shared_ptr<GptDecodeSession> st;
+            if (sessions[static_cast<std::size_t>(r)] != 0 &&
+                cache.enabled()) {
+                st = cache.take<GptDecodeSession>(
+                    sessions[static_cast<std::size_t>(r)]);
+                if (st == nullptr)
+                    st = std::make_shared<GptDecodeSession>();
+            }
+            tensor::Tensor logits = model.decode_logits(tokens, st.get());
+            std::copy(logits.data(), logits.data() + vocab,
+                      out.data() + r * vocab);
+            if (st != nullptr)
+                cache.put(sessions[static_cast<std::size_t>(r)],
+                          std::move(st));
+        }
+        return out;
+    };
+}
+
+} // namespace models
+} // namespace mx

@@ -71,6 +71,34 @@ TransformerBlock::forward(const Tensor& x, bool train)
     return h;
 }
 
+bool
+TransformerBlock::prefix_reusable() const
+{
+    return attn_->prefix_reusable();
+}
+
+Tensor
+TransformerBlock::forward_suffix(const Tensor& x_suffix,
+                                 nn::AttnPrefixCache& cache)
+{
+    // Same op sequence as forward(x, false) restricted to the new
+    // positions: every non-attention op is position-wise, so
+    // restricting to a row subset cannot change any row's bits.
+    Tensor h = x_suffix;
+    Tensor a = attn_->forward_suffix(ln1_->forward(h, /*train=*/false),
+                                     cache);
+    tensor::axpy(h, 1.0f, a); // residual
+
+    Tensor f = ff2_->forward(
+        act_->forward(
+            ff1_->forward(ln2_->forward(h, /*train=*/false),
+                          /*train=*/false),
+            /*train=*/false),
+        /*train=*/false);
+    tensor::axpy(h, 1.0f, f); // residual
+    return h;
+}
+
 Tensor
 TransformerBlock::backward(const Tensor& grad_out)
 {
@@ -364,6 +392,104 @@ GptMini::window_logits(const Tensor& windows)
                   h.data() + (r + 1) * cfg_.seq_len * cfg_.d_model,
                   last.data() + r * cfg_.d_model);
     return lm_head_->forward(last, /*train=*/false); // [n, vocab]
+}
+
+std::vector<float>
+GptMini::pack_decode_row(const std::vector<int>& tokens,
+                         std::int64_t seq_len)
+{
+    MX_CHECK_ARG(!tokens.empty() &&
+                 static_cast<std::int64_t>(tokens.size()) <= seq_len,
+                 "GptMini: decode context of " << tokens.size()
+                     << " tokens does not fit a " << seq_len
+                     << "-position window");
+    std::vector<float> row(static_cast<std::size_t>(seq_len), -1.0f);
+    for (std::size_t i = 0; i < tokens.size(); ++i)
+        row[i] = static_cast<float>(tokens[i]);
+    return row;
+}
+
+std::vector<int>
+GptMini::unpack_decode_row(const float* row, std::int64_t seq_len)
+{
+    std::vector<int> tokens;
+    tokens.reserve(static_cast<std::size_t>(seq_len));
+    for (std::int64_t i = 0; i < seq_len && row[i] >= 0.0f; ++i)
+        tokens.push_back(static_cast<int>(row[i]));
+    return tokens;
+}
+
+Tensor
+GptMini::decode_logits(const std::vector<int>& tokens,
+                       GptDecodeSession* session)
+{
+    const std::int64_t T = cfg_.seq_len;
+    const std::int64_t n = static_cast<std::int64_t>(tokens.size());
+    MX_CHECK_ARG(n >= 1 && n <= T,
+                 "GptMini: decode context of " << n
+                     << " tokens does not fit a " << T
+                     << "-position window");
+
+    // Reusable prefix p: the longest shared token prefix with the
+    // session, capped so at least the newest token's row recomputes.
+    std::int64_t p = 0;
+    const bool reuse = session != nullptr && !blocks_.empty() &&
+                       blocks_.front()->prefix_reusable();
+    if (reuse && !session->layers.empty()) {
+        MX_CHECK_ARG(session->layers.size() == blocks_.size(),
+                     "GptMini: session was built for a "
+                         << session->layers.size()
+                         << "-layer model, this one has "
+                         << blocks_.size());
+        const std::int64_t cached = static_cast<std::int64_t>(
+            session->tokens.size());
+        while (p < std::min({cached, n - 1}) &&
+               session->tokens[static_cast<std::size_t>(p)] ==
+                   tokens[static_cast<std::size_t>(p)])
+            ++p;
+        // A diverged stream keeps its still-valid prefix: under
+        // causal-visibility quantization, K/V row j depends only on
+        // tokens [0, j], so rows [0, p) survive.
+        for (nn::AttnPrefixCache& c : session->layers)
+            c.truncate(p);
+    }
+    if (session != nullptr && session->layers.empty())
+        session->layers.resize(blocks_.size());
+
+    // Scratch caches when prefix reuse is off: same code path with
+    // p = 0 and nothing kept — the bit-identical fallback (each
+    // position is a pure function of its visible tokens, so computing
+    // the stream from scratch reproduces the incremental bits).
+    std::vector<nn::AttnPrefixCache> scratch;
+    std::vector<nn::AttnPrefixCache>* caches =
+        reuse ? &session->layers : &scratch;
+    if (!reuse)
+        scratch.resize(blocks_.size());
+
+    // Block-0 input rows [p, n): token embedding + position embedding
+    // of the newly appended positions only.
+    std::vector<int> suffix_tokens(tokens.begin() + p, tokens.end());
+    std::vector<int> suffix_pos(static_cast<std::size_t>(n - p));
+    for (std::int64_t i = p; i < n; ++i)
+        suffix_pos[static_cast<std::size_t>(i - p)] = static_cast<int>(i);
+    Tensor h = tok_emb_->forward(suffix_tokens, /*train=*/false);
+    Tensor pe = pos_emb_->forward(suffix_pos, /*train=*/false);
+    tensor::axpy(h, 1.0f, pe);
+
+    for (std::size_t l = 0; l < blocks_.size(); ++l)
+        h = blocks_[l]->forward_suffix(h, (*caches)[l]);
+
+    if (reuse)
+        session->tokens = tokens;
+
+    // Only position n-1 (local row n-1-p) feeds the next-token
+    // decision; final LN and the LM head are row-wise, so projecting
+    // the kept row alone is bit-identical to projecting all T.
+    Tensor last({1, static_cast<std::int64_t>(cfg_.d_model)});
+    std::copy(h.data() + (n - 1 - p) * cfg_.d_model,
+              h.data() + (n - p) * cfg_.d_model, last.data());
+    last = final_ln_->forward(last, /*train=*/false);
+    return lm_head_->forward(last, /*train=*/false); // [1, vocab]
 }
 
 void

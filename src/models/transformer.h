@@ -41,6 +41,23 @@ class TransformerBlock : public nn::Layer
     /** Re-point every contraction at a new quantization policy. */
     void set_spec(const nn::QuantSpec& spec);
 
+    /**
+     * Eval-only incremental decode forward (batch 1): @p x_suffix
+     * holds the block input rows for a stream's newly appended
+     * positions; returns the same positions' block outputs and
+     * advances @p cache past them.  LayerNorm, FFN, activation and
+     * residual are all position-wise; attention reuses the cached K/V
+     * prefix under causal-visibility quantization (see
+     * nn::MultiHeadAttention::forward_suffix for the numerics
+     * contract).
+     */
+    tensor::Tensor forward_suffix(const tensor::Tensor& x_suffix,
+                                  nn::AttnPrefixCache& cache);
+
+    /** True when forward_suffix may reuse a prefix (causal attention +
+     *  row-independent activation format). */
+    bool prefix_reusable() const;
+
   private:
     std::unique_ptr<nn::LayerNorm> ln1_, ln2_;
     std::unique_ptr<nn::MultiHeadAttention> attn_;
@@ -114,6 +131,18 @@ class BertMini
     int last_head_ = 0; // 1 = cls, 2 = qa
 };
 
+/**
+ * One decode stream's prefix-reuse state: the token prefix whose
+ * per-layer K/V projections are cached (serve/session_cache.h owns the
+ * per-stream LRU lifecycle; GptMini::decode_logits consumes and
+ * advances it).
+ */
+struct GptDecodeSession
+{
+    std::vector<int> tokens; ///< Prefix covered by the layer caches.
+    std::vector<nn::AttnPrefixCache> layers; ///< One per block.
+};
+
 /** Decoder-only causal LM. */
 class GptMini
 {
@@ -134,6 +163,41 @@ class GptMini
      * packed domain via mx_gemm on the SIMD leg.
      */
     tensor::Tensor window_logits(const tensor::Tensor& windows);
+
+    /**
+     * Decode-serving adapter with prefix reuse: @p tokens is one
+     * stream's context (1..seq_len tokens); returns the [1, vocab]
+     * next-token logits at position tokens.size()-1.
+     *
+     * With @p session, the per-layer K/V rows of the longest shared
+     * token prefix are reused and only the newly appended positions
+     * recompute — the per-token decode win — and the session advances
+     * to cover @p tokens.  With session == nullptr (or an
+     * empty/diverged session, or a spec whose activations do not
+     * quantize rows independently) every position recomputes.  Both
+     * paths are bit-identical: attention runs under causal-visibility
+     * quantization (each position's P V contraction spans exactly its
+     * visible keys — nn::MultiHeadAttention::forward_suffix), which
+     * makes position j's output a pure function of tokens [0, j].
+     *
+     * Note this deliberately differs from window_logits' numerics:
+     * the fixed-window forward lets all seq_len keys share V
+     * quantization blocks, coupling each position's output to keys it
+     * cannot attend — which is also why no cache could ever be exact
+     * there.  decode_logits is the serving path whose numerics an MX
+     * KV cache reproduces natively.
+     */
+    tensor::Tensor decode_logits(const std::vector<int>& tokens,
+                                 GptDecodeSession* session = nullptr);
+
+    /** Encode a decode context as a serve request row: tokens, then
+     *  -1 padding up to seq_len (serve rows have fixed width). */
+    static std::vector<float>
+    pack_decode_row(const std::vector<int>& tokens, std::int64_t seq_len);
+
+    /** Inverse of pack_decode_row (stops at the first -1). */
+    static std::vector<int> unpack_decode_row(const float* row,
+                                              std::int64_t seq_len);
 
     /** Mean LM loss (natural log) of a batch, no caching. */
     double eval_loss(const data::SequenceBatch& batch);

@@ -10,6 +10,27 @@ namespace nn {
 
 using tensor::Tensor;
 
+void
+AttnPrefixCache::truncate(std::int64_t rows)
+{
+    if (rows >= prefix)
+        return;
+    if (rows <= 0) {
+        k = Tensor();
+        v = Tensor();
+        prefix = 0;
+        return;
+    }
+    const std::int64_t d = k.dim(1);
+    Tensor nk({rows, d});
+    Tensor nv({rows, d});
+    std::copy(k.data(), k.data() + rows * d, nk.data());
+    std::copy(v.data(), v.data() + rows * d, nv.data());
+    k = std::move(nk);
+    v = std::move(nv);
+    prefix = rows;
+}
+
 MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
                                        std::int64_t heads,
                                        std::int64_t seq_len, bool causal,
@@ -155,6 +176,142 @@ MultiHeadAttention::forward(const Tensor& x, bool train)
         }
     }
     return wo_->forward(concat, train);
+}
+
+bool
+MultiHeadAttention::prefix_reusable() const
+{
+    // Non-causal attention lets every position see the whole window, so
+    // no prefix row is ever stable.  Per-tensor-scaled activation
+    // formats couple rows through one JIT scale, so only the pow2
+    // block family (and FP32) quantizes suffix rows independently.
+    if (!causal_)
+        return false;
+    if (!spec_.forward.has_value())
+        return true;
+    return spec_.forward->s_kind == core::ScaleKind::Pow2Hw &&
+           spec_.forward->elem == core::ElementKind::SignMagnitude;
+}
+
+Tensor
+MultiHeadAttention::forward_suffix(const Tensor& x_suffix,
+                                   AttnPrefixCache& cache)
+{
+    const std::int64_t p = cache.prefix;
+    const std::int64_t s = x_suffix.ndim() == 2 ? x_suffix.dim(0) : 0;
+    const std::int64_t n = p + s; // visible positions after this call
+    MX_CHECK_ARG(causal_, "MultiHeadAttention: forward_suffix is a "
+                          "causal decode path");
+    // From-scratch calls (p == 0) are legal under any format — they
+    // quantize the same tensors every time, so the result is a pure
+    // function of the inputs.  Actually *reusing* cached rows needs
+    // row-independent quantization; callers gate caching on
+    // prefix_reusable(), and this backstops them.
+    MX_CHECK_ARG(p == 0 || prefix_reusable(),
+                 "MultiHeadAttention: a cached prefix needs a "
+                 "row-independent activation format");
+    MX_CHECK_ARG(x_suffix.ndim() == 2 && s >= 1 &&
+                 x_suffix.dim(1) == d_model_,
+                 "MultiHeadAttention: suffix " << x_suffix.shape_string()
+                     << " expects [*, " << d_model_ << "]");
+    MX_CHECK_ARG(p >= 0 && n <= seq_len_,
+                 "MultiHeadAttention: prefix " << p << " + suffix " << s
+                     << " overflows a " << seq_len_
+                     << "-position window");
+    if (p > 0)
+        MX_CHECK_ARG(cache.k.ndim() == 2 && cache.k.dim(0) == p &&
+                     cache.k.dim(1) == d_model_ &&
+                     cache.v.same_shape(cache.k),
+                     "MultiHeadAttention: prefix cache shape drifted");
+
+    // Project only the suffix rows; Linear eval forwards are row-wise,
+    // so these rows never depend on which rows ride along.
+    Tensor q_suf = wq_->forward(x_suffix, /*train=*/false);
+    Tensor k_suf = wk_->forward(x_suffix, /*train=*/false);
+    Tensor v_suf = wv_->forward(x_suffix, /*train=*/false);
+
+    // K/V over every visible position: cached prefix rows + fresh
+    // suffix rows — exactly a KV cache append; prefix rows are reused
+    // bit-for-bit, never recomputed or re-quantized.
+    Tensor k_all({n, d_model_});
+    Tensor v_all({n, d_model_});
+    if (p > 0) {
+        std::copy(cache.k.data(), cache.k.data() + p * d_model_,
+                  k_all.data());
+        std::copy(cache.v.data(), cache.v.data() + p * d_model_,
+                  v_all.data());
+    }
+    std::copy(k_suf.data(), k_suf.data() + s * d_model_,
+              k_all.data() + p * d_model_);
+    std::copy(v_suf.data(), v_suf.data() + s * d_model_,
+              v_all.data() + p * d_model_);
+
+    // [rows, d_model] -> one head's [rows, head_dim] slice.
+    auto take_head = [this](const Tensor& packed, std::int64_t rows,
+                            std::int64_t h) {
+        Tensor out({rows, head_dim_});
+        for (std::int64_t t = 0; t < rows; ++t)
+            std::copy(packed.data() + t * d_model_ + h * head_dim_,
+                      packed.data() + t * d_model_ + (h + 1) * head_dim_,
+                      out.data() + t * head_dim_);
+        return out;
+    };
+
+    const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+    Tensor concat = Tensor::zeros({s, d_model_});
+    for (std::int64_t h = 0; h < heads_; ++h) {
+        Tensor qh = take_head(q_suf, s, h);
+        Tensor kh = take_head(k_all, n, h);
+        Tensor vh = take_head(v_all, n, h);
+
+        // Suffix query rows against every visible key.  Q K^T
+        // quantizes per row (queries along head_dim, keys along
+        // head_dim), so key row t's quantization is independent of how
+        // many keys exist — scores for masked keys are computed and
+        // discarded, never leaked.
+        Tensor scores = qmatmul_nt(qh, kh, spec_.forward, spec_.rounding);
+        for (std::int64_t i = 0; i < s; ++i) {
+            for (std::int64_t j = 0; j < n; ++j) {
+                float& sc = scores.data()[i * n + j];
+                sc *= scale;
+                if (j > p + i)
+                    sc = -std::numeric_limits<float>::infinity();
+            }
+        }
+        Tensor probs = tensor::softmax_rows(scores);
+
+        // ctx row i = P V over EXACTLY the row's visible keys
+        // [0, p+i]: the reduction runs along keys, so the transposed-V
+        // quantization blocks must span only keys the position may
+        // see.  This is the causal-visibility discipline a native MX
+        // KV cache implements for free (key blocks are appended,
+        // never re-quantized when later tokens arrive) — and it is
+        // what makes position p+i's output a pure function of tokens
+        // [0, p+i], i.e. what makes prefix reuse exact.
+        for (std::int64_t i = 0; i < s; ++i) {
+            const std::int64_t vis = p + i + 1;
+            Tensor prow({1, vis});
+            std::copy(probs.data() + i * n, probs.data() + i * n + vis,
+                      prow.data());
+            Tensor vt({head_dim_, vis}); // V^T sliced to visible keys
+            for (std::int64_t d = 0; d < head_dim_; ++d)
+                for (std::int64_t t = 0; t < vis; ++t)
+                    vt.data()[d * vis + t] =
+                        vh.data()[t * head_dim_ + d];
+            Tensor crow = qmatmul_nt(prow, vt, spec_.forward,
+                                     spec_.rounding); // [1, head_dim]
+            float* row = concat.data() + i * d_model_ + h * head_dim_;
+            for (std::int64_t j = 0; j < head_dim_; ++j)
+                row[j] += crow.data()[j];
+        }
+    }
+
+    // The appended keys become the new prefix.
+    cache.k = std::move(k_all);
+    cache.v = std::move(v_all);
+    cache.prefix = n;
+
+    return wo_->forward(concat, /*train=*/false);
 }
 
 Tensor

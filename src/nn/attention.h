@@ -18,6 +18,26 @@ namespace mx {
 namespace nn {
 
 /**
+ * Cached K/V projection rows for the visible prefix of one decode
+ * stream — the state MultiHeadAttention::forward_suffix reuses
+ * instead of recomputing every position each step (the packed-domain
+ * analog of a KV cache; serve/session_cache.h owns the per-stream
+ * lifecycle).  Rows are the FP32 *post-projection* activations:
+ * per-call quantization is row-wise for the pow2 block family, so
+ * replaying quantize-on-use over cached rows is bit-identical to
+ * computing the stream from scratch.
+ */
+struct AttnPrefixCache
+{
+    tensor::Tensor k; ///< [prefix, d_model] rows of Wk x.
+    tensor::Tensor v; ///< [prefix, d_model] rows of Wv x.
+    std::int64_t prefix = 0; ///< Cached row count.
+
+    /** Keep only the first @p rows rows (stream diverged mid-window). */
+    void truncate(std::int64_t rows);
+};
+
+/**
  * Self-attention over fixed-length sequences.
  *
  * Inputs are packed [B*T, D]; the batch/sequence factorization is given
@@ -41,6 +61,39 @@ class MultiHeadAttention : public Layer
     tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<Param*>& out) override;
+
+    /**
+     * Eval-only incremental decode forward for one stream (batch 1) —
+     * the KV-cache compute discipline, carried into the quantized
+     * domain.  @p x_suffix holds the block input rows for the stream's
+     * newly appended positions [cache.prefix, n); the cached K/V rows
+     * stand in for positions [0, cache.prefix) and only the suffix is
+     * projected.  Returns the attention output rows [cache.prefix, n)
+     * and advances the cache to cover all n visible positions.
+     *
+     * Numerics: each position's P V contraction quantizes transposed V
+     * over EXACTLY that position's visible keys (causal-visibility
+     * quantization) — the blocks a native MX KV cache would hold,
+     * appended as tokens arrive and never re-quantized.  The
+     * fixed-window forward() instead lets every key in the window
+     * share quantization blocks, which couples a position's output to
+     * keys it cannot attend; under that discipline no cached row is
+     * ever stable.  Causal visibility makes position j's output a pure
+     * function of the stream's first j+1 tokens, so incremental and
+     * from-scratch decode agree bit for bit — the property
+     * tests/test_serve.cpp pins warm against cold.
+     *
+     * Requires a causal mask and a spec whose forward format quantizes
+     * rows independently (pow2 block family or FP32 — see
+     * prefix_reusable()).
+     */
+    tensor::Tensor forward_suffix(const tensor::Tensor& x_suffix,
+                                  AttnPrefixCache& cache);
+
+    /** True when forward_suffix may reuse a prefix under the current
+     *  spec: causal, and the forward activation format (if any)
+     *  quantizes rows independently. */
+    bool prefix_reusable() const;
 
     /** Freeze all four projections; the activation-activation
      *  contractions (Q K^T, P V) keep their per-call quantization.

@@ -94,34 +94,35 @@ FrozenTensor::build(const Tensor& w,
     MX_CHECK_ARG(w.ndim() == 2, "FrozenTensor: needs a 2-d weight, got "
                                     << w.shape_string());
     FrozenTensor f;
-    f.built_ = true;
-    f.rows_ = w.dim(0);
-    f.cols_ = w.dim(1);
+    Payload& p = *f.p_;
+    p.built = true;
+    p.rows = w.dim(0);
+    p.cols = w.dim(1);
     if (!fmt.has_value()) {
-        f.values_ = w;
+        p.values = w;
         return f;
     }
     MX_CHECK_ARG(rounding != core::RoundingMode::Stochastic,
                  "FrozenTensor: freezing needs deterministic rounding — "
                  "a stochastic snapshot cannot reproduce per-call "
                  "fake quantization");
-    f.format_ = *fmt;
-    f.values_ = quantize_rows(w, *fmt, rounding);
+    p.format = *fmt;
+    p.values = quantize_rows(w, *fmt, rounding);
     if (is_pow2_block(*fmt)) {
-        f.plan_ = core::kernels::make_quant_plan(*fmt);
-        f.packed_ = pack_rows_pow2(*fmt, *f.plan_, w, rounding);
+        p.plan = core::kernels::make_quant_plan(*fmt);
+        p.packed = pack_rows_pow2(*fmt, *p.plan, w, rounding);
         // The gemm-ready execution view, decoded straight from the bit
         // stream (the stream, not the grid tensor, is the source of
         // truth a native serving stack would hold).
-        if (gemm::operand_eligible(*f.plan_))
-            f.operand_ = gemm::PackedOperand::decode(
-                *f.plan_, f.packed_->bytes,
-                static_cast<std::size_t>(f.rows_),
-                static_cast<std::size_t>(f.cols_));
+        if (gemm::operand_eligible(*p.plan))
+            p.operand = gemm::PackedOperand::decode(
+                *p.plan, p.packed->bytes,
+                static_cast<std::size_t>(p.rows),
+                static_cast<std::size_t>(p.cols));
     } else {
         // Software-scaled families use one per-tensor JIT scale in both
         // quantize_rows and the codec, so the flat pack matches.
-        f.packed_ = formats::pack(*fmt, w.span(), rounding);
+        p.packed = formats::pack(*fmt, w.span(), rounding);
     }
     return f;
 }
@@ -130,31 +131,32 @@ void
 FrozenTensor::drop_values()
 {
     MX_CHECK_ARG(valid(), "FrozenTensor: drop_values() before build()");
-    MX_CHECK_ARG(operand_.has_value(),
+    MX_CHECK_ARG(p_->operand.has_value(),
                  "FrozenTensor: drop_values() needs an engaged gemm "
                  "view — without it the grid tensor is the only "
                  "execution form");
-    values_ = tensor::Tensor();
+    p_->values = tensor::Tensor();
 }
 
 double
 FrozenTensor::bits_per_element() const
 {
-    return packed_.has_value() ? packed_->bits_per_element() : 32.0;
+    return p_->packed.has_value() ? p_->packed->bits_per_element() : 32.0;
 }
 
 Tensor
 FrozenTensor::unpacked() const
 {
     MX_CHECK_ARG(valid(), "FrozenTensor: unpacked() before build()");
-    if (!packed_.has_value())
-        return values_;
-    Tensor out({rows_, cols_});
-    if (plan_.has_value()) {
-        unpack_rows_pow2(*packed_, *plan_, rows_, cols_, out);
+    const Payload& p = *p_;
+    if (!p.packed.has_value())
+        return p.values;
+    Tensor out({p.rows, p.cols});
+    if (p.plan.has_value()) {
+        unpack_rows_pow2(*p.packed, *p.plan, p.rows, p.cols, out);
         return out;
     }
-    std::vector<float> flat = formats::unpack(*packed_);
+    std::vector<float> flat = formats::unpack(*p.packed);
     MX_CHECK(static_cast<std::int64_t>(flat.size()) == out.numel(),
              "FrozenTensor: packed element count drifted");
     std::copy(flat.begin(), flat.end(), out.data());

@@ -15,6 +15,15 @@
  * would hold in memory, and the gemm-ready integer execution view
  * (gemm::PackedOperand) the packed-domain GEMM consumes directly.
  *
+ * A FrozenTensor is a *shareable handle*: the snapshot artifacts live
+ * in one immutable payload behind a shared_ptr, so copying a
+ * FrozenTensor is O(1) and copies alias the same packed weight bytes.
+ * This is what makes replica serving cheap (serve/engine.h): N model
+ * clones share every frozen artifact and own only their mutable eval
+ * scratch.  The single mutating operation, drop_values(), releases the
+ * FP32 grid tensor through *every* handle (it is the same snapshot);
+ * do it while freezing, before replicas start serving.
+ *
  * When the packed GEMM serves a layer, the FP32 grid tensor is only a
  * fallback; drop_values() releases it so a frozen model's weight memory
  * is the packed artifact alone — no dequantized FP32 copy anywhere.
@@ -23,6 +32,7 @@
  * snapshot could never reproduce the per-call result.
  */
 
+#include <memory>
 #include <optional>
 
 #include "core/bdr_format.h"
@@ -35,12 +45,13 @@
 namespace mx {
 namespace nn {
 
-/** An immutable quantized snapshot of one 2-d weight tensor. */
+/** A shareable handle onto an immutable quantized snapshot of one 2-d
+ *  weight tensor (copies alias one payload; see the file header). */
 class FrozenTensor
 {
   public:
     /** Invalid (unfrozen) snapshot. */
-    FrozenTensor() = default;
+    FrozenTensor() : p_(std::make_shared<Payload>()) {}
 
     /**
      * Snapshot @p w under @p fmt.
@@ -57,30 +68,33 @@ class FrozenTensor
                                   core::RoundingMode::NearestEven);
 
     /** True once build() has run. */
-    bool valid() const { return built_; }
+    bool valid() const { return p_->built; }
 
     /** True when the snapshot went through a quantization format. */
-    bool quantized() const { return format_.has_value(); }
+    bool quantized() const { return p_->format.has_value(); }
 
     /** The cached serving tensor: bit-identical to
      *  quantize_rows(w, fmt) (or w itself for nullopt).  Empty after
      *  drop_values(); use unpacked() to rebuild it on demand. */
-    const tensor::Tensor& values() const { return values_; }
+    const tensor::Tensor& values() const { return p_->values; }
 
     /** The freeze format (nullopt = FP32 passthrough). */
-    const std::optional<core::BdrFormat>& format() const { return format_; }
+    const std::optional<core::BdrFormat>& format() const
+    {
+        return p_->format;
+    }
 
     /** The packed bit stream a native stack would store (engaged for
      *  every quantized snapshot; row-aware for ragged widths). */
     const std::optional<formats::PackedTensor>& packed() const
     {
-        return packed_;
+        return p_->packed;
     }
 
     /** The kernel plan (engaged for the pow2 block family only). */
     const std::optional<core::kernels::QuantPlan>& plan() const
     {
-        return plan_;
+        return p_->plan;
     }
 
     /**
@@ -92,18 +106,27 @@ class FrozenTensor
      */
     const std::optional<gemm::PackedOperand>& gemm_operand() const
     {
-        return operand_;
+        return p_->operand;
     }
 
     /** Snapshot shape (valid even after drop_values()). */
-    std::int64_t rows() const { return rows_; }
-    std::int64_t cols() const { return cols_; }
+    std::int64_t rows() const { return p_->rows; }
+    std::int64_t cols() const { return p_->cols; }
+
+    /** True when this handle and @p other alias one payload (replica
+     *  clones sharing the packed artifacts). */
+    bool shares_payload_with(const FrozenTensor& other) const
+    {
+        return p_ == other.p_;
+    }
 
     /**
      * Release the FP32 grid tensor, keeping the packed artifact and the
      * gemm view — the serving-memory configuration in which no
      * dequantized FP32 weight copy exists.  Requires an engaged gemm
      * view (otherwise the snapshot would lose its only execution form).
+     * Visible through every handle sharing this snapshot; not safe
+     * concurrently with forwards — drop before serving starts.
      */
     void drop_values();
 
@@ -120,13 +143,20 @@ class FrozenTensor
     tensor::Tensor unpacked() const;
 
   private:
-    tensor::Tensor values_;
-    std::optional<core::BdrFormat> format_;
-    std::optional<formats::PackedTensor> packed_;
-    std::optional<core::kernels::QuantPlan> plan_;
-    std::optional<gemm::PackedOperand> operand_;
-    std::int64_t rows_ = 0, cols_ = 0;
-    bool built_ = false;
+    /** The snapshot itself; immutable after build() except for
+     *  drop_values(). */
+    struct Payload
+    {
+        tensor::Tensor values;
+        std::optional<core::BdrFormat> format;
+        std::optional<formats::PackedTensor> packed;
+        std::optional<core::kernels::QuantPlan> plan;
+        std::optional<gemm::PackedOperand> operand;
+        std::int64_t rows = 0, cols = 0;
+        bool built = false;
+    };
+
+    std::shared_ptr<Payload> p_;
 };
 
 } // namespace nn

@@ -1,10 +1,9 @@
 #include "serve/engine.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <utility>
 
-#include "core/check.h"
+#include "core/env.h"
 
 namespace mx {
 namespace serve {
@@ -12,19 +11,6 @@ namespace serve {
 using tensor::Tensor;
 
 namespace {
-
-std::size_t
-env_size(const char* name, std::size_t fallback)
-{
-    const char* v = std::getenv(name);
-    if (v == nullptr || v[0] == '\0')
-        return fallback;
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end == v || *end != '\0' || parsed == 0)
-        return fallback;
-    return static_cast<std::size_t>(parsed);
-}
 
 double
 ms_between(std::chrono::steady_clock::time_point a,
@@ -38,13 +24,19 @@ ms_between(std::chrono::steady_clock::time_point a,
 std::size_t
 EngineConfig::default_max_batch()
 {
-    return env_size("MX_SERVE_BATCH", 16);
+    return core::env::size_knob("MX_SERVE_BATCH", 16);
 }
 
 std::size_t
 EngineConfig::default_queue_capacity()
 {
-    return env_size("MX_SERVE_QUEUE", 256);
+    return core::env::size_knob("MX_SERVE_QUEUE", 256);
+}
+
+std::size_t
+EngineConfig::default_replicas()
+{
+    return core::env::size_knob("MX_SERVE_REPLICAS", 1);
 }
 
 double
@@ -60,53 +52,136 @@ EngineStats::mean_batch_rows() const
     return static_cast<double>(rows) / static_cast<double>(batches);
 }
 
+namespace {
+
+/** Adapt a sessionless batch function to the session-aware signature
+ *  every worker executes. */
+InferenceEngine::SessionBatchFn
+ignore_sessions(InferenceEngine::BatchFn fn)
+{
+    return [fn = std::move(fn)](const Tensor& in,
+                                const std::vector<std::uint64_t>&) {
+        return fn(in);
+    };
+}
+
+} // namespace
+
 InferenceEngine::InferenceEngine(BatchFn fn, std::int64_t in_dim,
                                  EngineConfig cfg)
-    : fn_(std::move(fn)), in_dim_(in_dim), cfg_(cfg)
+    : in_dim_(in_dim)
 {
-    MX_CHECK_ARG(fn_ != nullptr, "InferenceEngine: null batch function");
+    MX_CHECK_ARG(fn != nullptr, "InferenceEngine: null batch function");
+    // One function, every replica: callers declare concurrent safety
+    // implicitly by configuring replicas > 1 (frozen mx eval forwards
+    // are mutation-free, so this is the common case).
+    const SessionBatchFn wrapped = ignore_sessions(std::move(fn));
+    start([&wrapped](std::size_t) { return wrapped; }, cfg);
+}
+
+InferenceEngine::InferenceEngine(SessionBatchFn fn, std::int64_t in_dim,
+                                 EngineConfig cfg)
+    : in_dim_(in_dim)
+{
+    MX_CHECK_ARG(fn != nullptr, "InferenceEngine: null batch function");
+    start([&fn](std::size_t) { return fn; }, cfg);
+}
+
+InferenceEngine::InferenceEngine(ReplicaFactory make, std::int64_t in_dim,
+                                 EngineConfig cfg)
+    : in_dim_(in_dim)
+{
+    MX_CHECK_ARG(make != nullptr, "InferenceEngine: null replica factory");
+    start(
+        [&make](std::size_t r) {
+            BatchFn fn = make(r);
+            MX_CHECK_ARG(fn != nullptr,
+                         "InferenceEngine: replica factory returned a "
+                         "null batch function for replica " << r);
+            return ignore_sessions(std::move(fn));
+        },
+        cfg);
+}
+
+void
+InferenceEngine::start(
+    const std::function<SessionBatchFn(std::size_t)>& make,
+    EngineConfig cfg)
+{
     MX_CHECK_ARG(in_dim_ >= 1, "InferenceEngine: bad input width");
+    cfg_ = cfg;
     if (cfg_.max_batch == 0)
         cfg_.max_batch = EngineConfig::default_max_batch();
     if (cfg_.queue_capacity == 0)
         cfg_.queue_capacity = EngineConfig::default_queue_capacity();
+    if (cfg_.replicas == 0)
+        cfg_.replicas = EngineConfig::default_replicas();
     if (cfg_.pool == nullptr)
         cfg_.pool = &core::ThreadPool::shared();
     stats_.batch_size_hist.assign(cfg_.max_batch + 1, 0);
-    worker_ = std::thread([this] { worker_loop(); });
+    stats_.replicas = cfg_.replicas;
+
+    // Fully populate the per-replica functions BEFORE any worker
+    // spawns: worker_loop reads replica_fns_ unsynchronized.
+    replica_fns_.reserve(cfg_.replicas);
+    for (std::size_t r = 0; r < cfg_.replicas; ++r)
+        replica_fns_.push_back(make(r));
+
+    workers_.reserve(cfg_.replicas);
+    for (std::size_t r = 0; r < cfg_.replicas; ++r)
+        workers_.emplace_back([this, r] { worker_loop(r); });
 }
 
 InferenceEngine::~InferenceEngine()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        std::unique_lock<std::mutex> lk(mu_);
         stop_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+        // Submitters blocked on back-pressure wake, observe stop_, and
+        // throw EngineShutdownError; wait them out so none still
+        // touches the engine when the members are torn down.
+        submitters_done_.wait(lk, [this] { return active_submits_ == 0; });
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
-    worker_.join();
+    // Workers drain every accepted request before exiting.
+    for (std::thread& t : workers_)
+        t.join();
 }
 
 std::future<Reply>
-InferenceEngine::submit(std::vector<float> row)
+InferenceEngine::submit(std::vector<float> row, std::uint64_t session)
 {
     MX_CHECK_ARG(static_cast<std::int64_t>(row.size()) == in_dim_,
                  "InferenceEngine: request row has " << row.size()
                      << " features, engine expects " << in_dim_);
     std::unique_lock<std::mutex> lk(mu_);
-    MX_CHECK_ARG(!stop_, "InferenceEngine: submit after shutdown");
+    if (stop_)
+        throw EngineShutdownError(
+            "InferenceEngine: submit() after shutdown — the engine's "
+            "destructor already ran; no new requests are accepted");
+    ++active_submits_;
     not_full_.wait(lk, [this] {
         return queue_.size() < cfg_.queue_capacity || stop_;
     });
-    MX_CHECK_ARG(!stop_, "InferenceEngine: shut down while waiting for "
-                         "queue space");
+    if (stop_) {
+        if (--active_submits_ == 0)
+            submitters_done_.notify_all();
+        throw EngineShutdownError(
+            "InferenceEngine: engine shut down while this request "
+            "waited for queue space; it was never accepted (requests "
+            "accepted before shutdown still drain)");
+    }
     Pending p;
     p.row = std::move(row);
+    p.session = session;
     p.enqueued = std::chrono::steady_clock::now();
     std::future<Reply> fut = p.promise.get_future();
     queue_.push_back(std::move(p));
     ++stats_.requests;
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    if (--active_submits_ == 0)
+        submitters_done_.notify_all();
     not_empty_.notify_one();
     return fut;
 }
@@ -114,8 +189,13 @@ InferenceEngine::submit(std::vector<float> row)
 void
 InferenceEngine::drain()
 {
+    // `busy_workers_` counts replicas that popped a batch and have not
+    // finished executing it: with N workers, an empty queue alone does
+    // not mean every accepted request completed.
     std::unique_lock<std::mutex> lk(mu_);
-    idle_.wait(lk, [this] { return queue_.empty() && !busy_; });
+    idle_.wait(lk, [this] {
+        return queue_.empty() && busy_workers_ == 0;
+    });
 }
 
 EngineStats
@@ -126,8 +206,9 @@ InferenceEngine::stats() const
 }
 
 void
-InferenceEngine::worker_loop()
+InferenceEngine::worker_loop(std::size_t replica)
 {
+    const SessionBatchFn& fn = replica_fns_[replica];
     for (;;) {
         std::vector<Pending> batch;
         {
@@ -135,7 +216,7 @@ InferenceEngine::worker_loop()
             not_empty_.wait(lk, [this] { return !queue_.empty() || stop_; });
             if (queue_.empty()) // stop_ set and nothing left to serve
                 return;
-            busy_ = true;
+            ++busy_workers_;
             while (!queue_.empty() && batch.size() < cfg_.max_batch) {
                 batch.push_back(std::move(queue_.front()));
                 queue_.pop_front();
@@ -145,23 +226,25 @@ InferenceEngine::worker_loop()
         }
         not_full_.notify_all();
 
-        execute(batch);
+        execute(fn, batch);
 
         {
             std::lock_guard<std::mutex> lk(mu_);
-            busy_ = false;
+            --busy_workers_;
         }
         idle_.notify_all();
     }
 }
 
 void
-InferenceEngine::execute(std::vector<Pending>& batch)
+InferenceEngine::execute(const SessionBatchFn& fn,
+                         std::vector<Pending>& batch)
 {
     const std::int64_t rows = static_cast<std::int64_t>(batch.size());
     const auto picked_up = std::chrono::steady_clock::now();
 
-    // Gather request rows [lo, hi) into one contiguous input tensor.
+    // Gather request rows [lo, hi) into one contiguous input tensor
+    // plus the row-aligned session tags.
     auto gather = [&](std::int64_t lo, std::int64_t hi) {
         Tensor in({hi - lo, in_dim_});
         for (std::int64_t r = lo; r < hi; ++r)
@@ -170,21 +253,36 @@ InferenceEngine::execute(std::vector<Pending>& batch)
                       in.data() + (r - lo) * in_dim_);
         return in;
     };
+    auto gather_sessions = [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<std::uint64_t> s(static_cast<std::size_t>(hi - lo));
+        for (std::int64_t r = lo; r < hi; ++r)
+            s[static_cast<std::size_t>(r - lo)] =
+                batch[static_cast<std::size_t>(r)].session;
+        return s;
+    };
 
     // Shard row-independent batches into contiguous chunks across the
     // pool; chunking cannot change any output row (each row's result
     // depends only on that row), so the reply stream is bit-identical
-    // to the single-call execution.
+    // to the single-call execution.  With replicas > 1 the replica is
+    // the parallelism unit and sharding needs the explicit opt-in:
+    // concurrent parallel_for calls serialize on the pool's run mutex.
+    // cfg_.replicas, not workers_.size(): a worker can reach here
+    // while the constructor is still emplacing its siblings, and
+    // cfg_.replicas is immutable once start() resolved it.
+    const bool may_shard =
+        cfg_.rows_independent &&
+        (cfg_.replicas <= 1 || cfg_.shard_within_replica);
     const std::size_t lanes = cfg_.pool->thread_count();
     const std::size_t n_chunks =
-        cfg_.rows_independent && rows > 1 && lanes > 1
+        may_shard && rows > 1 && lanes > 1
             ? std::min<std::size_t>(static_cast<std::size_t>(rows), lanes)
             : 1;
 
     std::vector<Tensor> outs(n_chunks);
     try {
         if (n_chunks == 1) {
-            outs[0] = fn_(gather(0, rows));
+            outs[0] = fn(gather(0, rows), gather_sessions(0, rows));
         } else {
             const std::int64_t base = rows / static_cast<std::int64_t>(
                                                  n_chunks);
@@ -195,7 +293,8 @@ InferenceEngine::execute(std::vector<Pending>& batch)
                 starts[c + 1] = starts[c] + base +
                                 (static_cast<std::int64_t>(c) < rem ? 1 : 0);
             cfg_.pool->parallel_for(n_chunks, [&](std::size_t c) {
-                outs[c] = fn_(gather(starts[c], starts[c + 1]));
+                outs[c] = fn(gather(starts[c], starts[c + 1]),
+                             gather_sessions(starts[c], starts[c + 1]));
             });
         }
         std::int64_t out_dim = -1;

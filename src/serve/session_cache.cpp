@@ -1,0 +1,87 @@
+#include "serve/session_cache.h"
+
+#include "core/env.h"
+
+namespace mx {
+namespace serve {
+
+SessionCache::SessionCache(std::size_t capacity)
+    : capacity_(capacity == kFromEnvironment ? default_capacity()
+                                             : capacity)
+{
+}
+
+std::size_t
+SessionCache::default_capacity()
+{
+    // min_value 0: MX_SERVE_SESSIONS=0 is the documented off switch.
+    return core::env::size_knob("MX_SERVE_SESSIONS", 64, /*min_value=*/0);
+}
+
+std::size_t
+SessionCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return lru_.size();
+}
+
+std::shared_ptr<void>
+SessionCache::take_erased(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    std::shared_ptr<void> state = std::move(it->second->second);
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.hits;
+    return state;
+}
+
+void
+SessionCache::put(std::uint64_t id, std::shared_ptr<void> state)
+{
+    if (state == nullptr)
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (capacity_ == 0)
+        return; // disabled: the bit-identical full-recompute fallback
+    auto it = index_.find(id);
+    if (it != index_.end()) {
+        // Same id checked in twice (e.g. a sessionless duplicate):
+        // keep the newer state, refresh recency.
+        lru_.erase(it->second);
+        index_.erase(it);
+    }
+    lru_.emplace_front(id, std::move(state));
+    index_[id] = lru_.begin();
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+void
+SessionCache::erase(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = index_.find(id);
+    if (it == index_.end())
+        return;
+    lru_.erase(it->second);
+    index_.erase(it);
+}
+
+SessionCache::Stats
+SessionCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+} // namespace serve
+} // namespace mx

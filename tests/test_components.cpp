@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "core/delayed_scaler.h"
+#include "core/env.h"
 #include "data/synthetic.h"
 #include "nn/activations.h"
 #include "nn/embedding.h"
@@ -195,4 +196,57 @@ TEST(QuantizeRows, RejectsNon2d)
 {
     Tensor t({2, 2, 2});
     EXPECT_THROW(nn::quantize_rows(t, core::mx9()), ArgumentError);
+}
+
+TEST(EnvKnobs, SizeFlagAndEnumShareOneRuleSet)
+{
+    // Unset/empty -> fallback, silently.
+    ::unsetenv("MX_TEST_KNOB");
+    EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 7u);
+    EXPECT_TRUE(core::env::flag_knob("MX_TEST_KNOB", true));
+    ::setenv("MX_TEST_KNOB", "", 1);
+    EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 7u);
+
+    // Sizes: plain decimals, trimmed; junk falls back (with one
+    // stderr warning per variable, not asserted here).
+    ::setenv("MX_TEST_KNOB", " 42 ", 1);
+    EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 42u);
+    ::setenv("MX_TEST_KNOB", "42x", 1);
+    EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 7u);
+    ::setenv("MX_TEST_KNOB", "-3", 1);
+    EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 7u);
+    ::setenv("MX_TEST_KNOB", "0", 1);
+    EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 7u)
+        << "0 violates the default min_value of 1";
+    EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7, /*min_value=*/0),
+              0u);
+
+    // Flags: 1/true/on/yes and 0/false/off/no, any case; the old
+    // MX_FORCE_SCALAR parser treated "false" as true — pinned fixed.
+    ::setenv("MX_TEST_KNOB", "TRUE", 1);
+    EXPECT_TRUE(core::env::flag_knob("MX_TEST_KNOB", false));
+    ::setenv("MX_TEST_KNOB", "off", 1);
+    EXPECT_FALSE(core::env::flag_knob("MX_TEST_KNOB", true));
+    ::setenv("MX_TEST_KNOB", "false", 1);
+    EXPECT_FALSE(core::env::flag_knob("MX_TEST_KNOB", true));
+    ::setenv("MX_TEST_KNOB", "maybe", 1);
+    EXPECT_TRUE(core::env::flag_knob("MX_TEST_KNOB", true));
+    EXPECT_FALSE(core::env::flag_knob("MX_TEST_KNOB", false));
+
+    // Enums: case-insensitive token match; unknown -> fallback.  The
+    // old MX_GEMM parser mapped "ON" and "2" to Auto in silence.
+    const auto gemm_mode = [](const char* v) {
+        ::setenv("MX_TEST_KNOB", v, 1);
+        return core::env::enum_knob("MX_TEST_KNOB", /*Auto=*/0,
+                                    {{"auto", 0},
+                                     {"1", 1},
+                                     {"on", 1},
+                                     {"0", 2},
+                                     {"off", 2}});
+    };
+    EXPECT_EQ(gemm_mode("ON"), 1);
+    EXPECT_EQ(gemm_mode(" auto "), 0);
+    EXPECT_EQ(gemm_mode("OFF"), 2);
+    EXPECT_EQ(gemm_mode("2"), 0) << "unknown token falls back";
+    ::unsetenv("MX_TEST_KNOB");
 }

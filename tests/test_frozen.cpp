@@ -473,3 +473,34 @@ TEST(FrozenModels, Seq2SeqBitIdenticalEvalAndDecode)
     EXPECT_EQ(model.eval_loss(batch), fake_loss);
     EXPECT_EQ(model.decode(batch.row(0)), fake_decode);
 }
+
+TEST(FrozenTensor, CopiesAreSharedHandlesOntoOnePayload)
+{
+    // Replica serving leans on this: copying a FrozenTensor is O(1)
+    // and shares the packed weight artifacts instead of duplicating
+    // them, so N model clones cost N sets of eval scratch, not N
+    // copies of every frozen weight.
+    stats::Rng rng(151);
+    Tensor w = Tensor::randn({12, 24}, rng);
+    FrozenTensor a = FrozenTensor::build(w, core::mx9());
+    FrozenTensor b = a; // a handle, not a deep copy
+
+    EXPECT_TRUE(b.shares_payload_with(a));
+    EXPECT_EQ(a.values().data(), b.values().data());
+    ASSERT_TRUE(a.packed().has_value() && b.packed().has_value());
+    EXPECT_EQ(a.packed()->bytes.data(), b.packed()->bytes.data());
+
+    // Fresh snapshots of the same weight do NOT share.
+    FrozenTensor c = FrozenTensor::build(w, core::mx9());
+    EXPECT_FALSE(c.shares_payload_with(a));
+
+    // drop_values() acts on the one shared snapshot: visible through
+    // every handle (documented: drop before serving starts).
+    if (a.gemm_operand().has_value()) {
+        b.drop_values();
+        EXPECT_EQ(a.values().numel(), 0);
+        EXPECT_EQ(b.values().numel(), 0);
+        // The packed artifact (and thus unpacked()) survives.
+        EXPECT_EQ(b.unpacked().numel(), w.numel());
+    }
+}

@@ -14,11 +14,18 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <memory>
+
+#include "core/kernels/dispatch.h"
 #include "core/thread_pool.h"
+#include "gemm/packed_gemm.h"
 #include "models/mlp.h"
+#include "models/serve_adapters.h"
 #include "models/transformer.h"
 #include "nn/quant.h"
 #include "serve/engine.h"
+#include "serve/session_cache.h"
 #include "stats/rng.h"
 
 using namespace mx;
@@ -254,26 +261,453 @@ TEST(InferenceEngine, RejectsMalformedRequestsAndBatchFns)
     serve::InferenceEngine engine(m.fn(), 16);
     EXPECT_THROW(engine.submit(std::vector<float>(3, 0.0f)),
                  ArgumentError);
-    EXPECT_THROW(serve::InferenceEngine(nullptr, 4), ArgumentError);
+    EXPECT_THROW(
+        serve::InferenceEngine(serve::InferenceEngine::BatchFn{}, 4),
+        ArgumentError);
     EXPECT_THROW(serve::InferenceEngine(m.fn(), 0), ArgumentError);
+    EXPECT_THROW(
+        serve::InferenceEngine(serve::InferenceEngine::ReplicaFactory{},
+                               4),
+        ArgumentError);
 }
 
 TEST(InferenceEngine, EnvironmentKnobsResolveDefaults)
 {
     ::setenv("MX_SERVE_BATCH", "3", 1);
     ::setenv("MX_SERVE_QUEUE", "5", 1);
+    ::setenv("MX_SERVE_REPLICAS", "2", 1);
     EXPECT_EQ(serve::EngineConfig::default_max_batch(), 3u);
     EXPECT_EQ(serve::EngineConfig::default_queue_capacity(), 5u);
+    EXPECT_EQ(serve::EngineConfig::default_replicas(), 2u);
     {
         FrozenMlp m;
         serve::InferenceEngine engine(m.fn(), 16);
         EXPECT_EQ(engine.max_batch(), 3u);
         EXPECT_EQ(engine.queue_capacity(), 5u);
+        EXPECT_EQ(engine.replicas(), 2u);
+        EXPECT_EQ(engine.stats().replicas, 2u);
     }
+    // Malformed values fall back (with a once-per-variable warning).
     ::setenv("MX_SERVE_BATCH", "not-a-number", 1);
+    ::setenv("MX_SERVE_REPLICAS", "0", 1);
     EXPECT_EQ(serve::EngineConfig::default_max_batch(), 16u);
+    EXPECT_EQ(serve::EngineConfig::default_replicas(), 1u);
     ::unsetenv("MX_SERVE_BATCH");
     ::unsetenv("MX_SERVE_QUEUE");
+    ::unsetenv("MX_SERVE_REPLICAS");
     EXPECT_EQ(serve::EngineConfig::default_max_batch(), 16u);
     EXPECT_EQ(serve::EngineConfig::default_queue_capacity(), 256u);
+    EXPECT_EQ(serve::EngineConfig::default_replicas(), 1u);
+
+    ::setenv("MX_SERVE_SESSIONS", "7", 1);
+    EXPECT_EQ(serve::SessionCache::default_capacity(), 7u);
+    ::setenv("MX_SERVE_SESSIONS", "0", 1); // documented off switch
+    EXPECT_EQ(serve::SessionCache::default_capacity(), 0u);
+    EXPECT_FALSE(serve::SessionCache().enabled());
+    ::unsetenv("MX_SERVE_SESSIONS");
+    EXPECT_EQ(serve::SessionCache::default_capacity(), 64u);
+}
+
+TEST(InferenceEngine, ReplicasMatchSingleWorkerBitForBit)
+{
+    // The replica count is an execution detail, never a numeric one:
+    // the same request stream through 1 and 4 replica workers must
+    // produce identical bits, and the stats must stay consistent
+    // (every accepted row lands in exactly one batch's histogram).
+    FrozenMlp m;
+    auto rows = random_rows(24, 16, 23);
+
+    auto run = [&](std::size_t replicas) {
+        serve::EngineConfig cfg;
+        cfg.max_batch = 4;
+        cfg.queue_capacity = 64;
+        cfg.replicas = replicas;
+        serve::InferenceEngine engine(m.fn(), 16, cfg);
+        EXPECT_EQ(engine.replicas(), replicas);
+        std::vector<std::future<serve::Reply>> futures;
+        for (const auto& r : rows)
+            futures.push_back(engine.submit(r));
+        std::vector<std::vector<float>> outs;
+        for (auto& f : futures)
+            outs.push_back(f.get().output);
+        engine.drain();
+
+        serve::EngineStats stats = engine.stats();
+        EXPECT_EQ(stats.requests, rows.size());
+        EXPECT_EQ(stats.replicas, replicas);
+        std::uint64_t hist_rows = 0, hist_batches = 0;
+        for (std::size_t b = 0; b < stats.batch_size_hist.size(); ++b) {
+            hist_rows += stats.batch_size_hist[b] * b;
+            hist_batches += stats.batch_size_hist[b];
+        }
+        EXPECT_EQ(hist_rows, stats.requests)
+            << "with " << replicas << " replicas";
+        EXPECT_EQ(hist_batches, stats.batches);
+        return outs;
+    };
+
+    auto single = run(1);
+    auto replicated = run(4);
+    ASSERT_EQ(single.size(), replicated.size());
+    for (std::size_t i = 0; i < single.size(); ++i)
+        EXPECT_EQ(single[i], replicated[i]) << "request " << i;
+}
+
+TEST(InferenceEngine, ReplicaFactoryClonesServeIdentically)
+{
+    // Per-replica model clones: the factory builds one frozen MLP per
+    // worker (deterministic init -> identical weights; FrozenTensor
+    // handles would let a real clone share the packed artifacts).
+    // Outputs must match the single shared-model engine bit for bit.
+    FrozenMlp reference;
+    auto rows = random_rows(12, 16, 29);
+
+    std::vector<std::unique_ptr<FrozenMlp>> clones;
+    serve::EngineConfig cfg;
+    cfg.max_batch = 2;
+    cfg.queue_capacity = 32;
+    cfg.replicas = 3;
+    serve::InferenceEngine engine(
+        serve::InferenceEngine::ReplicaFactory(
+            [&clones](std::size_t) -> serve::InferenceEngine::BatchFn {
+                clones.push_back(std::make_unique<FrozenMlp>());
+                return clones.back()->fn();
+            }),
+        16, cfg);
+    EXPECT_EQ(clones.size(), 3u);
+
+    std::vector<std::future<serve::Reply>> futures;
+    for (const auto& r : rows)
+        futures.push_back(engine.submit(r));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        Tensor x({1, 16});
+        std::copy(rows[i].begin(), rows[i].end(), x.data());
+        Tensor direct = reference.model.logits(x, false);
+        serve::Reply reply = futures[i].get();
+        for (std::int64_t j = 0; j < 4; ++j)
+            EXPECT_EQ(reply.output[static_cast<std::size_t>(j)],
+                      direct.data()[j])
+                << "request " << i << " logit " << j;
+    }
+}
+
+TEST(InferenceEngine, ShutdownRejectsBlockedSubmitterDistinctly)
+{
+    // A submitter blocked on back-pressure when the engine dies must
+    // observe EngineShutdownError — a distinct type, so callers can
+    // tell "engine shut down" from "bad request" — while every
+    // request accepted before shutdown still drains and completes.
+    std::atomic<bool> release{false};
+    auto engine = std::make_unique<serve::InferenceEngine>(
+        [&release](const Tensor& in) {
+            while (!release.load())
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            return in;
+        },
+        4,
+        [] {
+            serve::EngineConfig cfg;
+            cfg.max_batch = 1;
+            cfg.queue_capacity = 1;
+            cfg.replicas = 1;
+            return cfg;
+        }());
+
+    // First request: picked up by the worker, parked in the batch fn.
+    auto accepted1 = engine->submit(std::vector<float>(4, 1.0f));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Second request: fills the queue (capacity 1).
+    auto accepted2 = engine->submit(std::vector<float>(4, 2.0f));
+
+    // Third submitter: blocks on back-pressure.
+    std::promise<void> blocked_entered;
+    std::future<void> entered = blocked_entered.get_future();
+    bool saw_shutdown_error = false;
+    bool saw_other_error = false;
+    std::thread blocked([&] {
+        blocked_entered.set_value();
+        try {
+            engine->submit(std::vector<float>(4, 3.0f));
+        } catch (const serve::EngineShutdownError&) {
+            saw_shutdown_error = true;
+        } catch (...) {
+            saw_other_error = true;
+        }
+        // Only now let the parked worker finish: the queue stays full
+        // until the submitter has been rejected, so the rejection can
+        // only come from shutdown — never from a freed slot winning
+        // the race.  (The destructor waits out in-flight submitters
+        // before joining, so this ordering is deadlock-free.)
+        release.store(true);
+    });
+    entered.wait();
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    engine.reset(); // destructor: reject the blocked submitter, drain
+    blocked.join();
+
+    EXPECT_TRUE(saw_shutdown_error)
+        << "blocked submitter escaped without EngineShutdownError";
+    EXPECT_FALSE(saw_other_error);
+    // The accepted-requests-drain guarantee.
+    ASSERT_EQ(accepted1.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    ASSERT_EQ(accepted2.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(accepted1.get().output, std::vector<float>(4, 1.0f));
+    EXPECT_EQ(accepted2.get().output, std::vector<float>(4, 2.0f));
+}
+
+TEST(InferenceEngine, DrainCannotReturnWhileAnyReplicaHoldsABatch)
+{
+    // With N workers, "queue empty" alone is not "all work done": a
+    // popped batch lives in its replica, not the queue.  drain() must
+    // also wait out the per-worker busy count.
+    std::atomic<int> in_flight{0};
+    std::atomic<bool> saw_busy_violation{false};
+    serve::EngineConfig cfg;
+    cfg.max_batch = 1;
+    cfg.queue_capacity = 32;
+    cfg.replicas = 4;
+    serve::InferenceEngine engine(
+        [&](const Tensor& in) {
+            ++in_flight;
+            std::this_thread::sleep_for(std::chrono::milliseconds(3));
+            --in_flight;
+            return in;
+        },
+        4, cfg);
+
+    auto rows = random_rows(16, 4, 31);
+    std::vector<std::future<serve::Reply>> futures;
+    for (const auto& r : rows)
+        futures.push_back(engine.submit(r));
+    engine.drain();
+    // At the moment drain() returned, no replica may still be
+    // executing and every accepted future must be ready.
+    EXPECT_EQ(in_flight.load(), 0) << "drain returned mid-batch";
+    for (auto& f : futures)
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+    (void)saw_busy_violation;
+}
+
+TEST(SessionCache, CheckoutLruAndDisabledSemantics)
+{
+    serve::SessionCache cache(2);
+    ASSERT_TRUE(cache.enabled());
+    auto s1 = std::make_shared<int>(1);
+    auto s2 = std::make_shared<int>(2);
+    auto s3 = std::make_shared<int>(3);
+
+    cache.put(1, s1);
+    cache.put(2, s2);
+    EXPECT_EQ(cache.size(), 2u);
+
+    // take() checks out: a second take of the same id misses.
+    auto got = cache.take<int>(1);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, 1);
+    EXPECT_EQ(cache.take<int>(1), nullptr);
+    cache.put(1, got); // check back in (1 is now the freshest)
+
+    // Capacity 2: inserting id 3 evicts the least recently used (2).
+    cache.put(3, s3);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.take<int>(2), nullptr);
+    EXPECT_NE(cache.take<int>(3), nullptr);
+
+    serve::SessionCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_GE(stats.hits, 2u);
+    EXPECT_GE(stats.misses, 2u);
+
+    // Disabled cache: every take misses, puts are dropped.
+    serve::SessionCache off(0);
+    EXPECT_FALSE(off.enabled());
+    off.put(7, std::make_shared<int>(7));
+    EXPECT_EQ(off.size(), 0u);
+    EXPECT_EQ(off.take<int>(7), nullptr);
+}
+
+namespace {
+
+/** A small frozen causal LM for the decode-session tests. */
+models::GptMini
+make_decode_gpt()
+{
+    models::TransformerConfig cfg;
+    cfg.vocab = 16;
+    cfg.d_model = 32;
+    cfg.heads = 2;
+    cfg.layers = 2;
+    cfg.seq_len = 8;
+    cfg.spec = nn::QuantSpec::forward_only(core::mx9());
+    cfg.seed = 37;
+    models::GptMini model(cfg);
+    model.freeze();
+    return model;
+}
+
+/** Greedy argmax over one logits row. */
+int
+argmax_row(const float* logits, int vocab)
+{
+    int best = 0;
+    for (int v = 1; v < vocab; ++v)
+        if (logits[v] > logits[best])
+            best = v;
+    return best;
+}
+
+} // namespace
+
+TEST(DecodeSession, PrefixReuseIsBitIdenticalAcrossLegsAndModes)
+{
+    // The decode contract: a warm session (prefix reuse) produces the
+    // same bits as a cold full recompute, for every dispatch leg and
+    // every MX_GEMM routing mode — and the full-window cold path
+    // matches window_logits exactly.
+    const gemm::Mode ambient_mode = gemm::mode();
+    for (bool force_scalar : {false, true}) {
+        core::kernels::set_force_scalar(force_scalar);
+        for (gemm::Mode mode : {gemm::Mode::Off, gemm::Mode::On}) {
+            gemm::set_mode(mode);
+            models::GptMini model = make_decode_gpt();
+            const auto& cfg = model.config();
+
+            models::GptDecodeSession session;
+            std::vector<int> ctx = {3, 1};
+            while (static_cast<std::int64_t>(ctx.size()) < cfg.seq_len) {
+                Tensor warm = model.decode_logits(ctx, &session);
+                Tensor cold = model.decode_logits(ctx, nullptr);
+                ASSERT_EQ(warm.numel(), cold.numel());
+                for (std::int64_t j = 0; j < warm.numel(); ++j)
+                    ASSERT_EQ(warm.data()[j], cold.data()[j])
+                        << "scalar=" << force_scalar << " mode="
+                        << static_cast<int>(mode) << " step "
+                        << ctx.size() << " logit " << j;
+                ctx.push_back(argmax_row(warm.data(), cfg.vocab));
+            }
+
+            // A fresh session fed the full context in one shot must
+            // also land on the same bits (the incremental result is a
+            // pure function of the tokens, not of the step history).
+            models::GptDecodeSession oneshot;
+            Tensor via_oneshot = model.decode_logits(ctx, &oneshot);
+            Tensor via_cold = model.decode_logits(ctx, nullptr);
+            for (std::int64_t j = 0; j < via_cold.numel(); ++j)
+                ASSERT_EQ(via_oneshot.data()[j], via_cold.data()[j])
+                    << "one-shot logit " << j;
+        }
+    }
+    gemm::set_mode(ambient_mode);
+    core::kernels::set_force_scalar(false); // re-resolve (honours env)
+}
+
+TEST(DecodeSession, PerTensorScaledSpecsFallBackInsteadOfThrowing)
+{
+    // FP8 activations use one per-tensor JIT scale, so prefix reuse is
+    // off the table — but decode_logits documents a full-recompute
+    // fallback there, not an error.  A session may be passed; it just
+    // never engages, and results stay deterministic.
+    models::TransformerConfig cfg;
+    cfg.vocab = 16;
+    cfg.d_model = 32;
+    cfg.heads = 2;
+    cfg.layers = 1;
+    cfg.seq_len = 8;
+    cfg.spec = nn::QuantSpec::forward_only(core::fp8_e4m3());
+    cfg.seed = 43;
+    models::GptMini model(cfg);
+    model.freeze();
+
+    models::GptDecodeSession session;
+    std::vector<int> ctx = {5, 2, 7};
+    Tensor with_session = model.decode_logits(ctx, &session);
+    Tensor without = model.decode_logits(ctx, nullptr);
+    ASSERT_EQ(with_session.numel(), without.numel());
+    for (std::int64_t j = 0; j < without.numel(); ++j)
+        EXPECT_EQ(with_session.data()[j], without.data()[j])
+            << "logit " << j;
+}
+
+TEST(DecodeSession, DivergedStreamKeepsOnlyTheSharedPrefix)
+{
+    models::GptMini model = make_decode_gpt();
+    models::GptDecodeSession session;
+
+    std::vector<int> a = {3, 1, 4, 1, 5};
+    Tensor warm_a = model.decode_logits(a, &session);
+
+    // Re-decode a stream that shares only the first two tokens; the
+    // session must truncate to the shared prefix, not poison the
+    // result with stale rows.
+    std::vector<int> b = {3, 1, 9, 2, 6, 5};
+    Tensor warm_b = model.decode_logits(b, &session);
+    Tensor cold_b = model.decode_logits(b, nullptr);
+    for (std::int64_t j = 0; j < warm_b.numel(); ++j)
+        ASSERT_EQ(warm_b.data()[j], cold_b.data()[j]) << "logit " << j;
+
+    // Same window twice (client retry): still bit-identical.
+    Tensor warm_b2 = model.decode_logits(b, &session);
+    for (std::int64_t j = 0; j < warm_b2.numel(); ++j)
+        ASSERT_EQ(warm_b2.data()[j], cold_b.data()[j]) << "logit " << j;
+}
+
+TEST(DecodeSession, ReplicatedSessionServingMatchesDirectDecode)
+{
+    // End to end: replicated engine + session-aware batch fn + LRU
+    // session cache; every stream's greedy decode must reproduce the
+    // cold direct path token for token and bit for bit — warm or
+    // cold, coalesced or not, whichever replica served it.
+    models::GptMini model = make_decode_gpt();
+    const auto& cfg = model.config();
+    serve::SessionCache cache(8);
+
+    const int streams = 5;
+    std::vector<std::vector<int>> prompts(streams);
+    for (int s = 0; s < streams; ++s)
+        prompts[static_cast<std::size_t>(s)] = {s % cfg.vocab,
+                                                (2 * s + 1) % cfg.vocab};
+
+    // Reference: cold decode, no engine, no sessions.
+    auto reference = prompts;
+    for (auto& ctx : reference)
+        while (static_cast<std::int64_t>(ctx.size()) < cfg.seq_len) {
+            Tensor logits = model.decode_logits(ctx, nullptr);
+            ctx.push_back(argmax_row(logits.data(), cfg.vocab));
+        }
+
+    serve::EngineConfig ec;
+    ec.max_batch = 4;
+    ec.queue_capacity = 16;
+    ec.replicas = 3;
+    serve::InferenceEngine engine(
+        models::gpt_decode_batch_fn(model, cache), cfg.seq_len, ec);
+
+    auto decoded = prompts;
+    for (std::int64_t step = 2; step < cfg.seq_len; ++step) {
+        std::vector<std::future<serve::Reply>> futures;
+        for (int s = 0; s < streams; ++s) {
+            auto& ctx = decoded[static_cast<std::size_t>(s)];
+            if (static_cast<std::int64_t>(ctx.size()) >= cfg.seq_len)
+                continue;
+            futures.push_back(engine.submit(
+                models::GptMini::pack_decode_row(ctx, cfg.seq_len),
+                static_cast<std::uint64_t>(s + 1)));
+        }
+        std::size_t fi = 0;
+        for (int s = 0; s < streams; ++s) {
+            auto& ctx = decoded[static_cast<std::size_t>(s)];
+            if (static_cast<std::int64_t>(ctx.size()) >= cfg.seq_len)
+                continue;
+            serve::Reply r = futures[fi++].get();
+            ctx.push_back(argmax_row(r.output.data(), cfg.vocab));
+        }
+    }
+    engine.drain();
+
+    EXPECT_EQ(decoded, reference);
+    EXPECT_GT(cache.stats().hits, 0u) << "prefix cache never engaged";
 }
