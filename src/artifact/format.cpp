@@ -1,0 +1,404 @@
+#include "artifact/format.h"
+
+#include <array>
+#include <cstring>
+
+namespace mx {
+namespace artifact {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+make_crc_table()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void* data, std::size_t n, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = make_crc_table();
+    const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+// --------------------------------------------------------------- writer
+
+void
+ByteWriter::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::raw(const void* data, std::size_t n)
+{
+    const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+}
+
+void
+ByteWriter::str(const std::string& s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+}
+
+void
+ByteWriter::format(const core::BdrFormat& f)
+{
+    str(f.name);
+    u8(static_cast<std::uint8_t>(f.elem));
+    u32(static_cast<std::uint32_t>(f.m));
+    u32(static_cast<std::uint32_t>(f.e));
+    u8(static_cast<std::uint8_t>(f.specials));
+    u8(static_cast<std::uint8_t>(f.s_kind));
+    u32(static_cast<std::uint32_t>(f.d1));
+    u32(static_cast<std::uint32_t>(f.k1));
+    u8(static_cast<std::uint8_t>(f.ss_kind));
+    u32(static_cast<std::uint32_t>(f.d2));
+    u32(static_cast<std::uint32_t>(f.k2));
+    u32(static_cast<std::uint32_t>(f.sw_granularity));
+}
+
+void
+ByteWriter::opt_format(const std::optional<core::BdrFormat>& f)
+{
+    u8(f.has_value() ? 1 : 0);
+    if (f.has_value())
+        format(*f);
+}
+
+void
+ByteWriter::spec(const nn::QuantSpec& s)
+{
+    opt_format(s.forward);
+    opt_format(s.weight_forward);
+    opt_format(s.backward);
+    u8(static_cast<std::uint8_t>(s.rounding));
+}
+
+// --------------------------------------------------------------- reader
+
+void
+ByteReader::need(std::size_t n) const
+{
+    if (bytes_.size() - pos_ < n)
+        throw SchemaError("artifact " + section_ + ": field at offset " +
+                          std::to_string(pos_) +
+                          " runs past the section end");
+}
+
+std::uint8_t
+ByteReader::u8()
+{
+    need(1);
+    return bytes_[pos_++];
+}
+
+std::uint32_t
+ByteReader::u32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+ByteReader::u64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    return v;
+}
+
+void
+ByteReader::raw(void* out, std::size_t n)
+{
+    need(n);
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+}
+
+std::string
+ByteReader::str()
+{
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+}
+
+core::BdrFormat
+ByteReader::format()
+{
+    core::BdrFormat f;
+    f.name = str();
+    const std::uint8_t elem = u8();
+    if (elem > 2)
+        throw SchemaError("artifact " + section_ +
+                          ": bad element-kind code " +
+                          std::to_string(elem));
+    f.elem = static_cast<core::ElementKind>(elem);
+    f.m = static_cast<int>(u32());
+    f.e = static_cast<int>(u32());
+    const std::uint8_t specials = u8();
+    if (specials > 2)
+        throw SchemaError("artifact " + section_ +
+                          ": bad fp-specials code " +
+                          std::to_string(specials));
+    f.specials = static_cast<core::FpSpecials>(specials);
+    const std::uint8_t s_kind = u8();
+    if (s_kind > 3)
+        throw SchemaError("artifact " + section_ +
+                          ": bad scale-kind code " +
+                          std::to_string(s_kind));
+    f.s_kind = static_cast<core::ScaleKind>(s_kind);
+    f.d1 = static_cast<int>(u32());
+    f.k1 = static_cast<int>(u32());
+    const std::uint8_t ss_kind = u8();
+    if (ss_kind > 3)
+        throw SchemaError("artifact " + section_ +
+                          ": bad sub-scale-kind code " +
+                          std::to_string(ss_kind));
+    f.ss_kind = static_cast<core::ScaleKind>(ss_kind);
+    f.d2 = static_cast<int>(u32());
+    f.k2 = static_cast<int>(u32());
+    f.sw_granularity = static_cast<int>(u32());
+    try {
+        f.validate();
+    } catch (const ArgumentError& e) {
+        throw SchemaError("artifact " + section_ +
+                          ": inconsistent format descriptor — " +
+                          e.what());
+    }
+    return f;
+}
+
+std::optional<core::BdrFormat>
+ByteReader::opt_format()
+{
+    const std::uint8_t present = u8();
+    if (present > 1)
+        throw SchemaError("artifact " + section_ +
+                          ": bad optional-format presence byte");
+    if (present == 0)
+        return std::nullopt;
+    return format();
+}
+
+core::RoundingMode
+ByteReader::rounding()
+{
+    const std::uint8_t code = u8();
+    if (code > static_cast<std::uint8_t>(core::RoundingMode::Stochastic))
+        throw SchemaError("artifact " + section_ +
+                          ": bad rounding-mode code " +
+                          std::to_string(code));
+    return static_cast<core::RoundingMode>(code);
+}
+
+nn::QuantSpec
+ByteReader::spec()
+{
+    nn::QuantSpec s;
+    s.forward = opt_format();
+    s.weight_forward = opt_format();
+    s.backward = opt_format();
+    s.rounding = rounding();
+    return s;
+}
+
+// -------------------------------------------------------------- entries
+
+std::int64_t
+Entry::numel() const
+{
+    std::int64_t n = 1;
+    for (std::int64_t d : dims)
+        n *= d;
+    return dims.empty() ? 0 : n;
+}
+
+void
+write_entry(ByteWriter& w, const Entry& e)
+{
+    w.str(e.name);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u8(static_cast<std::uint8_t>(e.frozen));
+    w.u8(e.spec.has_value() ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(e.rounding));
+    w.u32(static_cast<std::uint32_t>(e.dims.size()));
+    for (std::int64_t d : e.dims)
+        w.u64(static_cast<std::uint64_t>(d));
+    w.opt_format(e.format);
+    if (e.spec.has_value())
+        w.spec(*e.spec);
+    w.u64(e.payload_offset);
+    w.u64(e.payload_size);
+    w.u64(e.payload_bits);
+    w.u32(e.payload_crc);
+}
+
+Entry
+read_entry(ByteReader& r)
+{
+    Entry e;
+    e.name = r.str();
+    const std::uint8_t kind = r.u8();
+    if (kind > 2)
+        throw SchemaError("artifact " + r.section() + ": entry \"" +
+                          e.name + "\" has bad kind code " +
+                          std::to_string(kind));
+    e.kind = static_cast<EntryKind>(kind);
+    const std::uint8_t frozen = r.u8();
+    if (frozen > 2)
+        throw SchemaError("artifact " + r.section() + ": entry \"" +
+                          e.name + "\" has bad frozen-state code " +
+                          std::to_string(frozen));
+    e.frozen = static_cast<FrozenState>(frozen);
+    const std::uint8_t has_spec = r.u8();
+    if (has_spec > 1)
+        throw SchemaError("artifact " + r.section() + ": entry \"" +
+                          e.name + "\" has bad spec presence byte");
+    e.rounding = r.rounding();
+    const std::uint32_t ndim = r.u32();
+    if (ndim > 8)
+        throw SchemaError("artifact " + r.section() + ": entry \"" +
+                          e.name + "\" claims " + std::to_string(ndim) +
+                          " dimensions");
+    e.dims.resize(ndim);
+    for (std::uint32_t i = 0; i < ndim; ++i)
+        e.dims[i] = static_cast<std::int64_t>(r.u64());
+    e.format = r.opt_format();
+    if (has_spec != 0)
+        e.spec = r.spec();
+    e.payload_offset = r.u64();
+    e.payload_size = r.u64();
+    e.payload_bits = r.u64();
+    e.payload_crc = r.u32();
+    return e;
+}
+
+// --------------------------------------------------------------- header
+
+std::vector<std::uint8_t>
+Header::serialize() const
+{
+    ByteWriter w;
+    w.raw(kMagic, sizeof(kMagic));
+    w.u32(version);
+    w.u32(kHeaderSize);
+    w.u32(static_cast<std::uint32_t>(family));
+    w.u32(entry_count);
+    w.u64(config_offset);
+    w.u64(config_size);
+    w.u64(manifest_offset);
+    w.u64(manifest_size);
+    w.u64(file_size);
+    w.u32(config_crc);
+    w.u32(manifest_crc);
+    w.u32(0); // header_crc placeholder
+    w.u32(0); // reserved
+    std::vector<std::uint8_t> bytes = w.take();
+    MX_CHECK(bytes.size() == kHeaderSize, "artifact header size drifted");
+    const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+    for (int i = 0; i < 4; ++i)
+        bytes[72 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+    return bytes;
+}
+
+Header
+Header::parse(std::span<const std::uint8_t> file)
+{
+    if (file.size() < kHeaderSize)
+        throw TruncatedError(
+            "artifact: file holds " + std::to_string(file.size()) +
+            " bytes, shorter than the " + std::to_string(kHeaderSize) +
+            "-byte header");
+    if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0)
+        throw BadMagicError(
+            "artifact: bad magic — not an MXFROZEN artifact");
+
+    ByteReader r(file.subspan(sizeof(kMagic), kHeaderSize - sizeof(kMagic)),
+                 "header");
+    Header h;
+    h.version = r.u32();
+    if (h.version != kVersion)
+        throw UnsupportedVersionError(
+            "artifact: format version " + std::to_string(h.version) +
+            " is not supported (this build reads version " +
+            std::to_string(kVersion) + ")");
+    const std::uint32_t header_size = r.u32();
+    h.family = static_cast<ModelFamily>(r.u32());
+    h.entry_count = r.u32();
+    h.config_offset = r.u64();
+    h.config_size = r.u64();
+    h.manifest_offset = r.u64();
+    h.manifest_size = r.u64();
+    h.file_size = r.u64();
+    h.config_crc = r.u32();
+    h.manifest_crc = r.u32();
+    const std::uint32_t stored_crc = r.u32();
+
+    // CRC over the header bytes with the crc field zeroed.
+    std::uint8_t copy[kHeaderSize];
+    std::memcpy(copy, file.data(), kHeaderSize);
+    std::memset(copy + 72, 0, 4);
+    if (crc32(copy, kHeaderSize) != stored_crc)
+        throw ChecksumError("artifact: header CRC mismatch");
+
+    if (header_size != kHeaderSize)
+        throw SchemaError("artifact: header declares size " +
+                          std::to_string(header_size));
+    if (file.size() < h.file_size)
+        throw TruncatedError(
+            "artifact: header declares " + std::to_string(h.file_size) +
+            " bytes but the file holds " + std::to_string(file.size()));
+    if (file.size() > h.file_size)
+        throw SchemaError(
+            "artifact: file holds " + std::to_string(file.size()) +
+            " bytes past the declared size " +
+            std::to_string(h.file_size));
+
+    auto in_range = [&](std::uint64_t off, std::uint64_t size,
+                        const char* what) {
+        if (off < kHeaderSize || off > h.file_size ||
+            size > h.file_size - off)
+            throw RangeError("artifact: " + std::string(what) +
+                             " section [" + std::to_string(off) + ", +" +
+                             std::to_string(size) +
+                             ") reaches outside the file");
+    };
+    in_range(h.config_offset, h.config_size, "config");
+    in_range(h.manifest_offset, h.manifest_size, "manifest");
+    return h;
+}
+
+} // namespace artifact
+} // namespace mx

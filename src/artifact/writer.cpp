@@ -1,0 +1,152 @@
+#include "artifact/writer.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/check.h"
+#include "nn/frozen.h"
+
+namespace mx {
+namespace artifact {
+
+namespace {
+
+std::uint64_t
+align8(std::uint64_t off)
+{
+    return (off + 7) & ~std::uint64_t{7};
+}
+
+} // namespace
+
+ArtifactWriter::ArtifactWriter(ModelFamily family,
+                               std::vector<std::uint8_t> config)
+    : family_(family), config_(std::move(config))
+{
+}
+
+void
+ArtifactWriter::add(const nn::FrozenStateRef& ref)
+{
+    MX_CHECK_ARG(ref.param != nullptr,
+                 "ArtifactWriter: state slot without a parameter");
+    Entry e;
+    e.name = ref.name;
+    if (ref.spec != nullptr) {
+        e.spec = *ref.spec;
+        e.rounding = ref.spec->rounding;
+    }
+
+    const bool has_snapshot = ref.frozen != nullptr && ref.frozen->valid();
+    if (has_snapshot && ref.frozen->quantized()) {
+        // The freeze-time bit stream, verbatim.
+        const nn::FrozenTensor& fz = *ref.frozen;
+        e.kind = fz.plan().has_value() ? EntryKind::PackedPow2
+                                       : EntryKind::PackedFlat;
+        e.frozen = FrozenState::Snapshot;
+        e.format = fz.format();
+        e.dims = {fz.rows(), fz.cols()};
+        const std::span<const std::uint8_t> bytes = fz.packed_bytes();
+        e.payload_bits = fz.packed_bit_size();
+        payloads_.emplace_back(bytes.begin(), bytes.end());
+    } else {
+        // FP32 bytes: plain parameters, FP32-passthrough snapshots,
+        // and flag-only freezes.
+        e.kind = EntryKind::RawF32;
+        e.frozen = has_snapshot ? FrozenState::Snapshot
+                   : (ref.frozen_flag != nullptr && *ref.frozen_flag)
+                       ? FrozenState::FlagOnly
+                       : FrozenState::None;
+        if (ref.storage_format != nullptr)
+            e.format = *ref.storage_format;
+        const tensor::Tensor& v = ref.param->value;
+        e.dims.assign(v.shape().begin(), v.shape().end());
+        std::vector<std::uint8_t> bytes(
+            static_cast<std::size_t>(v.numel()) * sizeof(float));
+        std::memcpy(bytes.data(), v.data(), bytes.size());
+        e.payload_bits = bytes.size() * 8;
+        payloads_.push_back(std::move(bytes));
+    }
+    e.payload_size = payloads_.back().size();
+    e.payload_crc =
+        crc32(payloads_.back().data(), payloads_.back().size());
+    entries_.push_back(std::move(e));
+}
+
+void
+ArtifactWriter::add_all(const std::vector<nn::FrozenStateRef>& refs)
+{
+    for (const nn::FrozenStateRef& r : refs)
+        add(r);
+}
+
+void
+ArtifactWriter::write(const std::string& path) const
+{
+    // Lay out: header | config | manifest | 8-aligned payloads.  The
+    // manifest's serialized size is offset-independent (fixed-width
+    // fields), so serialize once to size it, then again with real
+    // offsets.
+    Header h;
+    h.family = family_;
+    h.entry_count = static_cast<std::uint32_t>(entries_.size());
+    h.config_offset = kHeaderSize;
+    h.config_size = config_.size();
+    h.manifest_offset = h.config_offset + h.config_size;
+
+    std::vector<Entry> placed = entries_;
+    ByteWriter sizing;
+    for (const Entry& e : placed)
+        write_entry(sizing, e);
+    h.manifest_size = sizing.data().size();
+
+    std::uint64_t off = align8(h.manifest_offset + h.manifest_size);
+    for (std::size_t i = 0; i < placed.size(); ++i) {
+        placed[i].payload_offset = off;
+        off = align8(off + placed[i].payload_size);
+    }
+    // The trailing pad of the last payload is not part of the file.
+    h.file_size = placed.empty()
+                      ? align8(h.manifest_offset + h.manifest_size)
+                      : placed.back().payload_offset +
+                            placed.back().payload_size;
+
+    ByteWriter manifest;
+    for (const Entry& e : placed)
+        write_entry(manifest, e);
+    MX_CHECK(manifest.data().size() == h.manifest_size,
+             "artifact manifest size drifted between layout passes");
+    h.config_crc = crc32(config_.data(), config_.size());
+    h.manifest_crc =
+        crc32(manifest.data().data(), manifest.data().size());
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw ArtifactIoError("artifact: cannot open \"" + path +
+                              "\" for writing");
+    auto put = [&](const void* data, std::size_t n) {
+        out.write(static_cast<const char*>(data),
+                  static_cast<std::streamsize>(n));
+    };
+    const std::vector<std::uint8_t> header = h.serialize();
+    put(header.data(), header.size());
+    put(config_.data(), config_.size());
+    put(manifest.data().data(), manifest.data().size());
+    std::uint64_t pos = h.manifest_offset + h.manifest_size;
+    static const char zeros[8] = {};
+    for (std::size_t i = 0; i < placed.size(); ++i) {
+        const std::uint64_t target = placed[i].payload_offset;
+        MX_CHECK(target >= pos && target - pos < 8,
+                 "artifact payload layout drifted");
+        put(zeros, target - pos);
+        put(payloads_[i].data(), payloads_[i].size());
+        pos = target + payloads_[i].size();
+    }
+    out.flush();
+    if (!out)
+        throw ArtifactIoError("artifact: write to \"" + path +
+                              "\" failed");
+}
+
+} // namespace artifact
+} // namespace mx

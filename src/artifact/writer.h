@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * ArtifactWriter: serialize a frozen model's state into an MXFROZEN
+ * file (format.h documents the layout).
+ *
+ * The writer consumes the model's Layer::collect_state slots in order:
+ * quantized FrozenTensor snapshots become packed-stream entries (the
+ * exact freeze-time bit stream, no re-quantization), everything else —
+ * biases, norms, raw embedding tables, FP32-passthrough snapshots —
+ * becomes a RawF32 entry.  save_frozen on each model family builds the
+ * config blob, collects state, and calls write().
+ */
+
+#include <string>
+#include <vector>
+
+#include "artifact/format.h"
+#include "nn/layer.h"
+
+namespace mx {
+namespace artifact {
+
+/** Accumulates entries, then lays out and writes the file. */
+class ArtifactWriter
+{
+  public:
+    /**
+     * @param family model family tag for the header
+     * @param config the family-specific config blob (ByteWriter bytes)
+     */
+    ArtifactWriter(ModelFamily family, std::vector<std::uint8_t> config);
+
+    /**
+     * Append one state slot.  A valid quantized snapshot is stored as
+     * its packed stream (PackedPow2 for the MX/BFP family, PackedFlat
+     * for software-scaled formats); otherwise the parameter's FP32
+     * bytes are stored with the freeze state recorded so load can
+     * rebuild a passthrough snapshot or re-set a bare flag.
+     */
+    void add(const nn::FrozenStateRef& ref);
+
+    /** add() every slot in order. */
+    void add_all(const std::vector<nn::FrozenStateRef>& refs);
+
+    /** Number of entries added so far. */
+    std::size_t entry_count() const { return entries_.size(); }
+
+    /** Lay out and write the artifact (ArtifactIoError on failure). */
+    void write(const std::string& path) const;
+
+  private:
+    ModelFamily family_;
+    std::vector<std::uint8_t> config_;
+    std::vector<Entry> entries_;
+    std::vector<std::vector<std::uint8_t>> payloads_;
+};
+
+} // namespace artifact
+} // namespace mx

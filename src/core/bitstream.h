@@ -24,6 +24,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/check.h"
@@ -74,12 +75,20 @@ class BitWriter
     int bit_pos_ = 0;
 };
 
-/** Reads bit fields written by BitWriter, in the same order. */
+/** Reads bit fields written by BitWriter, in the same order.  Holds a
+ *  non-owning view: works equally over an owned byte vector or a
+ *  read-only mapping (artifact/reader.h) — the caller keeps the bytes
+ *  alive for the reader's lifetime. */
 class BitReader
 {
   public:
     explicit BitReader(const std::vector<std::uint8_t>& bytes)
-        : bytes_(bytes)
+        : data_(bytes.data()), size_(bytes.size())
+    {
+    }
+
+    explicit BitReader(std::span<const std::uint8_t> bytes)
+        : data_(bytes.data()), size_(bytes.size())
     {
     }
 
@@ -92,12 +101,12 @@ class BitReader
         int got = 0;
         while (got < bits) {
             const std::size_t byte = pos_ >> 3;
-            MX_CHECK_ARG(byte < bytes_.size(), "BitReader: out of data");
+            MX_CHECK_ARG(byte < size_, "BitReader: out of data");
             const int off = static_cast<int>(pos_ & 7);
             const int take = std::min(bits - got, 8 - off);
             const std::uint32_t mask = (1u << take) - 1u;
             const std::uint64_t chunk =
-                (static_cast<std::uint32_t>(bytes_[byte]) >> off) & mask;
+                (static_cast<std::uint32_t>(data_[byte]) >> off) & mask;
             v |= chunk << got;
             got += take;
             pos_ += static_cast<std::size_t>(take);
@@ -109,7 +118,8 @@ class BitReader
     std::size_t bit_position() const { return pos_; }
 
   private:
-    const std::vector<std::uint8_t>& bytes_;
+    const std::uint8_t* data_;
+    std::size_t size_;
     std::size_t pos_ = 0;
 };
 

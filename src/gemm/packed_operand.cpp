@@ -57,7 +57,7 @@ PackedOperand::memory_bytes() const
 
 PackedOperand
 PackedOperand::decode(const QuantPlan& plan,
-                      const std::vector<std::uint8_t>& bytes,
+                      std::span<const std::uint8_t> bytes,
                       std::size_t rows, std::size_t cols)
 {
     PackedOperand op(plan, rows, cols);

@@ -28,6 +28,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/kernels/quant_kernel.h"
@@ -46,10 +47,11 @@ class PackedOperand
      * Decode a packed pow2-block stream (the exact
      * formats/block_codec.h layout quantize_pack_rows emits) into the
      * execution view.  @p bytes must hold rows * row_bits(plan, cols)
-     * bits.
+     * bits.  The span is only read during the call — a view into a
+     * read-only artifact mapping works (the operand owns its arrays).
      */
     static PackedOperand decode(const core::kernels::QuantPlan& plan,
-                                const std::vector<std::uint8_t>& bytes,
+                                std::span<const std::uint8_t> bytes,
                                 std::size_t rows, std::size_t cols);
 
     /**

@@ -1,5 +1,6 @@
 #include "models/dlrm_mini.h"
 
+#include "artifact/writer.h"
 #include "core/check.h"
 
 namespace mx {
@@ -198,6 +199,79 @@ DlrmMini::unfreeze()
     top_->unfreeze();
     for (auto& t : tables_)
         t->unfreeze();
+}
+
+void
+DlrmMini::collect_state(const std::string& prefix,
+                        std::vector<nn::FrozenStateRef>& out)
+{
+    for (std::size_t i = 0; i < tables_.size(); ++i)
+        tables_[i]->collect_state(
+            prefix + "table" + std::to_string(i) + ".", out);
+    bottom_->collect_state(prefix + "bottom.", out);
+    top_->collect_state(prefix + "top.", out);
+}
+
+void
+DlrmMini::save_frozen(const std::string& path)
+{
+    MX_CHECK_ARG(frozen(), "DlrmMini: save_frozen() needs freeze()");
+    artifact::ByteWriter cfg;
+    cfg.u32(static_cast<std::uint32_t>(cfg_.num_tables));
+    cfg.u32(static_cast<std::uint32_t>(cfg_.vocab_per_table));
+    cfg.u32(static_cast<std::uint32_t>(cfg_.embed_dim));
+    cfg.u32(static_cast<std::uint32_t>(cfg_.dense_dim));
+    cfg.u32(static_cast<std::uint32_t>(cfg_.bottom_hidden.size()));
+    for (std::int64_t h : cfg_.bottom_hidden)
+        cfg.u64(static_cast<std::uint64_t>(h));
+    cfg.u32(static_cast<std::uint32_t>(cfg_.top_hidden.size()));
+    for (std::int64_t h : cfg_.top_hidden)
+        cfg.u64(static_cast<std::uint64_t>(h));
+    cfg.spec(cfg_.spec);
+    cfg.opt_format(cfg_.embedding_storage);
+    cfg.u64(cfg_.seed);
+    artifact::ArtifactWriter w(artifact::ModelFamily::Dlrm, cfg.take());
+    std::vector<nn::FrozenStateRef> refs;
+    collect_state("", refs);
+    w.add_all(refs);
+    w.write(path);
+}
+
+DlrmMini
+DlrmMini::load_frozen(const artifact::ArtifactReader& reader,
+                      const artifact::LoadOptions& opts)
+{
+    if (reader.family() != artifact::ModelFamily::Dlrm)
+        throw artifact::SchemaError(
+            "artifact: not a DLRM artifact (family tag " +
+            std::to_string(static_cast<std::uint32_t>(reader.family())) +
+            ")");
+    artifact::ByteReader r = reader.config();
+    DlrmConfig cfg;
+    cfg.num_tables = static_cast<int>(r.u32());
+    cfg.vocab_per_table = static_cast<int>(r.u32());
+    cfg.embed_dim = static_cast<int>(r.u32());
+    cfg.dense_dim = static_cast<int>(r.u32());
+    cfg.bottom_hidden.resize(r.u32());
+    for (std::int64_t& h : cfg.bottom_hidden)
+        h = static_cast<std::int64_t>(r.u64());
+    cfg.top_hidden.resize(r.u32());
+    for (std::int64_t& h : cfg.top_hidden)
+        h = static_cast<std::int64_t>(r.u64());
+    cfg.spec = r.spec();
+    cfg.embedding_storage = r.opt_format();
+    cfg.seed = r.u64();
+    DlrmMini m(std::move(cfg));
+    std::vector<nn::FrozenStateRef> refs;
+    m.collect_state("", refs);
+    reader.load_into(refs, opts);
+    return m;
+}
+
+DlrmMini
+DlrmMini::load_frozen(const std::string& path)
+{
+    return load_frozen(artifact::ArtifactReader(path));
 }
 
 } // namespace models

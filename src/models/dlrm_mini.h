@@ -11,8 +11,10 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "artifact/reader.h"
 #include "data/synthetic.h"
 #include "models/mlp.h"
 #include "nn/embedding.h"
@@ -70,6 +72,20 @@ class DlrmMini
     bool frozen() const { return top_->frozen(); }
 
     const DlrmConfig& config() const { return cfg_; }
+
+    /** Serializable state slots in artifact order. */
+    void collect_state(const std::string& prefix,
+                       std::vector<nn::FrozenStateRef>& out);
+
+    /** Write the frozen model as an MXFROZEN artifact. */
+    void save_frozen(const std::string& path);
+
+    /** Rebuild a serve-ready model from an opened artifact. */
+    static DlrmMini load_frozen(const artifact::ArtifactReader& reader,
+                                const artifact::LoadOptions& opts = {});
+
+    /** Open @p path and load. */
+    static DlrmMini load_frozen(const std::string& path);
 
   private:
     DlrmConfig cfg_;

@@ -1,5 +1,6 @@
 #include "models/lstm_seq2seq.h"
 
+#include "artifact/writer.h"
 #include "core/check.h"
 #include "stats/metrics.h"
 
@@ -189,6 +190,65 @@ LstmSeq2Seq::unfreeze()
     encoder_->unfreeze();
     decoder_->unfreeze();
     proj_->unfreeze();
+}
+
+void
+LstmSeq2Seq::collect_state(const std::string& prefix,
+                           std::vector<nn::FrozenStateRef>& out)
+{
+    src_emb_->collect_state(prefix + "src_emb.", out);
+    tgt_emb_->collect_state(prefix + "tgt_emb.", out);
+    encoder_->collect_state(prefix + "encoder.", out);
+    decoder_->collect_state(prefix + "decoder.", out);
+    proj_->collect_state(prefix + "proj.", out);
+}
+
+void
+LstmSeq2Seq::save_frozen(const std::string& path)
+{
+    MX_CHECK_ARG(frozen(), "LstmSeq2Seq: save_frozen() needs freeze()");
+    artifact::ByteWriter cfg;
+    cfg.u32(static_cast<std::uint32_t>(cfg_.vocab));
+    cfg.u32(static_cast<std::uint32_t>(cfg_.embed_dim));
+    cfg.u32(static_cast<std::uint32_t>(cfg_.hidden_dim));
+    cfg.u32(static_cast<std::uint32_t>(cfg_.seq_len));
+    cfg.spec(cfg_.spec);
+    cfg.u64(cfg_.seed);
+    artifact::ArtifactWriter w(artifact::ModelFamily::Seq2Seq, cfg.take());
+    std::vector<nn::FrozenStateRef> refs;
+    collect_state("", refs);
+    w.add_all(refs);
+    w.write(path);
+}
+
+LstmSeq2Seq
+LstmSeq2Seq::load_frozen(const artifact::ArtifactReader& reader,
+                         const artifact::LoadOptions& opts)
+{
+    if (reader.family() != artifact::ModelFamily::Seq2Seq)
+        throw artifact::SchemaError(
+            "artifact: not a seq2seq artifact (family tag " +
+            std::to_string(static_cast<std::uint32_t>(reader.family())) +
+            ")");
+    artifact::ByteReader r = reader.config();
+    Seq2SeqConfig cfg;
+    cfg.vocab = static_cast<int>(r.u32());
+    cfg.embed_dim = static_cast<int>(r.u32());
+    cfg.hidden_dim = static_cast<int>(r.u32());
+    cfg.seq_len = static_cast<int>(r.u32());
+    cfg.spec = r.spec();
+    cfg.seed = r.u64();
+    LstmSeq2Seq m(std::move(cfg));
+    std::vector<nn::FrozenStateRef> refs;
+    m.collect_state("", refs);
+    reader.load_into(refs, opts);
+    return m;
+}
+
+LstmSeq2Seq
+LstmSeq2Seq::load_frozen(const std::string& path)
+{
+    return load_frozen(artifact::ArtifactReader(path));
 }
 
 } // namespace models

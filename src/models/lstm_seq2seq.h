@@ -9,8 +9,10 @@
  */
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "artifact/reader.h"
 #include "data/synthetic.h"
 #include "nn/embedding.h"
 #include "nn/linear.h"
@@ -66,6 +68,21 @@ class LstmSeq2Seq
     bool frozen() const { return proj_->frozen(); }
 
     const Seq2SeqConfig& config() const { return cfg_; }
+
+    /** Serializable state slots in artifact order. */
+    void collect_state(const std::string& prefix,
+                       std::vector<nn::FrozenStateRef>& out);
+
+    /** Write the frozen model as an MXFROZEN artifact. */
+    void save_frozen(const std::string& path);
+
+    /** Rebuild a serve-ready model from an opened artifact. */
+    static LstmSeq2Seq
+    load_frozen(const artifact::ArtifactReader& reader,
+                const artifact::LoadOptions& opts = {});
+
+    /** Open @p path and load. */
+    static LstmSeq2Seq load_frozen(const std::string& path);
 
   private:
     /** Shared forward; returns decoder logits [n*T, vocab]. */

@@ -1,5 +1,8 @@
 #include "models/mlp.h"
 
+#include "artifact/writer.h"
+#include "core/check.h"
+
 namespace mx {
 namespace models {
 
@@ -9,7 +12,8 @@ MlpClassifier::MlpClassifier(std::int64_t input_dim,
                              const std::vector<std::int64_t>& hidden_dims,
                              std::int64_t num_classes, nn::QuantSpec spec,
                              std::uint64_t seed)
-    : rng_(seed)
+    : input_dim_(input_dim), classes_(num_classes),
+      hidden_dims_(hidden_dims), seed_(seed), rng_(seed)
 {
     std::int64_t prev = input_dim;
     for (std::int64_t h : hidden_dims) {
@@ -64,6 +68,63 @@ bool
 MlpClassifier::frozen() const
 {
     return net_.frozen();
+}
+
+void
+MlpClassifier::collect_state(const std::string& prefix,
+                             std::vector<nn::FrozenStateRef>& out)
+{
+    net_.collect_state(prefix + "net.", out);
+}
+
+void
+MlpClassifier::save_frozen(const std::string& path)
+{
+    MX_CHECK_ARG(frozen(), "MlpClassifier: save_frozen() needs freeze()");
+    artifact::ByteWriter cfg;
+    cfg.u64(static_cast<std::uint64_t>(input_dim_));
+    cfg.u32(static_cast<std::uint32_t>(hidden_dims_.size()));
+    for (std::int64_t h : hidden_dims_)
+        cfg.u64(static_cast<std::uint64_t>(h));
+    cfg.u64(static_cast<std::uint64_t>(classes_));
+    cfg.u64(seed_);
+    artifact::ArtifactWriter w(artifact::ModelFamily::Mlp, cfg.take());
+    std::vector<nn::FrozenStateRef> refs;
+    collect_state("", refs);
+    w.add_all(refs);
+    w.write(path);
+}
+
+MlpClassifier
+MlpClassifier::load_frozen(const artifact::ArtifactReader& reader,
+                           const artifact::LoadOptions& opts)
+{
+    if (reader.family() != artifact::ModelFamily::Mlp)
+        throw artifact::SchemaError(
+            "artifact: not an MLP artifact (family tag " +
+            std::to_string(static_cast<std::uint32_t>(reader.family())) +
+            ")");
+    artifact::ByteReader cfg = reader.config();
+    const std::int64_t input_dim =
+        static_cast<std::int64_t>(cfg.u64());
+    std::vector<std::int64_t> hidden(cfg.u32());
+    for (std::int64_t& h : hidden)
+        h = static_cast<std::int64_t>(cfg.u64());
+    const std::int64_t classes = static_cast<std::int64_t>(cfg.u64());
+    const std::uint64_t seed = cfg.u64();
+    // Per-layer specs are restored entry-by-entry by load_into.
+    MlpClassifier m(input_dim, hidden, classes, nn::QuantSpec::fp32(),
+                    seed);
+    std::vector<nn::FrozenStateRef> refs;
+    m.collect_state("", refs);
+    reader.load_into(refs, opts);
+    return m;
+}
+
+MlpClassifier
+MlpClassifier::load_frozen(const std::string& path)
+{
+    return load_frozen(artifact::ArtifactReader(path));
 }
 
 void

@@ -7,8 +7,10 @@
  */
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "artifact/reader.h"
 #include "nn/activations.h"
 #include "nn/linear.h"
 #include "nn/sequential.h"
@@ -54,7 +56,28 @@ class MlpClassifier
     void unfreeze();
     bool frozen() const;
 
+    /** Serializable state slots in artifact order. */
+    void collect_state(const std::string& prefix,
+                       std::vector<nn::FrozenStateRef>& out);
+
+    /** Write the frozen model as an MXFROZEN artifact (requires
+     *  frozen(); per-layer specs — e.g. keep-first/last-FP32 — are
+     *  stored per entry and survive the round trip). */
+    void save_frozen(const std::string& path);
+
+    /** Rebuild a serve-ready model from an already-opened artifact;
+     *  loaded FrozenTensor handles view (and share) its mapping. */
+    static MlpClassifier
+    load_frozen(const artifact::ArtifactReader& reader,
+                const artifact::LoadOptions& opts = {});
+
+    /** Open @p path and load. */
+    static MlpClassifier load_frozen(const std::string& path);
+
   private:
+    std::int64_t input_dim_, classes_;
+    std::vector<std::int64_t> hidden_dims_;
+    std::uint64_t seed_;
     stats::Rng rng_;
     nn::Sequential net_;
     std::vector<nn::Linear*> linears_;

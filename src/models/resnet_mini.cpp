@@ -1,5 +1,6 @@
 #include "models/resnet_mini.h"
 
+#include "artifact/writer.h"
 #include "core/check.h"
 
 namespace mx {
@@ -70,6 +71,7 @@ ResNetMini::ResNetMini(std::int64_t image_size, std::int64_t channels,
     : image_size_(image_size),
       channels_(channels),
       classes_(num_classes),
+      seed_(seed),
       rng_(seed)
 {
     stem_ = std::make_unique<nn::Conv2d>(1, channels, 3, 1, 1, spec, rng_);
@@ -172,6 +174,61 @@ ResNetMini::unfreeze()
     for (auto& b : blocks_)
         b->unfreeze();
     head_->unfreeze();
+}
+
+void
+ResNetMini::collect_state(const std::string& prefix,
+                          std::vector<nn::FrozenStateRef>& out)
+{
+    stem_->collect_state(prefix + "stem.", out);
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+        blocks_[i]->collect_state(
+            prefix + "block" + std::to_string(i) + ".", out);
+    head_->collect_state(prefix + "head.", out);
+}
+
+void
+ResNetMini::save_frozen(const std::string& path)
+{
+    MX_CHECK_ARG(frozen(), "ResNetMini: save_frozen() needs freeze()");
+    artifact::ByteWriter cfg;
+    cfg.u64(static_cast<std::uint64_t>(image_size_));
+    cfg.u64(static_cast<std::uint64_t>(channels_));
+    cfg.u64(static_cast<std::uint64_t>(classes_));
+    cfg.u64(seed_);
+    artifact::ArtifactWriter w(artifact::ModelFamily::ResNet, cfg.take());
+    std::vector<nn::FrozenStateRef> refs;
+    collect_state("", refs);
+    w.add_all(refs);
+    w.write(path);
+}
+
+ResNetMini
+ResNetMini::load_frozen(const artifact::ArtifactReader& reader,
+                        const artifact::LoadOptions& opts)
+{
+    if (reader.family() != artifact::ModelFamily::ResNet)
+        throw artifact::SchemaError(
+            "artifact: not a ResNet artifact (family tag " +
+            std::to_string(static_cast<std::uint32_t>(reader.family())) +
+            ")");
+    artifact::ByteReader cfg = reader.config();
+    const std::int64_t image_size = static_cast<std::int64_t>(cfg.u64());
+    const std::int64_t channels = static_cast<std::int64_t>(cfg.u64());
+    const std::int64_t classes = static_cast<std::int64_t>(cfg.u64());
+    const std::uint64_t seed = cfg.u64();
+    ResNetMini m(image_size, channels, classes, nn::QuantSpec::fp32(),
+                 seed);
+    std::vector<nn::FrozenStateRef> refs;
+    m.collect_state("", refs);
+    reader.load_into(refs, opts);
+    return m;
+}
+
+ResNetMini
+ResNetMini::load_frozen(const std::string& path)
+{
+    return load_frozen(artifact::ArtifactReader(path));
 }
 
 } // namespace models

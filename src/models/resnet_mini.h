@@ -9,8 +9,10 @@
  */
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "artifact/reader.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
@@ -28,6 +30,14 @@ class ResidualBlock : public nn::Layer
     tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<nn::Param*>& out) override;
+
+    void
+    collect_state(const std::string& prefix,
+                  std::vector<nn::FrozenStateRef>& out) override
+    {
+        c1_->collect_state(prefix + "c1.", out);
+        c2_->collect_state(prefix + "c2.", out);
+    }
 
     void freeze() override;
     void freeze(const nn::QuantSpec& spec) override;
@@ -72,8 +82,24 @@ class ResNetMini
     void unfreeze();
     bool frozen() const { return head_->frozen(); }
 
+    /** Serializable state slots in artifact order. */
+    void collect_state(const std::string& prefix,
+                       std::vector<nn::FrozenStateRef>& out);
+
+    /** Write the frozen model as an MXFROZEN artifact. */
+    void save_frozen(const std::string& path);
+
+    /** Rebuild a serve-ready model from an opened artifact. */
+    static ResNetMini
+    load_frozen(const artifact::ArtifactReader& reader,
+                const artifact::LoadOptions& opts = {});
+
+    /** Open @p path and load. */
+    static ResNetMini load_frozen(const std::string& path);
+
   private:
     std::int64_t image_size_, channels_, classes_;
+    std::uint64_t seed_;
     stats::Rng rng_;
     std::unique_ptr<nn::Conv2d> stem_;
     std::unique_ptr<nn::ActivationLayer> stem_act_;

@@ -1,5 +1,6 @@
 #include "models/transformer.h"
 
+#include "artifact/writer.h"
 #include "core/check.h"
 
 namespace mx {
@@ -582,6 +583,147 @@ bool
 GptMini::frozen() const
 {
     return lm_head_->frozen();
+}
+
+namespace {
+
+/** TransformerConfig <-> config-blob serialization shared by the BERT
+ *  and GPT artifacts. */
+void
+write_transformer_config(artifact::ByteWriter& w,
+                         const TransformerConfig& cfg)
+{
+    w.u32(static_cast<std::uint32_t>(cfg.vocab));
+    w.u32(static_cast<std::uint32_t>(cfg.d_model));
+    w.u32(static_cast<std::uint32_t>(cfg.heads));
+    w.u32(static_cast<std::uint32_t>(cfg.layers));
+    w.u32(static_cast<std::uint32_t>(cfg.seq_len));
+    w.spec(cfg.spec);
+    w.u8(cfg.bf16_vector ? 1 : 0);
+    w.u64(cfg.seed);
+}
+
+TransformerConfig
+read_transformer_config(artifact::ByteReader& r)
+{
+    TransformerConfig cfg;
+    cfg.vocab = static_cast<int>(r.u32());
+    cfg.d_model = static_cast<int>(r.u32());
+    cfg.heads = static_cast<int>(r.u32());
+    cfg.layers = static_cast<int>(r.u32());
+    cfg.seq_len = static_cast<int>(r.u32());
+    cfg.spec = r.spec();
+    cfg.bf16_vector = r.u8() != 0;
+    cfg.seed = r.u64();
+    return cfg;
+}
+
+void
+check_family(const artifact::ArtifactReader& reader,
+             artifact::ModelFamily expect, const char* what)
+{
+    if (reader.family() != expect)
+        throw artifact::SchemaError(
+            "artifact: not a " + std::string(what) +
+            " artifact (family tag " +
+            std::to_string(static_cast<std::uint32_t>(reader.family())) +
+            ")");
+}
+
+} // namespace
+
+void
+BertMini::collect_state(const std::string& prefix,
+                        std::vector<nn::FrozenStateRef>& out)
+{
+    tok_emb_->collect_state(prefix + "tok_emb.", out);
+    pos_emb_->collect_state(prefix + "pos_emb.", out);
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+        blocks_[i]->collect_state(
+            prefix + "block" + std::to_string(i) + ".", out);
+    final_ln_->collect_state(prefix + "final_ln.", out);
+    cls_head_->collect_state(prefix + "cls_head.", out);
+    qa_head_->collect_state(prefix + "qa_head.", out);
+}
+
+void
+BertMini::save_frozen(const std::string& path)
+{
+    MX_CHECK_ARG(frozen(), "BertMini: save_frozen() needs freeze()");
+    artifact::ByteWriter cfg;
+    write_transformer_config(cfg, cfg_);
+    cfg.u32(static_cast<std::uint32_t>(cls_head_->out_features()));
+    artifact::ArtifactWriter w(artifact::ModelFamily::Bert, cfg.take());
+    std::vector<nn::FrozenStateRef> refs;
+    collect_state("", refs);
+    w.add_all(refs);
+    w.write(path);
+}
+
+BertMini
+BertMini::load_frozen(const artifact::ArtifactReader& reader,
+                      const artifact::LoadOptions& opts)
+{
+    check_family(reader, artifact::ModelFamily::Bert, "BERT");
+    artifact::ByteReader r = reader.config();
+    const TransformerConfig cfg = read_transformer_config(r);
+    const int num_classes = static_cast<int>(r.u32());
+    BertMini m(cfg, num_classes);
+    std::vector<nn::FrozenStateRef> refs;
+    m.collect_state("", refs);
+    reader.load_into(refs, opts);
+    return m;
+}
+
+BertMini
+BertMini::load_frozen(const std::string& path)
+{
+    return load_frozen(artifact::ArtifactReader(path));
+}
+
+void
+GptMini::collect_state(const std::string& prefix,
+                       std::vector<nn::FrozenStateRef>& out)
+{
+    tok_emb_->collect_state(prefix + "tok_emb.", out);
+    pos_emb_->collect_state(prefix + "pos_emb.", out);
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+        blocks_[i]->collect_state(
+            prefix + "block" + std::to_string(i) + ".", out);
+    final_ln_->collect_state(prefix + "final_ln.", out);
+    lm_head_->collect_state(prefix + "lm_head.", out);
+}
+
+void
+GptMini::save_frozen(const std::string& path)
+{
+    MX_CHECK_ARG(frozen(), "GptMini: save_frozen() needs freeze()");
+    artifact::ByteWriter cfg;
+    write_transformer_config(cfg, cfg_);
+    artifact::ArtifactWriter w(artifact::ModelFamily::Gpt, cfg.take());
+    std::vector<nn::FrozenStateRef> refs;
+    collect_state("", refs);
+    w.add_all(refs);
+    w.write(path);
+}
+
+GptMini
+GptMini::load_frozen(const artifact::ArtifactReader& reader,
+                     const artifact::LoadOptions& opts)
+{
+    check_family(reader, artifact::ModelFamily::Gpt, "GPT");
+    artifact::ByteReader r = reader.config();
+    GptMini m(read_transformer_config(r));
+    std::vector<nn::FrozenStateRef> refs;
+    m.collect_state("", refs);
+    reader.load_into(refs, opts);
+    return m;
+}
+
+GptMini
+GptMini::load_frozen(const std::string& path)
+{
+    return load_frozen(artifact::ArtifactReader(path));
 }
 
 } // namespace models

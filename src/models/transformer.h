@@ -8,8 +8,10 @@
  */
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "artifact/reader.h"
 #include "data/synthetic.h"
 #include "nn/activations.h"
 #include "nn/attention.h"
@@ -32,6 +34,17 @@ class TransformerBlock : public nn::Layer
     tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<nn::Param*>& out) override;
+
+    void
+    collect_state(const std::string& prefix,
+                  std::vector<nn::FrozenStateRef>& out) override
+    {
+        ln1_->collect_state(prefix + "ln1.", out);
+        ln2_->collect_state(prefix + "ln2.", out);
+        attn_->collect_state(prefix + "attn.", out);
+        ff1_->collect_state(prefix + "ff1.", out);
+        ff2_->collect_state(prefix + "ff2.", out);
+    }
 
     void freeze() override;
     void freeze(const nn::QuantSpec& spec) override;
@@ -115,6 +128,20 @@ class BertMini
     bool frozen() const;
     /** The configuration. */
     const TransformerConfig& config() const { return cfg_; }
+
+    /** Serializable state slots in artifact order. */
+    void collect_state(const std::string& prefix,
+                       std::vector<nn::FrozenStateRef>& out);
+
+    /** Write the frozen model as an MXFROZEN artifact. */
+    void save_frozen(const std::string& path);
+
+    /** Rebuild a serve-ready model from an opened artifact. */
+    static BertMini load_frozen(const artifact::ArtifactReader& reader,
+                                const artifact::LoadOptions& opts = {});
+
+    /** Open @p path and load. */
+    static BertMini load_frozen(const std::string& path);
 
   private:
     tensor::Tensor encode(const data::SequenceBatch& batch, bool train);
@@ -216,6 +243,22 @@ class GptMini
     void unfreeze();
     bool frozen() const;
     const TransformerConfig& config() const { return cfg_; }
+
+    /** Serializable state slots in artifact order. */
+    void collect_state(const std::string& prefix,
+                       std::vector<nn::FrozenStateRef>& out);
+
+    /** Write the frozen model as an MXFROZEN artifact. */
+    void save_frozen(const std::string& path);
+
+    /** Rebuild a serve-ready model from an opened artifact: every
+     *  FrozenTensor handle views the reader's single mapping, so N
+     *  models (serve replicas) loaded from one reader share it. */
+    static GptMini load_frozen(const artifact::ArtifactReader& reader,
+                               const artifact::LoadOptions& opts = {});
+
+    /** Open @p path and load. */
+    static GptMini load_frozen(const std::string& path);
 
   private:
     tensor::Tensor encode(const data::SequenceBatch& batch, bool train);

@@ -62,6 +62,19 @@ class MultiHeadAttention : public Layer
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<Param*>& out) override;
 
+    /** The four projections' state under "wq."/"wk."/"wv."/"wo."
+     *  prefixes; the attention-internal spec (Q K^T, P V) is model
+     *  config state, not per-entry state. */
+    void
+    collect_state(const std::string& prefix,
+                  std::vector<FrozenStateRef>& out) override
+    {
+        wq_->collect_state(prefix + "wq.", out);
+        wk_->collect_state(prefix + "wk.", out);
+        wv_->collect_state(prefix + "wv.", out);
+        wo_->collect_state(prefix + "wo.", out);
+    }
+
     /**
      * Eval-only incremental decode forward for one stream (batch 1) —
      * the KV-cache compute discipline, carried into the quantized

@@ -38,6 +38,22 @@ class Conv2d : public Layer
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<Param*>& out) override;
 
+    void
+    collect_state(const std::string& prefix,
+                  std::vector<FrozenStateRef>& out) override
+    {
+        FrozenStateRef w;
+        w.name = prefix + weight_.name;
+        w.param = &weight_;
+        w.frozen = &frozen_weight_;
+        w.spec = &spec_;
+        out.push_back(w);
+        FrozenStateRef b;
+        b.name = prefix + bias_.name;
+        b.param = &bias_;
+        out.push_back(b);
+    }
+
     /** Snapshot the [outC, C*k*k] filter under the weight format. */
     void freeze() override;
     void freeze(const QuantSpec& spec) override;

@@ -61,6 +61,24 @@ class Embedding
 
     void collect_params(std::vector<Param*>& out) { out.push_back(&table_); }
 
+    /** Serializable state in artifact order (Embedding is not a Layer,
+     *  so this mirrors Layer::collect_state by convention).  The one
+     *  entry carries the snapshot, the storage format, and the freeze
+     *  flag — an embedding can be frozen with no quantized snapshot
+     *  (no storage format), which the flag alone records. */
+    void
+    collect_state(const std::string& prefix,
+                  std::vector<FrozenStateRef>& out)
+    {
+        FrozenStateRef t;
+        t.name = prefix + table_.name;
+        t.param = &table_;
+        t.frozen = &frozen_table_;
+        t.storage_format = &storage_format_;
+        t.frozen_flag = &frozen_;
+        out.push_back(t);
+    }
+
   private:
     std::int64_t vocab_, dim_;
     Param table_;

@@ -49,14 +49,14 @@ pack_rows_pow2(const core::BdrFormat& fmt,
 
 /** Row-aware pow2 decode, mirroring pack_rows_pow2's block layout. */
 void
-unpack_rows_pow2(const formats::PackedTensor& packed,
+unpack_rows_pow2(std::span<const std::uint8_t> bytes,
                  const core::kernels::QuantPlan& plan, std::int64_t rows,
                  std::int64_t cols, Tensor& out)
 {
     const core::kernels::QuantKernel& kernel =
         core::kernels::active_kernel();
     const std::size_t k1 = static_cast<std::size_t>(plan.k1);
-    core::BitReader reader(packed.bytes);
+    core::BitReader reader(bytes);
     core::Pow2BlockEncoding enc; // reused; assign keeps capacity
     for (std::int64_t r = 0; r < rows; ++r) {
         float* row = out.data() + r * cols;
@@ -127,6 +127,71 @@ FrozenTensor::build(const Tensor& w,
     return f;
 }
 
+FrozenTensor
+FrozenTensor::from_packed(const core::BdrFormat& fmt,
+                          std::span<const std::uint8_t> bytes,
+                          std::size_t bit_size, std::int64_t rows,
+                          std::int64_t cols,
+                          std::shared_ptr<const void> keepalive,
+                          bool materialize_values)
+{
+    MX_CHECK_ARG(rows > 0 && cols > 0,
+                 "FrozenTensor: from_packed needs a non-empty shape, got "
+                     << rows << " x " << cols);
+    MX_CHECK_ARG(bytes.size() * 8 >= bit_size,
+                 "FrozenTensor: from_packed stream shorter than its "
+                 "declared bit size");
+    FrozenTensor f;
+    Payload& p = *f.p_;
+    p.built = true;
+    p.rows = rows;
+    p.cols = cols;
+    p.format = fmt;
+    if (is_pow2_block(fmt)) {
+        p.plan = core::kernels::make_quant_plan(fmt);
+        const std::size_t expect =
+            static_cast<std::size_t>(rows) *
+            gemm::row_bits(*p.plan, static_cast<std::size_t>(cols));
+        MX_CHECK_ARG(bit_size == expect,
+                     "FrozenTensor: packed stream carries "
+                         << bit_size << " bits but [" << rows << " x "
+                         << cols << "] under " << fmt.name << " needs "
+                         << expect);
+        // Zero-copy: the payload views the caller's stream (an mmap'd
+        // artifact) and pins it via `backing`; no stream copy exists.
+        p.view = bytes;
+        p.view_bits = bit_size;
+        p.backing = std::move(keepalive);
+        if (gemm::operand_eligible(*p.plan))
+            p.operand = gemm::PackedOperand::decode(
+                *p.plan, bytes, static_cast<std::size_t>(rows),
+                static_cast<std::size_t>(cols));
+        // Without a gemm view the grid tensor is the only execution
+        // form, so materialization is not optional.
+        if (materialize_values || !p.operand.has_value()) {
+            p.values = Tensor({rows, cols});
+            unpack_rows_pow2(bytes, *p.plan, rows, cols, p.values);
+        }
+        return f;
+    }
+    // Software-scaled families: the layer serves on decoded values, so
+    // own a copy of the stream and always materialize.
+    formats::PackedTensor packed;
+    packed.format = fmt;
+    packed.num_elements = static_cast<std::size_t>(rows * cols);
+    packed.bit_size = bit_size;
+    packed.bytes.assign(bytes.begin(), bytes.end());
+    p.packed = std::move(packed);
+    std::vector<float> flat = formats::unpack(*p.packed);
+    MX_CHECK_ARG(static_cast<std::int64_t>(flat.size()) == rows * cols,
+                 "FrozenTensor: packed stream decodes "
+                     << flat.size() << " elements, expected "
+                     << rows * cols);
+    p.values = Tensor({rows, cols});
+    std::copy(flat.begin(), flat.end(), p.values.data());
+    return f;
+}
+
 void
 FrozenTensor::drop_values()
 {
@@ -141,7 +206,11 @@ FrozenTensor::drop_values()
 double
 FrozenTensor::bits_per_element() const
 {
-    return p_->packed.has_value() ? p_->packed->bits_per_element() : 32.0;
+    const std::size_t bits = packed_bit_size();
+    if (bits == 0)
+        return 32.0;
+    return static_cast<double>(bits) /
+           static_cast<double>(p_->rows * p_->cols);
 }
 
 Tensor
@@ -149,11 +218,11 @@ FrozenTensor::unpacked() const
 {
     MX_CHECK_ARG(valid(), "FrozenTensor: unpacked() before build()");
     const Payload& p = *p_;
-    if (!p.packed.has_value())
+    if (!p.packed.has_value() && p.view.empty())
         return p.values;
     Tensor out({p.rows, p.cols});
     if (p.plan.has_value()) {
-        unpack_rows_pow2(*p.packed, *p.plan, p.rows, p.cols, out);
+        unpack_rows_pow2(packed_bytes(), *p.plan, p.rows, p.cols, out);
         return out;
     }
     std::vector<float> flat = formats::unpack(*p.packed);

@@ -32,8 +32,11 @@
  * snapshot could never reproduce the per-call result.
  */
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "core/bdr_format.h"
 #include "core/kernels/quant_kernel.h"
@@ -67,6 +70,36 @@ class FrozenTensor
                               core::RoundingMode rounding =
                                   core::RoundingMode::NearestEven);
 
+    /**
+     * Rehydrate a snapshot from an existing packed bit stream — the
+     * artifact-load half of the freeze/serve split (artifact/reader.h).
+     *
+     * For the pow2 block family (MX/BFP) the payload keeps @p bytes as
+     * a *non-owning view*: no copy of the stream is made, so handles
+     * materialized from a read-only mmap point straight into the
+     * mapping, and N models loaded from one artifact share that single
+     * mapping.  @p keepalive pins the backing storage (the mapping) for
+     * the payload's lifetime.  Software-scaled formats fall back to an
+     * owned copy (their only execution form is decoded values).
+     *
+     * @param fmt        the stream's format (must round-trip the layout
+     *                   the stream was packed under)
+     * @param bytes      the packed stream, rows * row_bits each row
+     * @param bit_size   exact payload bits (trailing pad bits excluded)
+     * @param rows,cols  snapshot shape
+     * @param keepalive  shared handle keeping @p bytes alive
+     * @param materialize_values  decode the FP32 grid tensor eagerly;
+     *                   pass false for packed-GEMM-only serving (the
+     *                   drop_values() memory shape from the start).
+     *                   Forced on when the format has no gemm view.
+     */
+    static FrozenTensor from_packed(const core::BdrFormat& fmt,
+                                    std::span<const std::uint8_t> bytes,
+                                    std::size_t bit_size,
+                                    std::int64_t rows, std::int64_t cols,
+                                    std::shared_ptr<const void> keepalive,
+                                    bool materialize_values = true);
+
     /** True once build() has run. */
     bool valid() const { return p_->built; }
 
@@ -85,11 +118,37 @@ class FrozenTensor
     }
 
     /** The packed bit stream a native stack would store (engaged for
-     *  every quantized snapshot; row-aware for ragged widths). */
+     *  every quantized snapshot *owned* by this payload; a
+     *  from_packed() view payload leaves it empty — use packed_bytes()
+     *  for the mode-agnostic stream). */
     const std::optional<formats::PackedTensor>& packed() const
     {
         return p_->packed;
     }
+
+    /** The packed stream bytes regardless of payload mode: the owned
+     *  vector (build()) or the non-owning view into the artifact
+     *  mapping (from_packed()).  Empty when not quantized. */
+    std::span<const std::uint8_t> packed_bytes() const
+    {
+        if (!p_->view.empty())
+            return p_->view;
+        if (p_->packed.has_value())
+            return std::span<const std::uint8_t>(p_->packed->bytes);
+        return {};
+    }
+
+    /** Exact stream bits behind packed_bytes() (0 when not quantized). */
+    std::size_t packed_bit_size() const
+    {
+        if (!p_->view.empty())
+            return p_->view_bits;
+        return p_->packed.has_value() ? p_->packed->bit_size : 0;
+    }
+
+    /** True when the payload is a non-owning view into external
+     *  storage (an mmap'd artifact) rather than an owned stream. */
+    bool zero_copy() const { return !p_->view.empty(); }
 
     /** The kernel plan (engaged for the pow2 block family only). */
     const std::optional<core::kernels::QuantPlan>& plan() const
@@ -152,6 +211,11 @@ class FrozenTensor
         std::optional<formats::PackedTensor> packed;
         std::optional<core::kernels::QuantPlan> plan;
         std::optional<gemm::PackedOperand> operand;
+        /** from_packed() mode: the stream lives in external storage
+         *  (artifact mmap) pinned by `backing`; `packed` stays empty. */
+        std::span<const std::uint8_t> view;
+        std::size_t view_bits = 0;
+        std::shared_ptr<const void> backing;
         std::int64_t rows = 0, cols = 0;
         bool built = false;
     };

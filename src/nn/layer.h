@@ -12,15 +12,18 @@
  * into individual tensor contractions.
  */
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/bdr_format.h"
 #include "tensor/tensor.h"
 
 namespace mx {
 namespace nn {
 
-struct QuantSpec; // nn/quant.h
+struct QuantSpec;   // nn/quant.h
+class FrozenTensor; // nn/frozen.h
 
 /** A trainable parameter: value plus accumulated gradient. */
 struct Param
@@ -37,6 +40,36 @@ struct Param
 
     /** Clear the accumulated gradient. */
     void zero_grad() { grad.fill(0.0f); }
+};
+
+/**
+ * A non-owning reference to one serializable state slot of a layer: the
+ * parameter plus (when the layer freezes that parameter) the frozen
+ * snapshot, quantization-policy, and freeze-flag slots that restoring
+ * the layer from an artifact must fill.  Collected by
+ * Layer::collect_state in a stable, position-significant order — the
+ * artifact writer (artifact/writer.h) emits entries in this order and
+ * the reader loads them back positionally.
+ *
+ * Slot semantics (null = the layer has no such slot):
+ *  - param          always set; the FP32 parameter tensor
+ *  - frozen         the layer's FrozenTensor for this parameter; the
+ *                   reader installs a rehydrated handle here
+ *  - spec           the layer's QuantSpec; saved per entry so
+ *                   mixed-precision recipes (keep-first/last-FP32)
+ *                   survive the round trip
+ *  - storage_format independent storage format slot (Embedding)
+ *  - frozen_flag    layers whose frozen() is a bare flag with no
+ *                   snapshot (LayerNorm, Embedding)
+ */
+struct FrozenStateRef
+{
+    std::string name;
+    Param* param = nullptr;
+    FrozenTensor* frozen = nullptr;
+    QuantSpec* spec = nullptr;
+    std::optional<core::BdrFormat>* storage_format = nullptr;
+    bool* frozen_flag = nullptr;
 };
 
 /** Base class of all layers. */
@@ -61,6 +94,29 @@ class Layer
 
     /** Append non-owning pointers to this layer's parameters. */
     virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+    /**
+     * Append this layer's serializable state slots, names prefixed with
+     * @p prefix, in a stable order (the artifact save/load contract —
+     * see FrozenStateRef).  The default wraps collect_params: every
+     * parameter becomes a raw slot with no frozen/spec attachments,
+     * which is exactly right for layers whose freeze() snapshots
+     * nothing.  Parameter-freezing layers override to attach their
+     * FrozenTensor/QuantSpec slots.
+     */
+    virtual void
+    collect_state(const std::string& prefix,
+                  std::vector<FrozenStateRef>& out)
+    {
+        std::vector<Param*> ps;
+        collect_params(ps);
+        for (Param* p : ps) {
+            FrozenStateRef r;
+            r.name = prefix + p->name;
+            r.param = p;
+            out.push_back(r);
+        }
+    }
 
     /**
      * Freeze for inference under the layer's *current* quantization

@@ -29,6 +29,22 @@ class LayerNorm : public Layer
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<Param*>& out) override;
 
+    /** The gamma entry carries the freeze flag (no snapshot to save). */
+    void
+    collect_state(const std::string& prefix,
+                  std::vector<FrozenStateRef>& out) override
+    {
+        FrozenStateRef g;
+        g.name = prefix + gamma_.name;
+        g.param = &gamma_;
+        g.frozen_flag = &frozen_;
+        out.push_back(g);
+        FrozenStateRef b;
+        b.name = prefix + beta_.name;
+        b.param = &beta_;
+        out.push_back(b);
+    }
+
     /** LayerNorm is element-wise (never MX-quantized), so freezing
      *  only marks the layer inference-only: no snapshot to build, but
      *  train-mode forwards are rejected like every frozen layer. */

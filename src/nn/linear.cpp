@@ -161,5 +161,23 @@ Linear::collect_params(std::vector<Param*>& out)
         out.push_back(&bias_);
 }
 
+void
+Linear::collect_state(const std::string& prefix,
+                      std::vector<FrozenStateRef>& out)
+{
+    FrozenStateRef w;
+    w.name = prefix + weight_.name;
+    w.param = &weight_;
+    w.frozen = &frozen_weight_;
+    w.spec = &spec_;
+    out.push_back(w);
+    if (with_bias_) {
+        FrozenStateRef b;
+        b.name = prefix + bias_.name;
+        b.param = &bias_;
+        out.push_back(b);
+    }
+}
+
 } // namespace nn
 } // namespace mx

@@ -36,6 +36,8 @@ class Linear : public Layer
     tensor::Tensor forward(const tensor::Tensor& x, bool train) override;
     tensor::Tensor backward(const tensor::Tensor& grad_out) override;
     void collect_params(std::vector<Param*>& out) override;
+    void collect_state(const std::string& prefix,
+                       std::vector<FrozenStateRef>& out) override;
 
     /** Snapshot Q(W) under the current spec's weight format. */
     void freeze() override;
@@ -62,6 +64,10 @@ class Linear : public Layer
     Param& weight() { return weight_; }
     /** Bias parameter [out] (valid only when constructed with bias). */
     Param& bias() { return bias_; }
+
+    /** Feature dimensions (artifact config round-trips need them). */
+    std::int64_t in_features() const { return in_; }
+    std::int64_t out_features() const { return out_; }
 
   private:
     /** True when the frozen snapshot and the current activation format

@@ -70,6 +70,30 @@ class Lstm
 
     void collect_params(std::vector<Param*>& out);
 
+    /** Serializable state in artifact order (Lstm is not a Layer, so
+     *  this mirrors Layer::collect_state by convention). */
+    void
+    collect_state(const std::string& prefix,
+                  std::vector<FrozenStateRef>& out)
+    {
+        FrozenStateRef ih;
+        ih.name = prefix + w_ih_.name;
+        ih.param = &w_ih_;
+        ih.frozen = &frozen_w_ih_;
+        ih.spec = &spec_;
+        out.push_back(ih);
+        FrozenStateRef hh;
+        hh.name = prefix + w_hh_.name;
+        hh.param = &w_hh_;
+        hh.frozen = &frozen_w_hh_;
+        hh.spec = &spec_;
+        out.push_back(hh);
+        FrozenStateRef b;
+        b.name = prefix + bias_.name;
+        b.param = &bias_;
+        out.push_back(b);
+    }
+
     /** Snapshot Q(W_ih) and Q(W_hh) under the weight format so every
      *  timestep of every frozen forward reuses them. */
     void freeze();

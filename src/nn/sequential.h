@@ -63,6 +63,17 @@ class Sequential : public Layer
             l->collect_params(out);
     }
 
+    /** Recurse with positional "<i>." prefixes so two models built from
+     *  the same recipe collect identically-named state. */
+    void
+    collect_state(const std::string& prefix,
+                  std::vector<FrozenStateRef>& out) override
+    {
+        for (std::size_t i = 0; i < layers_.size(); ++i)
+            layers_[i]->collect_state(
+                prefix + std::to_string(i) + ".", out);
+    }
+
     /** Freeze every layer under its own current spec (preserves
      *  mixed-precision recipes like keep-first/last-FP32). */
     void

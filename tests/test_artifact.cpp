@@ -1,0 +1,711 @@
+/**
+ * @file
+ * MXFROZEN artifact format battery.
+ *
+ * Three layers of defense for the freeze-once / mmap-serve-anywhere
+ * split (src/artifact/):
+ *
+ *  1. Round-trip property: every model family (and through them every
+ *     layer type), across MX9/MX6/MX4, both kernel dispatch legs and
+ *     both serving paths, forwards bit-identically after
+ *     freeze -> save -> mmap-load — including ragged row widths, the
+ *     Table IV weight/activation split specs, the mixed-precision
+ *     keep-edges-FP32 recipe, and values-dropped (packed-GEMM-only)
+ *     loads.
+ *
+ *  2. Corruption matrix: every distinct way a file can be bad —
+ *     truncation, bad magic, unknown version, a flipped bit in each
+ *     checksummed section, out-of-range offsets, malformed manifest
+ *     fields, a smuggled stochastic plan — raises its own typed error
+ *     from the format.h taxonomy, before any payload is interpreted.
+ *
+ *  3. Golden artifact: a version-1 file committed under tests/data/
+ *     must keep decoding bit-exactly, and today's writer must keep
+ *     producing those exact bytes — the format-stability pin.  Any
+ *     intentional layout change bumps kVersion, regenerates the golden
+ *     (MX_REGEN_GOLDEN=1), and keeps the old reader rejecting the new
+ *     generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "artifact/format.h"
+#include "artifact/reader.h"
+#include "artifact/writer.h"
+#include "core/kernels/dispatch.h"
+#include "gemm/packed_gemm.h"
+#include "models/dlrm_mini.h"
+#include "models/lstm_seq2seq.h"
+#include "models/mlp.h"
+#include "models/resnet_mini.h"
+#include "models/serve_adapters.h"
+#include "models/transformer.h"
+#include "nn/frozen.h"
+#include "nn/linear.h"
+#include "serve/engine.h"
+#include "stats/rng.h"
+
+using namespace mx;
+using namespace mx::artifact;
+using tensor::Tensor;
+
+namespace {
+
+/** Run @p body once per kernel dispatch leg, restoring the default. */
+template <typename Fn>
+void
+for_each_dispatch(Fn&& body)
+{
+    for (int leg = 0; leg < 2; ++leg) {
+        core::kernels::set_force_scalar(leg == 1);
+        body(leg == 1 ? "scalar" : "default");
+    }
+    core::kernels::set_force_scalar(false);
+}
+
+std::vector<core::BdrFormat>
+mx_formats()
+{
+    return {core::mx9(), core::mx6(), core::mx4()};
+}
+
+std::string
+tmp_path(const std::string& name)
+{
+    return ::testing::TempDir() + "mx_artifact_" + name;
+}
+
+std::vector<std::uint8_t>
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+spit(const std::string& path, const std::vector<std::uint8_t>& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+std::uint64_t
+get_u64(const std::vector<std::uint8_t>& b, std::size_t off)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | b[off + static_cast<std::size_t>(i)];
+    return v;
+}
+
+void
+put_u32(std::vector<std::uint8_t>& b, std::size_t off, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b[off + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+put_u64(std::vector<std::uint8_t>& b, std::size_t off, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        b[off + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/** Recompute header_crc (bytes 72..75, computed with the field zeroed)
+ *  after a deliberate header patch. */
+void
+refix_header_crc(std::vector<std::uint8_t>& b)
+{
+    put_u32(b, 72, 0);
+    put_u32(b, 72, crc32(b.data(), kHeaderSize));
+}
+
+/** Recompute the config/manifest section CRCs from the (patched) bytes
+ *  and then the header CRC — used to push a corruption PAST the
+ *  checksum layer so the deeper typed checks are reachable. */
+void
+refix_all_crcs(std::vector<std::uint8_t>& b)
+{
+    const std::uint64_t coff = get_u64(b, 24), csz = get_u64(b, 32);
+    const std::uint64_t moff = get_u64(b, 40), msz = get_u64(b, 48);
+    put_u32(b, 64, crc32(b.data() + coff, csz));
+    put_u32(b, 68, crc32(b.data() + moff, msz));
+    refix_header_crc(b);
+}
+
+/** A small frozen-MX6 MLP with a ragged (19-wide) input, saved to
+ *  @p name; returns the artifact path. */
+std::string
+write_mlp_artifact(const std::string& name)
+{
+    models::MlpClassifier mlp(19, {16}, 4,
+                              nn::QuantSpec::forward_only(core::mx6()),
+                              51);
+    mlp.freeze();
+    const std::string path = tmp_path(name);
+    mlp.save_frozen(path);
+    return path;
+}
+
+Tensor
+fixed_input(std::int64_t n, std::int64_t dim)
+{
+    Tensor x({n, dim});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x.data()[i] =
+            0.25f * static_cast<float>((i * 7) % 13) - 1.5f;
+    return x;
+}
+
+data::SequenceBatch
+token_batch(int n, int seq_len, int vocab, std::uint64_t seed)
+{
+    data::SequenceBatch batch;
+    batch.n = n;
+    batch.seq_len = seq_len;
+    stats::Rng rng(seed);
+    for (int i = 0; i < n * seq_len; ++i) {
+        batch.tokens.push_back(
+            static_cast<int>(rng.next_u64() % vocab));
+        batch.labels.push_back(
+            static_cast<int>(rng.next_u64() % vocab));
+    }
+    return batch;
+}
+
+} // namespace
+
+// =====================================================================
+// 1. Round-trip property: freeze -> save -> mmap-load -> bit-identical.
+// =====================================================================
+
+TEST(ArtifactRoundTrip, MlpAllFormatsBothLegsBothServePaths)
+{
+    // The serving-path axis (packed GEMM vs dequantized values) and the
+    // kernel dispatch axis are both covered: whatever path executes,
+    // the original frozen model and its loaded twin hold the same bit
+    // streams, so they must agree exactly.
+    for (gemm::Mode mode : {gemm::Mode::Off, gemm::Mode::Auto}) {
+        gemm::set_mode(mode);
+        for_each_dispatch([&](const char* leg) {
+            for (const auto& fmt : mx_formats()) {
+                models::MlpClassifier mlp(
+                    19, {24, 16}, 4, nn::QuantSpec::forward_only(fmt),
+                    61);
+                mlp.freeze();
+                const std::string path = tmp_path("rt_mlp");
+                mlp.save_frozen(path);
+
+                models::MlpClassifier loaded =
+                    models::MlpClassifier::load_frozen(path);
+                ASSERT_TRUE(loaded.frozen());
+                Tensor x = fixed_input(5, 19);
+                EXPECT_EQ(tensor::max_abs_diff(mlp.logits(x, false),
+                                               loaded.logits(x, false)),
+                          0.0)
+                    << fmt.name << " leg=" << leg
+                    << " mode=" << static_cast<int>(mode);
+                // Loaded models are serve-only.
+                EXPECT_THROW(loaded.logits(x, true), ArgumentError);
+            }
+        });
+    }
+    gemm::set_mode(gemm::Mode::Auto);
+}
+
+TEST(ArtifactRoundTrip, SplitSpecAndMixedPrecisionSurviveTheFile)
+{
+    for_each_dispatch([&](const char* leg) {
+        // Table IV (w, a) split: weights MX4, activations MX9.
+        {
+            models::MlpClassifier mlp(
+                32, {16}, 4,
+                nn::QuantSpec::weights_activations(core::mx4(),
+                                                   core::mx9()),
+                62);
+            mlp.freeze();
+            const std::string path = tmp_path("rt_split");
+            mlp.save_frozen(path);
+            ArtifactReader reader(path);
+            EXPECT_EQ(reader.entries()[0].format->name, "MX4");
+            models::MlpClassifier loaded =
+                models::MlpClassifier::load_frozen(reader);
+            Tensor x = fixed_input(4, 32);
+            EXPECT_EQ(tensor::max_abs_diff(mlp.logits(x, false),
+                                           loaded.logits(x, false)),
+                      0.0)
+                << leg;
+        }
+        // Mixed-precision recipe: edge layers frozen as FP32
+        // passthrough snapshots, stored RawF32 + Snapshot and rebuilt
+        // at load.
+        {
+            models::MlpClassifier mlp(16, {24}, 4,
+                                      nn::QuantSpec::fp32(), 63);
+            mlp.set_spec(nn::QuantSpec::forward_only(core::mx4()),
+                         /*keep_first_last_fp32=*/true);
+            mlp.freeze();
+            const std::string path = tmp_path("rt_mixed");
+            mlp.save_frozen(path);
+            ArtifactReader reader(path);
+            EXPECT_EQ(reader.entries()[0].kind, EntryKind::RawF32);
+            EXPECT_EQ(reader.entries()[0].frozen, FrozenState::Snapshot);
+            models::MlpClassifier loaded =
+                models::MlpClassifier::load_frozen(reader);
+            Tensor x = fixed_input(3, 16);
+            EXPECT_EQ(tensor::max_abs_diff(mlp.logits(x, false),
+                                           loaded.logits(x, false)),
+                      0.0)
+                << leg;
+        }
+    });
+}
+
+TEST(ArtifactRoundTrip, LinearDropValuesServesFromTheStreamAlone)
+{
+    // materialize_values = false: the loaded layer holds only the
+    // mapped stream + execution view (the drop_values() memory shape),
+    // and MX_GEMM=auto routes its matmul through the packed domain
+    // because the grid values are gone.  Both sides then execute the
+    // identical packed kernel contract -> bit-identical on every leg.
+    gemm::set_mode(gemm::Mode::Auto);
+    for_each_dispatch([&](const char* leg) {
+        for (const auto& fmt : mx_formats()) {
+            stats::Rng rng(64);
+            nn::Linear layer(19, 8, nn::QuantSpec::forward_only(fmt),
+                             rng);
+            layer.freeze();
+
+            ArtifactWriter w(ModelFamily::Mlp, {});
+            std::vector<nn::FrozenStateRef> refs;
+            layer.collect_state("", refs);
+            w.add_all(refs);
+            const std::string path = tmp_path("rt_drop");
+            w.write(path);
+
+            // Original drops its FP32 grid -> packed-GEMM-only.
+            layer.drop_frozen_values();
+
+            stats::Rng rng2(99);
+            nn::Linear loaded(19, 8, nn::QuantSpec::fp32(), rng2);
+            std::vector<nn::FrozenStateRef> slots;
+            loaded.collect_state("", slots);
+            ArtifactReader reader(path);
+            reader.load_into(slots, LoadOptions{false});
+            ASSERT_TRUE(loaded.frozen());
+            EXPECT_EQ(loaded.frozen_weight().values().numel(), 0);
+
+            Tensor x = fixed_input(4, 19);
+            EXPECT_EQ(tensor::max_abs_diff(layer.forward(x, false),
+                                           loaded.forward(x, false)),
+                      0.0)
+                << fmt.name << " leg=" << leg;
+        }
+    });
+}
+
+TEST(ArtifactRoundTrip, ResNetConvStackBothLegs)
+{
+    for_each_dispatch([&](const char* leg) {
+        models::ResNetMini net(
+            8, 4, 3, nn::QuantSpec::forward_only(core::mx6()), 65);
+        net.freeze();
+        const std::string path = tmp_path("rt_resnet");
+        net.save_frozen(path);
+        models::ResNetMini loaded = models::ResNetMini::load_frozen(path);
+        ASSERT_TRUE(loaded.frozen());
+        stats::Rng rng(66);
+        Tensor imgs = Tensor::randn({2, 1, 8, 8}, rng);
+        EXPECT_EQ(tensor::max_abs_diff(net.logits(imgs, false),
+                                       loaded.logits(imgs, false)),
+                  0.0)
+            << leg;
+    });
+}
+
+TEST(ArtifactRoundTrip, GptZeroCopyReplicasShareOneMapping)
+{
+    models::TransformerConfig cfg;
+    cfg.vocab = 16;
+    cfg.d_model = 32;
+    cfg.heads = 2;
+    cfg.layers = 1;
+    cfg.seq_len = 8;
+    cfg.spec = nn::QuantSpec::forward_only(core::mx9());
+    models::GptMini model(cfg);
+    model.freeze();
+    const std::string path = tmp_path("rt_gpt");
+    model.save_frozen(path);
+
+    ArtifactReader reader(path);
+    EXPECT_EQ(reader.family(), ModelFamily::Gpt);
+    EXPECT_EQ(reader.version(), kVersion);
+
+    // Pow2 packed entries view the mapping directly — no copies.
+    std::size_t packed = 0;
+    for (std::size_t i = 0; i < reader.entry_count(); ++i)
+        if (reader.entries()[i].kind == EntryKind::PackedPow2) {
+            ++packed;
+            EXPECT_EQ(reader.frozen(i).zero_copy(), reader.mmapped())
+                << reader.entries()[i].name;
+        }
+    EXPECT_GT(packed, 0u);
+
+    // Two replicas from ONE reader share the cached handles (and so
+    // the single mapping): shares_payload_with holds slot for slot.
+    models::GptMini a = models::GptMini::load_frozen(reader);
+    models::GptMini b = models::GptMini::load_frozen(reader);
+    std::vector<nn::FrozenStateRef> ra, rb;
+    a.collect_state("", ra);
+    b.collect_state("", rb);
+    ASSERT_EQ(ra.size(), rb.size());
+    std::size_t shared = 0;
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        if (ra[i].frozen != nullptr && ra[i].frozen->valid() &&
+            ra[i].frozen->quantized()) {
+            EXPECT_TRUE(ra[i].frozen->shares_payload_with(*rb[i].frozen))
+                << ra[i].name;
+            ++shared;
+        }
+    EXPECT_EQ(shared, packed);
+
+    // And both serve bit-identically to the original frozen model
+    // through a replicated engine (one replica per loaded model).
+    for_each_dispatch([&](const char* leg) {
+        data::SequenceBatch batch = token_batch(2, cfg.seq_len,
+                                                cfg.vocab, 67);
+        Tensor expect = model.logits(batch, false);
+        EXPECT_EQ(tensor::max_abs_diff(expect, a.logits(batch, false)),
+                  0.0)
+            << leg;
+        EXPECT_EQ(tensor::max_abs_diff(expect, b.logits(batch, false)),
+                  0.0)
+            << leg;
+    });
+
+    std::vector<models::GptMini*> replicas = {&a, &b};
+    serve::EngineConfig ecfg;
+    ecfg.replicas = 2;
+    ecfg.max_batch = 2;
+    serve::InferenceEngine engine(
+        [&replicas](std::size_t r) -> serve::InferenceEngine::BatchFn {
+            models::GptMini* m = replicas[r % replicas.size()];
+            return [m](const Tensor& rows) {
+                return m->window_logits(rows);
+            };
+        },
+        cfg.seq_len, ecfg);
+
+    std::vector<int> tokens(static_cast<std::size_t>(cfg.seq_len));
+    for (std::size_t i = 0; i < tokens.size(); ++i)
+        tokens[i] = static_cast<int>(i) % cfg.vocab;
+    const std::vector<float> row =
+        models::GptMini::pack_decode_row(tokens, cfg.seq_len);
+    Tensor window({1, cfg.seq_len});
+    std::copy(row.begin(), row.end(), window.data());
+    Tensor direct = model.window_logits(window);
+    std::vector<std::future<serve::Reply>> futures;
+    for (int r = 0; r < 6; ++r)
+        futures.push_back(engine.submit(row));
+    for (auto& f : futures) {
+        serve::Reply reply = f.get();
+        ASSERT_EQ(reply.output.size(),
+                  static_cast<std::size_t>(cfg.vocab));
+        for (std::int64_t j = 0; j < cfg.vocab; ++j)
+            EXPECT_EQ(reply.output[static_cast<std::size_t>(j)],
+                      direct.data()[j]);
+    }
+}
+
+TEST(ArtifactRoundTrip, BertBothHeads)
+{
+    models::TransformerConfig cfg;
+    cfg.vocab = 16;
+    cfg.d_model = 32;
+    cfg.heads = 2;
+    cfg.layers = 1;
+    cfg.seq_len = 8;
+    cfg.spec = nn::QuantSpec::forward_only(core::mx6());
+    models::BertMini model(cfg, 3);
+    model.freeze();
+    const std::string path = tmp_path("rt_bert");
+    model.save_frozen(path);
+    models::BertMini loaded = models::BertMini::load_frozen(path);
+    ASSERT_TRUE(loaded.frozen());
+    data::SequenceBatch batch = token_batch(2, cfg.seq_len, cfg.vocab, 68);
+    EXPECT_EQ(tensor::max_abs_diff(model.class_logits(batch, false),
+                                   loaded.class_logits(batch, false)),
+              0.0);
+    EXPECT_EQ(tensor::max_abs_diff(model.qa_logits(batch, false),
+                                   loaded.qa_logits(batch, false)),
+              0.0);
+}
+
+TEST(ArtifactRoundTrip, DlrmPackedEmbeddingTables)
+{
+    models::DlrmConfig cfg;
+    cfg.num_tables = 3;
+    cfg.vocab_per_table = 8;
+    cfg.embed_dim = 8;
+    cfg.dense_dim = 4;
+    cfg.bottom_hidden = {8};
+    cfg.top_hidden = {8};
+    cfg.spec = nn::QuantSpec::forward_only(core::mx6());
+    cfg.embedding_storage = core::mx6();
+    models::DlrmMini model(cfg);
+    model.freeze();
+    const std::string path = tmp_path("rt_dlrm");
+    model.save_frozen(path);
+
+    ArtifactReader reader(path);
+    // The quantized tables travel as packed streams, not FP32 copies.
+    EXPECT_EQ(reader.entries()[0].kind, EntryKind::PackedPow2);
+    models::DlrmMini loaded = models::DlrmMini::load_frozen(reader);
+    ASSERT_TRUE(loaded.frozen());
+    EXPECT_TRUE(loaded.config().embedding_storage.has_value());
+
+    data::ClickBatch batch;
+    batch.n = 4;
+    stats::Rng rng(69);
+    batch.dense = Tensor::randn({batch.n, cfg.dense_dim}, rng);
+    for (int i = 0; i < batch.n * cfg.num_tables; ++i)
+        batch.categorical.push_back(
+            static_cast<int>(rng.next_u64() % cfg.vocab_per_table));
+    batch.labels = {0, 1, 1, 0};
+    std::vector<double> expect = model.predict(batch);
+    std::vector<double> got = loaded.predict(batch);
+    ASSERT_EQ(expect.size(), got.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(expect[i], got[i]);
+}
+
+TEST(ArtifactRoundTrip, Seq2SeqEvalLossAndGreedyDecode)
+{
+    models::Seq2SeqConfig cfg;
+    cfg.vocab = 12;
+    cfg.embed_dim = 8;
+    cfg.hidden_dim = 12;
+    cfg.seq_len = 6;
+    cfg.spec = nn::QuantSpec::forward_only(core::mx9());
+    models::LstmSeq2Seq model(cfg);
+    model.freeze();
+    const std::string path = tmp_path("rt_s2s");
+    model.save_frozen(path);
+    models::LstmSeq2Seq loaded = models::LstmSeq2Seq::load_frozen(path);
+    ASSERT_TRUE(loaded.frozen());
+    data::SequenceBatch batch = token_batch(2, cfg.seq_len, cfg.vocab, 70);
+    EXPECT_EQ(model.eval_loss(batch), loaded.eval_loss(batch));
+    EXPECT_EQ(model.decode(batch.row(0)), loaded.decode(batch.row(0)));
+}
+
+// =====================================================================
+// 2. Corruption matrix: each failure mode -> its own typed error.
+// =====================================================================
+
+TEST(ArtifactCorruption, TruncatedBeforeAndAfterTheHeader)
+{
+    const std::string path = write_mlp_artifact("c_trunc");
+    std::vector<std::uint8_t> good = slurp(path);
+
+    std::vector<std::uint8_t> shorter(good.begin(), good.begin() + 40);
+    spit(path, shorter);
+    EXPECT_THROW(ArtifactReader r(path), TruncatedError);
+
+    std::vector<std::uint8_t> clipped(good.begin(), good.end() - 1);
+    spit(path, clipped);
+    EXPECT_THROW(ArtifactReader r(path), TruncatedError);
+}
+
+TEST(ArtifactCorruption, WrongMagicIsNotAnArtifact)
+{
+    const std::string path = write_mlp_artifact("c_magic");
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes[0] ^= 0xFF;
+    spit(path, bytes);
+    EXPECT_THROW(ArtifactReader r(path), BadMagicError);
+}
+
+TEST(ArtifactCorruption, UnknownVersionRejectedBeforeChecksums)
+{
+    const std::string path = write_mlp_artifact("c_ver");
+    std::vector<std::uint8_t> bytes = slurp(path);
+    // Deliberately do NOT refix the header CRC: the version gate must
+    // fire first, so a future generation reads as "unsupported
+    // version", never as "corrupt".
+    put_u32(bytes, 8, kVersion + 7);
+    spit(path, bytes);
+    EXPECT_THROW(ArtifactReader r(path), UnsupportedVersionError);
+}
+
+TEST(ArtifactCorruption, FlippedBitInEachChecksummedSection)
+{
+    const std::string path = write_mlp_artifact("c_flip");
+    const std::vector<std::uint8_t> good = slurp(path);
+    const std::uint64_t coff = get_u64(good, 24);
+    const std::uint64_t moff = get_u64(good, 40);
+
+    // Header field (entry_count), config byte, manifest byte, payload
+    // byte (the file's last byte lies inside the last payload).
+    const std::size_t spots[] = {20, static_cast<std::size_t>(coff),
+                                 static_cast<std::size_t>(moff),
+                                 good.size() - 1};
+    for (std::size_t spot : spots) {
+        std::vector<std::uint8_t> bytes = good;
+        bytes[spot] ^= 0x40;
+        spit(path, bytes);
+        EXPECT_THROW(ArtifactReader r(path), ChecksumError)
+            << "flipped byte " << spot;
+    }
+}
+
+TEST(ArtifactCorruption, SectionOffsetOutOfRange)
+{
+    const std::string path = write_mlp_artifact("c_range");
+    std::vector<std::uint8_t> bytes = slurp(path);
+    put_u64(bytes, 40, bytes.size() + 64); // manifest offset past EOF
+    refix_header_crc(bytes);               // checksum layer passes
+    spit(path, bytes);
+    EXPECT_THROW(ArtifactReader r(path), RangeError);
+}
+
+TEST(ArtifactCorruption, PayloadOffsetOutOfRange)
+{
+    const std::string path = write_mlp_artifact("c_prange");
+    std::vector<std::uint8_t> bytes = slurp(path);
+
+    // Entry 0's fixed-width tail is offset|size|bits (u64 each) + crc
+    // (u32); locate it by re-serializing the parsed entry.
+    ArtifactReader good(path);
+    ByteWriter entry0;
+    write_entry(entry0, good.entries()[0]);
+    const std::uint64_t moff = get_u64(bytes, 40);
+    const std::size_t field =
+        static_cast<std::size_t>(moff) + entry0.data().size() - 28;
+    ASSERT_EQ(get_u64(bytes, field), good.entries()[0].payload_offset);
+
+    put_u64(bytes, field, bytes.size()); // offset+size reaches past EOF
+    refix_all_crcs(bytes);               // corruption survives checksums
+    spit(path, bytes);
+    EXPECT_THROW(ArtifactReader r(path), RangeError);
+}
+
+TEST(ArtifactCorruption, ManifestEnumAndPlanGates)
+{
+    const std::string path = write_mlp_artifact("c_schema");
+    const std::vector<std::uint8_t> good = slurp(path);
+    const std::uint64_t moff = get_u64(good, 40);
+    // Entry record: u32 name_len | name | u8 kind | u8 frozen |
+    // u8 has_spec | u8 rounding | ...
+    const std::uint64_t name_len = get_u64(good, moff) & 0xFFFFFFFFu;
+    const std::size_t kind_at =
+        static_cast<std::size_t>(moff + 4 + name_len);
+
+    // Unknown EntryKind code -> SchemaError (CRCs all pass).
+    {
+        std::vector<std::uint8_t> bytes = good;
+        bytes[kind_at] = 9;
+        refix_all_crcs(bytes);
+        spit(path, bytes);
+        EXPECT_THROW(ArtifactReader r(path), SchemaError);
+    }
+
+    // A hand-crafted stochastic rounding plan -> UnsupportedPlanError:
+    // the load half of the freeze-time rejection (format.h invariant).
+    {
+        std::vector<std::uint8_t> bytes = good;
+        bytes[kind_at + 3] =
+            static_cast<std::uint8_t>(core::RoundingMode::Stochastic);
+        refix_all_crcs(bytes);
+        spit(path, bytes);
+        EXPECT_THROW(ArtifactReader r(path), UnsupportedPlanError);
+    }
+}
+
+TEST(ArtifactCorruption, WrongFamilyAndWrongArchitecture)
+{
+    const std::string path = write_mlp_artifact("c_family");
+    // An MLP artifact is not a GPT artifact...
+    EXPECT_THROW(models::GptMini::load_frozen(path), SchemaError);
+
+    // ...and an MLP with a different layer stack collects a different
+    // slot count than the file holds.
+    ArtifactReader reader(path);
+    models::MlpClassifier other(19, {16, 8}, 4, nn::QuantSpec::fp32(),
+                                51);
+    std::vector<nn::FrozenStateRef> refs;
+    other.collect_state("", refs);
+    EXPECT_THROW(reader.load_into(refs), SchemaError);
+}
+
+TEST(ArtifactCorruption, MissingFileIsAnIoError)
+{
+    EXPECT_THROW(ArtifactReader r(tmp_path("does_not_exist")),
+                 ArtifactIoError);
+}
+
+// =====================================================================
+// 3. Golden artifact: the version-1 bytes are pinned forever.
+// =====================================================================
+
+namespace {
+
+/** The exact model the committed golden artifact froze. */
+models::MlpClassifier
+golden_model()
+{
+    models::MlpClassifier mlp(12, {8}, 3,
+                              nn::QuantSpec::forward_only(core::mx6()),
+                              77);
+    mlp.freeze();
+    return mlp;
+}
+
+std::string
+golden_path()
+{
+    return std::string(MX_TEST_DATA_DIR) + "/golden_mlp_mx6.mxfrozen";
+}
+
+} // namespace
+
+TEST(GoldenArtifact, DecodesBitExactly)
+{
+    // Regeneration escape hatch for INTENTIONAL format changes:
+    //   MX_REGEN_GOLDEN=1 ./test_artifact
+    //       --gtest_filter=GoldenArtifact.DecodesBitExactly
+    if (std::getenv("MX_REGEN_GOLDEN") != nullptr)
+        golden_model().save_frozen(golden_path());
+
+    models::MlpClassifier loaded =
+        models::MlpClassifier::load_frozen(golden_path());
+    ASSERT_TRUE(loaded.frozen());
+    models::MlpClassifier expect = golden_model();
+    Tensor x = fixed_input(4, 12);
+    EXPECT_EQ(tensor::max_abs_diff(expect.logits(x, false),
+                                   loaded.logits(x, false)),
+              0.0);
+}
+
+TEST(GoldenArtifact, WriterStillProducesTheExactBytes)
+{
+    // Byte-for-byte writer stability: any layout drift fails here and
+    // must come with a kVersion bump + golden regeneration.
+    models::MlpClassifier mlp = golden_model();
+    const std::string path = tmp_path("golden_rewrite");
+    mlp.save_frozen(path);
+    EXPECT_EQ(slurp(path), slurp(golden_path()));
+}
