@@ -6,9 +6,12 @@
  * at MX6 — both casts stay within a whisker of FP32.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_report.h"
+#include "core/thread_pool.h"
 #include "data/synthetic.h"
 #include "models/transformer.h"
 #include "nn/losses.h"
@@ -20,6 +23,38 @@ using namespace mx::models;
 using tensor::Tensor;
 
 namespace {
+
+/**
+ * predict_spans over @p eval sharded across the process pool
+ * (MX_THREADS): eval forwards are mutation-free and every sequence is
+ * independent (BERT attention never crosses a sequence boundary), so
+ * whole-sequence chunks of FIXED size — not thread-count-derived —
+ * evaluate concurrently and stitch back in order.  Bit-identical to
+ * the sequential call for any MX_THREADS, including 1.
+ */
+std::vector<std::pair<int, int>>
+predict_spans_sharded(BertMini& model, const data::SequenceBatch& eval)
+{
+    const std::int64_t chunk = 16; // sequences per shard, fixed
+    const std::int64_t n_chunks = (eval.n + chunk - 1) / chunk;
+    std::vector<std::pair<int, int>> spans(
+        static_cast<std::size_t>(eval.n));
+    core::ThreadPool::shared().parallel_for(
+        static_cast<std::size_t>(n_chunks), [&](std::size_t c) {
+            const std::int64_t lo = static_cast<std::int64_t>(c) * chunk;
+            const std::int64_t hi = std::min(eval.n, lo + chunk);
+            data::SequenceBatch sub;
+            sub.n = hi - lo;
+            sub.seq_len = eval.seq_len;
+            sub.tokens.assign(
+                eval.tokens.begin() + lo * eval.seq_len,
+                eval.tokens.begin() + hi * eval.seq_len);
+            const auto part = model.predict_spans(sub);
+            std::copy(part.begin(), part.end(),
+                      spans.begin() + static_cast<std::ptrdiff_t>(lo));
+        });
+    return spans;
+}
 
 /** Interleave start/end labels into per-position CE targets. */
 void
@@ -99,7 +134,7 @@ main()
     std::printf("%-22s %8s %8s\n", "Setting", "EM", "F1");
     double em_fp = 0, em_mx6 = 0;
     auto row = [&](const char* label, const char* key) {
-        auto pred = model.predict_spans(eval);
+        auto pred = predict_spans_sharded(model, eval);
         double em = stats::span_exact_match(pred, gold);
         double f1 = stats::span_f1(pred, gold);
         std::printf("%-22s %8.4f %8.4f\n", label, em, f1);

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_report.h"
+#include "core/thread_pool.h"
 #include "data/synthetic.h"
 #include "models/transformer.h"
 #include "nn/optimizer.h"
@@ -67,12 +68,32 @@ main()
 
     bench::banner("Table VII (shape): GPT size ladder — eval LM loss "
                   "after identical FP32 vs MX9 training runs");
+
+    // The 8 training runs (4 sizes x {FP32, MX9}) are fully
+    // independent — each builds its own model, optimizer, and data
+    // stream from fixed seeds — so they shard across the process pool
+    // (MX_THREADS).  One run is one shard regardless of thread count,
+    // and results land in a pre-sized array, so the numbers are
+    // bit-identical for ANY MX_THREADS, including 1.
+    constexpr std::size_t n_sizes = std::size(sizes);
+    double fp_loss[n_sizes], mx_loss[n_sizes];
+    core::ThreadPool::shared().parallel_for(
+        2 * n_sizes, [&](std::size_t job) {
+            const std::size_t i = job / 2;
+            if (job % 2 == 0)
+                fp_loss[i] = train_lm(corpus, sizes[i],
+                                      nn::QuantSpec::fp32(), steps);
+            else
+                mx_loss[i] = train_lm(
+                    corpus, sizes[i],
+                    nn::QuantSpec::uniform(core::mx9()), steps);
+        });
+
     std::printf("%-8s %10s %10s %10s\n", "Model", "FP32", "MX9", "delta");
     bool ok = true;
-    for (const Size& sz : sizes) {
-        double fp = train_lm(corpus, sz, nn::QuantSpec::fp32(), steps);
-        double mx = train_lm(corpus, sz,
-                             nn::QuantSpec::uniform(core::mx9()), steps);
+    for (std::size_t i = 0; i < n_sizes; ++i) {
+        const Size& sz = sizes[i];
+        const double fp = fp_loss[i], mx = mx_loss[i];
         std::printf("%-8s %10.4f %10.4f %+10.4f\n", sz.label, fp, mx,
                     mx - fp);
         report.metric(std::string(sz.label) + "_fp32_loss", fp, "nats");

@@ -120,6 +120,100 @@ class Avx2GemmKernel final : public PackedGemmKernel
             }
         }
     }
+
+    void
+    gemm_nn(const GemmPlan& plan, const PackedOperand& a,
+            std::span<const NnBlockRef> b, std::size_t ncols,
+            float* c) const override
+    {
+        const bool fast =
+            plan.a.k1 == 16 && plan.a.k2 == 2 && plan.b.k2 == 2 &&
+            plan.a.d2 > 0 && plan.b.d2 > 0 &&
+            plan.a.m + plan.b.m + 1 + plan.budget + 3 <= 31;
+        if (!fast) {
+            scalar_gemm_kernel().gemm_nn(plan, a, b, ncols, c);
+            return;
+        }
+
+        // Same validation as the scalar leg (cheap relative to the
+        // O(M * N * K) work below); a full chunk is exactly one
+        // 16-element block, so its row views are the madd inputs.
+        scalar_validate_nn(a, b, ncols);
+        const std::size_t full_chunks =
+            !b.empty() && b.back().op->cols() == 16 ? b.size()
+                                                    : b.size() - 1;
+        const __m256i vbudget = _mm256_set1_epi32(plan.budget);
+
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+            const std::int16_t* am = a.row_mantissa(i);
+            const std::uint8_t* atau = a.row_tau(i);
+            const std::int16_t* aexp = a.row_exp(i);
+            float* crow = c + i * ncols;
+            for (std::size_t j = 0; j < ncols; ++j) {
+                float acc = 0.0f;
+                for (std::size_t k = 0; k < full_chunks; ++k) {
+                    const PackedOperand& chunk = *b[k].op;
+                    const std::size_t br = b[k].row_off + j;
+                    const __m256i ma = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(am + k * 16));
+                    const __m256i mb = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(
+                            chunk.row_mantissa(br)));
+                    const __m256i dots = _mm256_madd_epi16(ma, mb);
+                    const __m256i ta = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                        reinterpret_cast<const __m128i*>(atau + k * 8)));
+                    const __m256i tb = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                        reinterpret_cast<const __m128i*>(
+                            chunk.row_tau(br))));
+                    const __m256i shift = _mm256_sub_epi32(
+                        vbudget, _mm256_add_epi32(ta, tb));
+                    const __m256i aligned = _mm256_sllv_epi32(dots, shift);
+                    const std::int64_t blki = hsum_epi32(aligned);
+                    acc += static_cast<float>(
+                        static_cast<double>(blki) *
+                        core::kernels::detail::pow2_double(
+                            aexp[k] + chunk.row_exp(br)[0] -
+                            plan.exp_bias));
+                }
+                if (full_chunks < b.size()) {
+                    const PackedOperand& tailc = *b.back().op;
+                    const std::size_t br = b.back().row_off + j;
+                    acc += detail::block_contrib2(
+                        plan, am, atau, aexp[full_chunks],
+                        full_chunks * 16, tailc.row_mantissa(br),
+                        tailc.row_tau(br), tailc.row_exp(br)[0], 0,
+                        tailc.cols());
+                }
+                crow[j] = acc;
+            }
+        }
+    }
+
+  private:
+    /** Re-run the scalar kernel's argument validation (shared checks
+     *  live in packed_gemm.cpp's anonymous namespace): a 1x1 probe on
+     *  the chunk structure through the reference path would cost a full
+     *  GEMM, so mirror the cheap structural checks here instead. */
+    static void
+    scalar_validate_nn(const PackedOperand& a,
+                       std::span<const NnBlockRef> b, std::size_t ncols)
+    {
+        MX_CHECK_ARG(a.valid() && ncols >= 1 && !b.empty(),
+                     "gemm_nn: invalid operands");
+        std::size_t covered = 0;
+        for (std::size_t k = 0; k < b.size(); ++k) {
+            const NnBlockRef& ref = b[k];
+            MX_CHECK_ARG(ref.op != nullptr && ref.op->valid() &&
+                         ref.op->cols() <= 16 &&
+                         (k + 1 == b.size() || ref.op->cols() == 16) &&
+                         ref.row_off + ncols <= ref.op->rows(),
+                         "gemm_nn: malformed chunk " << k);
+            covered += ref.op->cols();
+        }
+        MX_CHECK_ARG(covered == a.cols(),
+                     "gemm_nn: chunks cover " << covered
+                         << " contraction elements, A has " << a.cols());
+    }
 };
 
 } // namespace

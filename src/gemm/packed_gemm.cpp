@@ -54,6 +54,39 @@ check_pair(const GemmPlan& plan, const PackedOperand& a,
                  "gemm: operand plans do not match the GemmPlan");
 }
 
+void
+check_nn(const GemmPlan& plan, const PackedOperand& a,
+         std::span<const NnBlockRef> b, std::size_t ncols)
+{
+    MX_CHECK_ARG(a.valid(), "gemm_nn: invalid A operand");
+    MX_CHECK_ARG(a.plan().k1 == plan.a.k1 && a.plan().m == plan.a.m,
+                 "gemm_nn: A operand plan does not match the GemmPlan");
+    MX_CHECK_ARG(ncols >= 1, "gemm_nn: empty output");
+    const std::size_t k1 = static_cast<std::size_t>(plan.a.k1);
+    std::size_t covered = 0;
+    for (std::size_t k = 0; k < b.size(); ++k) {
+        const NnBlockRef& ref = b[k];
+        MX_CHECK_ARG(ref.op != nullptr && ref.op->valid(),
+                     "gemm_nn: chunk " << k << " is invalid");
+        MX_CHECK_ARG(ref.op->plan().k1 == plan.b.k1 &&
+                     ref.op->plan().m == plan.b.m,
+                     "gemm_nn: chunk " << k
+                         << "'s plan does not match the GemmPlan");
+        MX_CHECK_ARG(ref.op->cols() <= k1 &&
+                     (k + 1 == b.size() || ref.op->cols() == k1),
+                     "gemm_nn: chunk " << k << " is " << ref.op->cols()
+                         << " wide; only the last chunk may be short");
+        MX_CHECK_ARG(ref.row_off + ncols <= ref.op->rows(),
+                     "gemm_nn: chunk " << k << " rows [" << ref.row_off
+                         << ", " << ref.row_off + ncols
+                         << ") exceed its " << ref.op->rows() << " rows");
+        covered += ref.op->cols();
+    }
+    MX_CHECK_ARG(covered == a.cols(),
+                 "gemm_nn: chunks cover " << covered
+                     << " contraction elements, A has " << a.cols());
+}
+
 class ScalarGemmKernel final : public PackedGemmKernel
 {
   public:
@@ -85,34 +118,40 @@ class ScalarGemmKernel final : public PackedGemmKernel
             }
         }
     }
-};
 
-/** Dequantized-reference cross-check behind MX_GEMM_VERIFY=1. */
-void
-verify_against_reference(const PackedOperand& a, const PackedOperand& b,
-                         const float* c)
-{
-    auto dequant = [](const PackedOperand& op) {
-        const core::kernels::QuantPlan& p = op.plan();
-        tensor::Tensor t({static_cast<std::int64_t>(op.rows()),
-                          static_cast<std::int64_t>(op.cols())});
-        for (std::size_t r = 0; r < op.rows(); ++r) {
-            const std::int16_t* mant = op.row_mantissa(r);
-            const std::uint8_t* tau = op.row_tau(r);
-            const std::int16_t* exp = op.row_exp(r);
-            float* out = t.data() + r * op.cols();
-            for (std::size_t k = 0; k < op.cols(); ++k) {
-                const int e = exp[k / static_cast<std::size_t>(p.k1)] -
-                              tau[k / static_cast<std::size_t>(p.k2)] -
-                              (p.m - 1);
-                out[k] = static_cast<float>(
-                    static_cast<double>(mant[k]) *
-                    core::kernels::detail::pow2_double(e));
+    void
+    gemm_nn(const GemmPlan& plan, const PackedOperand& a,
+            std::span<const NnBlockRef> b, std::size_t ncols,
+            float* c) const override
+    {
+        check_nn(plan, a, b, ncols);
+        const std::size_t k1 = static_cast<std::size_t>(plan.a.k1);
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+            const std::int16_t* am = a.row_mantissa(i);
+            const std::uint8_t* atau = a.row_tau(i);
+            const std::int16_t* aexp = a.row_exp(i);
+            float* crow = c + i * ncols;
+            for (std::size_t j = 0; j < ncols; ++j) {
+                float acc = 0.0f;
+                for (std::size_t k = 0; k < b.size(); ++k) {
+                    const PackedOperand& chunk = *b[k].op;
+                    const std::size_t br = b[k].row_off + j;
+                    acc += detail::block_contrib2(
+                        plan, am, atau, aexp[k], k * k1,
+                        chunk.row_mantissa(br), chunk.row_tau(br),
+                        chunk.row_exp(br)[0], 0, chunk.cols());
+                }
+                crow[j] = acc;
             }
         }
-        return t;
-    };
-    tensor::Tensor ref = tensor::matmul_nt(dequant(a), dequant(b));
+    }
+};
+
+/** Shared divergence check of a packed result against an FP64-accumulated
+ *  dequantized reference (behind MX_GEMM_VERIFY=1). */
+void
+check_against(const tensor::Tensor& ref, const float* c)
+{
     double cmax = 0.0;
     for (std::int64_t i = 0; i < ref.numel(); ++i)
         cmax = std::max(cmax, std::fabs(static_cast<double>(ref.data()[i])));
@@ -128,7 +167,60 @@ verify_against_reference(const PackedOperand& a, const PackedOperand& b,
     }
 }
 
+/** Dequantized-reference cross-check of the NT leg. */
+void
+verify_against_reference(const PackedOperand& a, const PackedOperand& b,
+                         const float* c)
+{
+    check_against(tensor::matmul_nt(dequantize(a), dequantize(b)), c);
+}
+
+/** Dequantized-reference cross-check of the NN leg: assemble the
+ *  [ncols x K] B^T grid from the chunks, then compare as an NT GEMM. */
+void
+verify_nn_against_reference(const PackedOperand& a,
+                            std::span<const NnBlockRef> b,
+                            std::size_t ncols, const float* c)
+{
+    tensor::Tensor bt({static_cast<std::int64_t>(ncols),
+                       static_cast<std::int64_t>(a.cols())});
+    std::size_t off = 0;
+    for (const NnBlockRef& ref : b) {
+        tensor::Tensor g = dequantize(*ref.op);
+        for (std::size_t j = 0; j < ncols; ++j)
+            for (std::size_t t = 0; t < ref.op->cols(); ++t)
+                bt.data()[j * a.cols() + off + t] =
+                    g.data()[(ref.row_off + j) * ref.op->cols() + t];
+        off += ref.op->cols();
+    }
+    check_against(tensor::matmul_nt(dequantize(a), bt), c);
+}
+
 } // namespace
+
+tensor::Tensor
+dequantize(const PackedOperand& op)
+{
+    MX_CHECK_ARG(op.valid(), "gemm::dequantize: invalid operand");
+    const core::kernels::QuantPlan& p = op.plan();
+    tensor::Tensor t({static_cast<std::int64_t>(op.rows()),
+                      static_cast<std::int64_t>(op.cols())});
+    for (std::size_t r = 0; r < op.rows(); ++r) {
+        const std::int16_t* mant = op.row_mantissa(r);
+        const std::uint8_t* tau = op.row_tau(r);
+        const std::int16_t* exp = op.row_exp(r);
+        float* out = t.data() + r * op.cols();
+        for (std::size_t k = 0; k < op.cols(); ++k) {
+            const int e = exp[k / static_cast<std::size_t>(p.k1)] -
+                          tau[k / static_cast<std::size_t>(p.k2)] -
+                          (p.m - 1);
+            out[k] = static_cast<float>(
+                static_cast<double>(mant[k]) *
+                core::kernels::detail::pow2_double(e));
+        }
+    }
+    return t;
+}
 
 const PackedGemmKernel&
 scalar_gemm_kernel()
@@ -212,6 +304,55 @@ matmul_nt_packed(const tensor::Tensor& x,
     static const bool verify = env_verifies_gemm();
     if (verify)
         verify_against_reference(a, w, c.data());
+    return c;
+}
+
+tensor::Tensor
+matmul_nt_packed2(const tensor::Tensor& x,
+                  const core::kernels::QuantPlan& a_plan,
+                  const tensor::Tensor& y,
+                  const core::kernels::QuantPlan& b_plan,
+                  core::RoundingMode rounding)
+{
+    MX_CHECK_ARG(x.ndim() == 2 && y.ndim() == 2 && x.dim(1) == y.dim(1),
+                 "matmul_nt_packed2: " << x.shape_string() << " x "
+                                       << y.shape_string());
+    const GemmPlan plan = make_gemm_plan(a_plan, b_plan);
+    core::Rounder rounder(rounding);
+    const PackedOperand a = PackedOperand::quantize(
+        a_plan, x.data(), static_cast<std::size_t>(x.dim(0)),
+        static_cast<std::size_t>(x.dim(1)), rounder);
+    const PackedOperand b = PackedOperand::quantize(
+        b_plan, y.data(), static_cast<std::size_t>(y.dim(0)),
+        static_cast<std::size_t>(y.dim(1)), rounder);
+    return matmul_nt_prequant(plan, a, b);
+}
+
+tensor::Tensor
+matmul_nt_prequant(const GemmPlan& plan, const PackedOperand& a,
+                   const PackedOperand& b)
+{
+    tensor::Tensor c({static_cast<std::int64_t>(a.rows()),
+                      static_cast<std::int64_t>(b.rows())});
+    active_gemm_kernel().gemm(plan, a, b, c.data());
+    g_calls.fetch_add(1, std::memory_order_relaxed);
+    static const bool verify = env_verifies_gemm();
+    if (verify)
+        verify_against_reference(a, b, c.data());
+    return c;
+}
+
+tensor::Tensor
+matmul_nn_packed(const GemmPlan& plan, const PackedOperand& a,
+                 std::span<const NnBlockRef> b, std::size_t ncols)
+{
+    tensor::Tensor c({static_cast<std::int64_t>(a.rows()),
+                      static_cast<std::int64_t>(ncols)});
+    active_gemm_kernel().gemm_nn(plan, a, b, ncols, c.data());
+    g_calls.fetch_add(1, std::memory_order_relaxed);
+    static const bool verify = env_verifies_gemm();
+    if (verify)
+        verify_nn_against_reference(a, b, ncols, c.data());
     return c;
 }
 

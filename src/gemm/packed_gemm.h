@@ -48,6 +48,7 @@
  */
 
 #include <cstdint>
+#include <span>
 
 #include "gemm/gemm_plan.h"
 #include "gemm/packed_operand.h"
@@ -55,6 +56,22 @@
 
 namespace mx {
 namespace gemm {
+
+/**
+ * One k1-block chunk of a non-transposed right-hand operand (the NN
+ * kernel leg).  @p op is a packed operand whose ROWS run along the
+ * GEMM's output columns and whose COLS are the chunk's contraction
+ * slice (at most one k1 block wide); @p row_off selects the first of
+ * the ncols rows that participate (a d_model-row V slab serves every
+ * head through its own row_off).  Chunk k covers contraction elements
+ * [k * k1, k * k1 + op->cols()), so the chunk widths must tile the A
+ * operand's cols exactly.
+ */
+struct NnBlockRef
+{
+    const PackedOperand* op = nullptr;
+    std::size_t row_off = 0;
+};
 
 /** The execute side: one virtual call per whole GEMM. */
 class PackedGemmKernel
@@ -72,6 +89,19 @@ class PackedGemmKernel
      */
     virtual void gemm(const GemmPlan& plan, const PackedOperand& a,
                       const PackedOperand& b, float* c) const = 0;
+
+    /**
+     * C[a.rows x ncols] = A * B with B given as one packed chunk per
+     * k1-block (the NN leg: B's storage rows run along C's columns, so
+     * nothing is transposed at execution time — this is how P V
+     * consumes a native MX V cache, whose slabs quantize along keys).
+     * The contract per element is identical to gemm()'s, with chunk k
+     * supplying the b-side of block pair k; scalar and SIMD stay
+     * bit-identical by the same argument.
+     */
+    virtual void gemm_nn(const GemmPlan& plan, const PackedOperand& a,
+                         std::span<const NnBlockRef> b, std::size_t ncols,
+                         float* c) const = 0;
 };
 
 /** The portable reference implementation (always available). */
@@ -132,20 +162,72 @@ tensor::Tensor matmul_nt_packed(const tensor::Tensor& x,
                                 core::RoundingMode rounding =
                                     core::RoundingMode::NearestEven);
 
+/**
+ * Activation-activation C = X * Y^T: both operands are float matrices
+ * quantized on the fly (X[M, K] under @p a_plan, Y[N, K] under
+ * @p b_plan) and contracted by the active packed kernel.  This is the
+ * Q K^T leg of packed attention — and the P V leg of the fixed-window
+ * forward, where V is transposed before quantization so its rows run
+ * along the reduction.
+ */
+tensor::Tensor matmul_nt_packed2(const tensor::Tensor& x,
+                                 const core::kernels::QuantPlan& a_plan,
+                                 const tensor::Tensor& y,
+                                 const core::kernels::QuantPlan& b_plan,
+                                 core::RoundingMode rounding =
+                                     core::RoundingMode::NearestEven);
+
+/**
+ * C = A * B^T with BOTH operands already in the execution view — the
+ * quantize-once handoff: a caller that feeds one activation matrix to
+ * several frozen layers (attention's wq/wk/wv share the post-LN input)
+ * quantizes it once and reuses the view.  Bit-identical to
+ * matmul_nt_packed on the same floats, because quantization is a pure
+ * per-row function of the input.
+ */
+tensor::Tensor matmul_nt_prequant(const GemmPlan& plan,
+                                  const PackedOperand& a,
+                                  const PackedOperand& b);
+
+/**
+ * C[a.rows x ncols] = A * B on the NN leg (see
+ * PackedGemmKernel::gemm_nn): @p b holds one packed chunk per k1-block
+ * of the contraction, with chunk widths tiling a.cols() exactly.
+ */
+tensor::Tensor matmul_nn_packed(const GemmPlan& plan,
+                                const PackedOperand& a,
+                                std::span<const NnBlockRef> b,
+                                std::size_t ncols);
+
+/**
+ * The operand's grid values — the exact floats the fake-quant path's
+ * quantize_rows would produce for the same input (the block codec's
+ * decode(encode(x)) == fake_quantize(x) property).  This is the
+ * bit-identical FP32 fallback of every packed activation path: grids
+ * assembled from stored encodings never re-quantize, so they cannot
+ * drift from the reference even where re-quantization would not be
+ * idempotent.
+ */
+tensor::Tensor dequantize(const PackedOperand& op);
+
 namespace detail {
 
 /**
  * One k1-block pair's contribution in the packed domain — the scalar
- * semantics every kernel must reproduce exactly.  Pointers are the
- * operands' whole-row views (PackedOperand::row_mantissa / row_tau);
- * @p off is the block's element offset within the row and @p n its
- * length (k1 or a ragged tail).
+ * semantics every kernel must reproduce exactly — with independent
+ * per-operand element offsets: @p aoff / @p boff locate the block
+ * inside each operand's row (the NT leg walks both rows in lockstep;
+ * the NN leg's b-chunks are standalone single-block rows at boff 0).
+ * Pointers are whole-row views (PackedOperand::row_mantissa /
+ * row_tau); @p n is the block length (k1 or a ragged tail).  Both
+ * offsets must be k1-aligned so the tau indexing below lands on
+ * sub-block boundaries.
  */
 inline float
-block_contrib(const GemmPlan& plan, const std::int16_t* am_row,
-              const std::uint8_t* atau_row, int aexp,
-              const std::int16_t* bm_row, const std::uint8_t* btau_row,
-              int bexp, std::size_t off, std::size_t n)
+block_contrib2(const GemmPlan& plan, const std::int16_t* am_row,
+               const std::uint8_t* atau_row, int aexp, std::size_t aoff,
+               const std::int16_t* bm_row, const std::uint8_t* btau_row,
+               int bexp, std::size_t boff, std::size_t n)
 {
     const std::size_t g = static_cast<std::size_t>(plan.g);
     const std::size_t k2a = static_cast<std::size_t>(plan.a.k2);
@@ -155,15 +237,26 @@ block_contrib(const GemmPlan& plan, const std::int16_t* am_row,
         const std::size_t hi = std::min(n, s + g);
         std::int64_t dot = 0;
         for (std::size_t k = s; k < hi; ++k)
-            dot += static_cast<std::int32_t>(am_row[off + k]) *
-                   bm_row[off + k];
-        const int shift = plan.budget - atau_row[(off + s) / k2a] -
-                          btau_row[(off + s) / k2b];
+            dot += static_cast<std::int32_t>(am_row[aoff + k]) *
+                   bm_row[boff + k];
+        const int shift = plan.budget - atau_row[(aoff + s) / k2a] -
+                          btau_row[(boff + s) / k2b];
         blk += dot << shift;
     }
     return static_cast<float>(
         static_cast<double>(blk) *
         core::kernels::detail::pow2_double(aexp + bexp - plan.exp_bias));
+}
+
+/** The NT-leg special case: one shared offset for both operands. */
+inline float
+block_contrib(const GemmPlan& plan, const std::int16_t* am_row,
+              const std::uint8_t* atau_row, int aexp,
+              const std::int16_t* bm_row, const std::uint8_t* btau_row,
+              int bexp, std::size_t off, std::size_t n)
+{
+    return block_contrib2(plan, am_row, atau_row, aexp, off, bm_row,
+                          btau_row, bexp, off, n);
 }
 
 } // namespace detail

@@ -42,6 +42,33 @@ PackedOperand::PackedOperand(const QuantPlan& plan, std::size_t rows,
 }
 
 std::size_t
+row_stream_bytes(const QuantPlan& plan, std::size_t cols)
+{
+    return (row_bits(plan, cols) + 7) / 8;
+}
+
+void
+pack_rows_aligned(const QuantPlan& plan, const float* x, std::size_t rows,
+                  std::size_t cols, const core::Rounder& rounder,
+                  std::vector<std::uint8_t>& out)
+{
+    const core::kernels::QuantKernel& kernel =
+        core::kernels::active_kernel();
+    const std::size_t stride = row_stream_bytes(plan, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        // One writer per row: BitWriter zero-pads its final partial
+        // byte, which is exactly the byte-aligned row boundary.
+        core::BitWriter w;
+        kernel.quantize_pack_rows(plan, x + r * cols, 1, cols, rounder, w);
+        std::vector<std::uint8_t> bytes = w.take();
+        MX_CHECK(bytes.size() == stride,
+                 "pack_rows_aligned: row packed to " << bytes.size()
+                     << " bytes, expected " << stride);
+        out.insert(out.end(), bytes.begin(), bytes.end());
+    }
+}
+
+std::size_t
 PackedOperand::row_bit_offset(std::size_t r) const
 {
     MX_CHECK_ARG(r < rows_, "PackedOperand: row out of range");
@@ -55,6 +82,34 @@ PackedOperand::memory_bytes() const
            exp_.size() * sizeof(std::int16_t);
 }
 
+namespace {
+
+/** Decode one row's blocks from @p reader into row @p r of the view. */
+void
+decode_row(const QuantPlan& plan, core::BitReader& reader, std::size_t cols,
+           std::int16_t* mant, std::uint8_t* tau, std::int16_t* exp)
+{
+    const std::size_t k1 = static_cast<std::size_t>(plan.k1);
+    std::size_t sub = 0;
+    for (std::size_t off = 0; off < cols; off += k1) {
+        const std::size_t n = std::min(k1, cols - off);
+        *exp++ = static_cast<std::int16_t>(
+            static_cast<int>(reader.read(plan.d1)) - plan.e_max);
+        const std::size_t n_sub = plan.num_sub_blocks(n);
+        for (std::size_t s = 0; s < n_sub; ++s)
+            tau[sub++] = static_cast<std::uint8_t>(reader.read(plan.d2));
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t code = reader.read(1 + plan.m);
+            const std::int16_t mag = static_cast<std::int16_t>(code >> 1);
+            mant[off + i] = (code & 1) != 0
+                                ? static_cast<std::int16_t>(-mag)
+                                : mag;
+        }
+    }
+}
+
+} // namespace
+
 PackedOperand
 PackedOperand::decode(const QuantPlan& plan,
                       std::span<const std::uint8_t> bytes,
@@ -64,30 +119,30 @@ PackedOperand::decode(const QuantPlan& plan,
     MX_CHECK_ARG(bytes.size() * 8 >= rows * row_bits(plan, cols),
                  "PackedOperand::decode: stream too short for ["
                      << rows << " x " << cols << "]");
-    const std::size_t k1 = static_cast<std::size_t>(plan.k1);
     core::BitReader reader(bytes);
+    for (std::size_t r = 0; r < rows; ++r)
+        decode_row(plan, reader, cols, op.mantissa_.data() + r * cols,
+                   op.tau_.data() + r * op.subs_per_row_,
+                   op.exp_.data() + r * op.blocks_per_row_);
+    return op;
+}
+
+PackedOperand
+PackedOperand::decode_rows(const QuantPlan& plan,
+                           std::span<const std::uint8_t> bytes,
+                           std::size_t rows, std::size_t cols)
+{
+    PackedOperand op(plan, rows, cols);
+    const std::size_t stride = row_stream_bytes(plan, cols);
+    MX_CHECK_ARG(bytes.size() >= rows * stride,
+                 "PackedOperand::decode_rows: stream holds "
+                     << bytes.size() << " bytes, [" << rows << " x " << cols
+                     << "] needs " << rows * stride);
     for (std::size_t r = 0; r < rows; ++r) {
-        std::int16_t* mant = op.mantissa_.data() + r * cols;
-        std::uint8_t* tau = op.tau_.data() + r * op.subs_per_row_;
-        std::int16_t* exp = op.exp_.data() + r * op.blocks_per_row_;
-        std::size_t sub = 0;
-        for (std::size_t off = 0; off < cols; off += k1) {
-            const std::size_t n = std::min(k1, cols - off);
-            *exp++ = static_cast<std::int16_t>(
-                static_cast<int>(reader.read(plan.d1)) - plan.e_max);
-            const std::size_t n_sub = plan.num_sub_blocks(n);
-            for (std::size_t s = 0; s < n_sub; ++s)
-                tau[sub++] =
-                    static_cast<std::uint8_t>(reader.read(plan.d2));
-            for (std::size_t i = 0; i < n; ++i) {
-                const std::uint64_t code = reader.read(1 + plan.m);
-                const std::int16_t mag =
-                    static_cast<std::int16_t>(code >> 1);
-                mant[off + i] = (code & 1) != 0
-                                    ? static_cast<std::int16_t>(-mag)
-                                    : mag;
-            }
-        }
+        core::BitReader reader(bytes.subspan(r * stride, stride));
+        decode_row(plan, reader, cols, op.mantissa_.data() + r * cols,
+                   op.tau_.data() + r * op.subs_per_row_,
+                   op.exp_.data() + r * op.blocks_per_row_);
     }
     return op;
 }

@@ -55,6 +55,18 @@ class PackedOperand
                                 std::size_t rows, std::size_t cols);
 
     /**
+     * Decode a *byte-aligned* row stream: row r starts at byte offset
+     * r * row_stream_bytes(plan, cols), with the final partial byte of
+     * each row zero-padded (the pack_rows_aligned layout).  This is the
+     * storage form of the native MX K/V cache — byte alignment is what
+     * makes per-token append a memcpy and prefix truncation a resize,
+     * at a cost of at most 7 pad bits per row.
+     */
+    static PackedOperand decode_rows(const core::kernels::QuantPlan& plan,
+                                     std::span<const std::uint8_t> bytes,
+                                     std::size_t rows, std::size_t cols);
+
+    /**
      * Quantize a float matrix straight into the execution view through
      * the dispatched QuantKernel — the activation-side builder.  The
      * integer encodings are identical to what quantize_rows would
@@ -122,6 +134,23 @@ class PackedOperand
  *  per-row stride behind PackedOperand::row_bit_offset). */
 std::size_t row_bits(const core::kernels::QuantPlan& plan,
                      std::size_t cols);
+
+/** Byte stride of one row in a byte-aligned row stream (the
+ *  pack_rows_aligned / decode_rows layout): ceil(row_bits / 8). */
+std::size_t row_stream_bytes(const core::kernels::QuantPlan& plan,
+                             std::size_t cols);
+
+/**
+ * Quantize+pack @p rows rows of @p cols floats, appending each row's
+ * packed bits to @p out at a byte-aligned offset (zero-padding the
+ * row's final partial byte).  The append form of the native MX K/V
+ * cache: quantize once when a token arrives, then only bytes move.
+ * Grows @p out by rows * row_stream_bytes(plan, cols).
+ */
+void pack_rows_aligned(const core::kernels::QuantPlan& plan,
+                       const float* x, std::size_t rows, std::size_t cols,
+                       const core::Rounder& rounder,
+                       std::vector<std::uint8_t>& out);
 
 } // namespace gemm
 } // namespace mx

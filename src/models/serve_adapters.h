@@ -57,9 +57,11 @@ gpt_decode_batch_fn(GptMini& model, serve::SessionCache& cache)
             tensor::Tensor logits = model.decode_logits(tokens, st.get());
             std::copy(logits.data(), logits.data() + vocab,
                       out.data() + r * vocab);
-            if (st != nullptr)
+            if (st != nullptr) {
+                const std::size_t bytes = decode_session_bytes(*st);
                 cache.put(sessions[static_cast<std::size_t>(r)],
-                          std::move(st));
+                          std::move(st), bytes);
+            }
         }
         return out;
     };

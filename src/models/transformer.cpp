@@ -61,6 +61,14 @@ TransformerBlock::unfreeze()
 Tensor
 TransformerBlock::forward(const Tensor& x, bool train)
 {
+    // PackedOperand handoff boundaries: inside attention the wq/wk/wv
+    // projections share one quantized view of the post-LN input (see
+    // MultiHeadAttention::project_qkv).  Between the attention
+    // out-projection and ff1 no handoff is possible — the residual
+    // add, LayerNorm, and (for ff2) GELU rewrite every element, so the
+    // downstream layer quantizes a genuinely different matrix; the
+    // FP32 activation passed here is the correct (and bit-identical)
+    // form.
     Tensor h = x;
     Tensor a = attn_->forward(ln1_->forward(h, train), train);
     tensor::axpy(h, 1.0f, a); // residual
@@ -420,6 +428,15 @@ GptMini::unpack_decode_row(const float* row, std::int64_t seq_len)
     return tokens;
 }
 
+std::size_t
+decode_session_bytes(const GptDecodeSession& session)
+{
+    std::size_t total = session.tokens.size() * sizeof(int);
+    for (const nn::AttnPrefixCache& c : session.layers)
+        total += c.memory_bytes();
+    return total;
+}
+
 Tensor
 GptMini::decode_logits(const std::vector<int>& tokens,
                        GptDecodeSession* session)
@@ -450,9 +467,12 @@ GptMini::decode_logits(const std::vector<int>& tokens,
             ++p;
         // A diverged stream keeps its still-valid prefix: under
         // causal-visibility quantization, K/V row j depends only on
-        // tokens [0, j], so rows [0, p) survive.
+        // tokens [0, j], so rows [0, p) survive.  A native MX cache may
+        // retain fewer (it retreats to a V-slab boundary when the cut
+        // falls inside a committed block), so clamp p to what every
+        // layer actually kept.
         for (nn::AttnPrefixCache& c : session->layers)
-            c.truncate(p);
+            p = std::min(p, c.truncate(p));
     }
     if (session != nullptr && session->layers.empty())
         session->layers.resize(blocks_.size());

@@ -170,6 +170,12 @@ struct GptDecodeSession
     std::vector<nn::AttnPrefixCache> layers; ///< One per block.
 };
 
+/** Heap bytes a decode session pins while resident (token prefix plus
+ *  every layer's K/V state — packed MX streams in native mode, FP32
+ *  rows in legacy mode); serve::SessionCache accounts this per
+ *  session. */
+std::size_t decode_session_bytes(const GptDecodeSession& session);
+
 /** Decoder-only causal LM. */
 class GptMini
 {

@@ -1,34 +1,75 @@
 #include "nn/attention.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "core/check.h"
+#include "gemm/packed_gemm.h"
 
 namespace mx {
 namespace nn {
 
 using tensor::Tensor;
 
-void
+std::int64_t
 AttnPrefixCache::truncate(std::int64_t rows)
 {
+    if (rows < 0)
+        rows = 0;
     if (rows >= prefix)
-        return;
-    if (rows <= 0) {
-        k = Tensor();
-        v = Tensor();
-        prefix = 0;
-        return;
+        return prefix;
+    if (!native) {
+        if (rows == 0) {
+            k = Tensor();
+            v = Tensor();
+            prefix = 0;
+            return 0;
+        }
+        const std::int64_t d = k.dim(1);
+        Tensor nk({rows, d});
+        Tensor nv({rows, d});
+        std::copy(k.data(), k.data() + rows * d, nk.data());
+        std::copy(v.data(), v.data() + rows * d, nv.data());
+        k = std::move(nk);
+        v = std::move(nv);
+        prefix = rows;
+        return rows;
     }
-    const std::int64_t d = k.dim(1);
-    Tensor nk({rows, d});
-    Tensor nv({rows, d});
-    std::copy(k.data(), k.data() + rows * d, nk.data());
-    std::copy(v.data(), v.data() + rows * d, nv.data());
-    k = std::move(nk);
-    v = std::move(nv);
-    prefix = rows;
+    // Native streams: the K rows and the open V tail shed keys freely,
+    // but a cut inside a COMMITTED V slab must retreat to the k1 block
+    // boundary below it — the slab's raw floats are gone, and the
+    // native cache never re-quantizes (that is its whole contract).
+    const std::int64_t k1 = plan.k1;
+    const std::int64_t committed =
+        k1 * static_cast<std::int64_t>(v_slabs.size());
+    std::int64_t keep = rows;
+    if (keep < committed)
+        keep = k1 * (keep / k1);
+    const std::int64_t new_slabs = std::min(
+        static_cast<std::int64_t>(v_slabs.size()), keep / k1);
+    v_slabs.resize(static_cast<std::size_t>(new_slabs));
+    v_tail.resize(
+        static_cast<std::size_t>((keep - k1 * new_slabs) * d_model));
+    const std::size_t stride = gemm::row_stream_bytes(
+        plan, static_cast<std::size_t>(head_dim));
+    for (std::vector<std::uint8_t>& stream : k_heads)
+        stream.resize(static_cast<std::size_t>(keep) * stride);
+    prefix = keep;
+    return keep;
+}
+
+std::size_t
+AttnPrefixCache::memory_bytes() const
+{
+    std::size_t total = static_cast<std::size_t>(k.numel() + v.numel()) *
+                        sizeof(float);
+    for (const std::vector<std::uint8_t>& stream : k_heads)
+        total += stream.size();
+    for (const std::vector<std::uint8_t>& slab : v_slabs)
+        total += slab.size();
+    total += v_tail.size() * sizeof(float);
+    return total;
 }
 
 MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
@@ -91,6 +132,60 @@ MultiHeadAttention::set_spec(const QuantSpec& spec)
     wo_->spec() = spec;
 }
 
+bool
+MultiHeadAttention::native_cache_format() const
+{
+    if (!causal_ || !spec_.forward.has_value() ||
+        spec_.forward->s_kind != core::ScaleKind::Pow2Hw ||
+        spec_.forward->elem != core::ElementKind::SignMagnitude)
+        return false;
+    const core::kernels::QuantPlan plan =
+        core::kernels::make_quant_plan(*spec_.forward);
+    return gemm::operand_eligible(plan) &&
+           gemm::gemm_compatible(plan, plan);
+}
+
+bool
+MultiHeadAttention::packed_act_act() const
+{
+    if (!frozen() || !spec_.forward.has_value() ||
+        spec_.forward->s_kind != core::ScaleKind::Pow2Hw ||
+        spec_.forward->elem != core::ElementKind::SignMagnitude)
+        return false;
+    const core::kernels::QuantPlan plan =
+        core::kernels::make_quant_plan(*spec_.forward);
+    return gemm::operand_eligible(plan) &&
+           gemm::gemm_compatible(plan, plan) && gemm::route_packed(false);
+}
+
+void
+MultiHeadAttention::project_qkv(const Tensor& x, Tensor& q, Tensor& k,
+                                Tensor& v)
+{
+    // Quantize-once handoff: the three projections consume the SAME
+    // input rows, so when all three would run packed anyway, build the
+    // activation view once and hand it to each — bit-identical to three
+    // independent forwards because quantization is a pure per-row
+    // function of the input.
+    if (wq_->packed_activation_ready() &&
+        wk_->packed_activation_ready() &&
+        wv_->packed_activation_ready()) {
+        const core::kernels::QuantPlan aplan =
+            core::kernels::make_quant_plan(*spec_.forward);
+        const core::Rounder rounder(spec_.rounding);
+        const gemm::PackedOperand xq = gemm::PackedOperand::quantize(
+            aplan, x.data(), static_cast<std::size_t>(x.dim(0)),
+            static_cast<std::size_t>(x.dim(1)), rounder);
+        q = wq_->forward_packed_activation(xq);
+        k = wk_->forward_packed_activation(xq);
+        v = wv_->forward_packed_activation(xq);
+        return;
+    }
+    q = wq_->forward(x, /*train=*/false);
+    k = wk_->forward(x, /*train=*/false);
+    v = wv_->forward(x, /*train=*/false);
+}
+
 Tensor
 MultiHeadAttention::slice_head(const Tensor& packed, std::int64_t b,
                                std::int64_t h) const
@@ -128,12 +223,25 @@ MultiHeadAttention::forward(const Tensor& x, bool train)
         cached_batch_ = batch; // eval forwards stay mutation-free so
                                // frozen models can serve concurrently
 
-    Tensor q = wq_->forward(x, train);
-    Tensor k = wk_->forward(x, train);
-    Tensor v = wv_->forward(x, train);
+    Tensor q, k, v;
+    if (!train && frozen()) {
+        project_qkv(x, q, k, v);
+    } else {
+        q = wq_->forward(x, train);
+        k = wk_->forward(x, train);
+        v = wv_->forward(x, train);
+    }
 
     if (train)
         cache_.assign(static_cast<std::size_t>(batch * heads_), HeadCache{});
+
+    // Frozen eval forwards run the activation-activation contractions
+    // (Q K^T, P V) on the packed kernels when the routing policy
+    // engages them; both engines quantize the operands identically.
+    const bool packed_aa = !train && packed_act_act();
+    const core::kernels::QuantPlan aplan =
+        packed_aa ? core::kernels::make_quant_plan(*spec_.forward)
+                  : core::kernels::QuantPlan{};
 
     const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
     Tensor concat = Tensor::zeros({batch * seq_len_, d_model_});
@@ -147,7 +255,10 @@ MultiHeadAttention::forward(const Tensor& x, bool train)
             // scores = (Q K^T) * scale: reduction over head_dim (rows of
             // both operands), so qmatmul_nt quantizes along the right dim.
             Tensor scores =
-                qmatmul_nt(qh, kh, spec_.forward, spec_.rounding);
+                packed_aa
+                    ? gemm::matmul_nt_packed2(qh, aplan, kh, aplan,
+                                              spec_.rounding)
+                    : qmatmul_nt(qh, kh, spec_.forward, spec_.rounding);
             for (std::int64_t i = 0; i < seq_len_; ++i) {
                 for (std::int64_t j = 0; j < seq_len_; ++j) {
                     float& s = scores.data()[i * seq_len_ + j];
@@ -161,8 +272,11 @@ MultiHeadAttention::forward(const Tensor& x, bool train)
             // ctx = P V: reduction over keys; V is transposed before
             // quantization so its rows run along the reduction dim.
             Tensor vt = tensor::transpose2d(vh);
-            Tensor ctx = qmatmul_nt(probs, vt, spec_.forward,
-                                    spec_.rounding);
+            Tensor ctx =
+                packed_aa
+                    ? gemm::matmul_nt_packed2(probs, aplan, vt, aplan,
+                                              spec_.rounding)
+                    : qmatmul_nt(probs, vt, spec_.forward, spec_.rounding);
             scatter_head(concat, ctx, b, h);
 
             if (train) {
@@ -218,33 +332,48 @@ MultiHeadAttention::forward_suffix(const Tensor& x_suffix,
                  "MultiHeadAttention: prefix " << p << " + suffix " << s
                      << " overflows a " << seq_len_
                      << "-position window");
-    if (p > 0)
+
+    // Storage mode: a fresh stream adopts native packed streams when
+    // the format permits; a live stream continues in the mode its
+    // prefix was stored under (it cannot be converted — the raw floats
+    // behind committed native blocks are gone).
+    if (p == 0) {
+        cache = AttnPrefixCache{};
+        cache.native = native_cache_format();
+        if (cache.native) {
+            cache.plan = core::kernels::make_quant_plan(*spec_.forward);
+            cache.d_model = d_model_;
+            cache.head_dim = head_dim_;
+            cache.k_heads.assign(static_cast<std::size_t>(heads_), {});
+        }
+    } else if (cache.native) {
+        MX_CHECK_ARG(cache.d_model == d_model_ &&
+                     cache.head_dim == head_dim_ &&
+                     cache.k_heads.size() ==
+                         static_cast<std::size_t>(heads_),
+                     "MultiHeadAttention: prefix cache shape drifted");
+        const core::kernels::QuantPlan now =
+            native_cache_format()
+                ? core::kernels::make_quant_plan(*spec_.forward)
+                : core::kernels::QuantPlan{};
+        MX_CHECK_ARG(now.m == cache.plan.m && now.d1 == cache.plan.d1 &&
+                     now.k1 == cache.plan.k1 &&
+                     now.d2 == cache.plan.d2 && now.k2 == cache.plan.k2,
+                     "MultiHeadAttention: activation format changed "
+                     "under a native cached prefix");
+    } else {
         MX_CHECK_ARG(cache.k.ndim() == 2 && cache.k.dim(0) == p &&
                      cache.k.dim(1) == d_model_ &&
                      cache.v.same_shape(cache.k),
                      "MultiHeadAttention: prefix cache shape drifted");
+    }
 
     // Project only the suffix rows; Linear eval forwards are row-wise,
-    // so these rows never depend on which rows ride along.
-    Tensor q_suf = wq_->forward(x_suffix, /*train=*/false);
-    Tensor k_suf = wk_->forward(x_suffix, /*train=*/false);
-    Tensor v_suf = wv_->forward(x_suffix, /*train=*/false);
-
-    // K/V over every visible position: cached prefix rows + fresh
-    // suffix rows — exactly a KV cache append; prefix rows are reused
-    // bit-for-bit, never recomputed or re-quantized.
-    Tensor k_all({n, d_model_});
-    Tensor v_all({n, d_model_});
-    if (p > 0) {
-        std::copy(cache.k.data(), cache.k.data() + p * d_model_,
-                  k_all.data());
-        std::copy(cache.v.data(), cache.v.data() + p * d_model_,
-                  v_all.data());
-    }
-    std::copy(k_suf.data(), k_suf.data() + s * d_model_,
-              k_all.data() + p * d_model_);
-    std::copy(v_suf.data(), v_suf.data() + s * d_model_,
-              v_all.data() + p * d_model_);
+    // so these rows never depend on which rows ride along.  The three
+    // projections share one quantized view of x_suffix when the packed
+    // path serves them (quantize-once handoff).
+    Tensor q_suf, k_suf, v_suf;
+    project_qkv(x_suffix, q_suf, k_suf, v_suf);
 
     // [rows, d_model] -> one head's [rows, head_dim] slice.
     auto take_head = [this](const Tensor& packed, std::int64_t rows,
@@ -259,17 +388,185 @@ MultiHeadAttention::forward_suffix(const Tensor& x_suffix,
 
     const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
     Tensor concat = Tensor::zeros({s, d_model_});
+
+    if (!cache.native) {
+        // Legacy FP32 storage: append raw post-projection rows and
+        // re-quantize on use — the path formats outside the packed
+        // family (and FP32 specs) serve on.
+        Tensor k_all({n, d_model_});
+        Tensor v_all({n, d_model_});
+        if (p > 0) {
+            std::copy(cache.k.data(), cache.k.data() + p * d_model_,
+                      k_all.data());
+            std::copy(cache.v.data(), cache.v.data() + p * d_model_,
+                      v_all.data());
+        }
+        std::copy(k_suf.data(), k_suf.data() + s * d_model_,
+                  k_all.data() + p * d_model_);
+        std::copy(v_suf.data(), v_suf.data() + s * d_model_,
+                  v_all.data() + p * d_model_);
+
+        for (std::int64_t h = 0; h < heads_; ++h) {
+            Tensor qh = take_head(q_suf, s, h);
+            Tensor kh = take_head(k_all, n, h);
+            Tensor vh = take_head(v_all, n, h);
+
+            // Suffix query rows against every visible key.  Q K^T
+            // quantizes per row (queries along head_dim, keys along
+            // head_dim), so key row t's quantization is independent of
+            // how many keys exist — scores for masked keys are computed
+            // and discarded, never leaked.
+            Tensor scores =
+                qmatmul_nt(qh, kh, spec_.forward, spec_.rounding);
+            for (std::int64_t i = 0; i < s; ++i) {
+                for (std::int64_t j = 0; j < n; ++j) {
+                    float& sc = scores.data()[i * n + j];
+                    sc *= scale;
+                    if (j > p + i)
+                        sc = -std::numeric_limits<float>::infinity();
+                }
+            }
+            Tensor probs = tensor::softmax_rows(scores);
+
+            // ctx row i = P V over EXACTLY the row's visible keys
+            // [0, p+i]: the reduction runs along keys, so the
+            // transposed-V quantization blocks must span only keys the
+            // position may see.  This is the causal-visibility
+            // discipline a native MX KV cache implements for free (key
+            // blocks are appended, never re-quantized when later tokens
+            // arrive) — and it is what makes position p+i's output a
+            // pure function of tokens [0, p+i], i.e. what makes prefix
+            // reuse exact.
+            for (std::int64_t i = 0; i < s; ++i) {
+                const std::int64_t vis = p + i + 1;
+                Tensor prow({1, vis});
+                std::copy(probs.data() + i * n,
+                          probs.data() + i * n + vis, prow.data());
+                Tensor vt({head_dim_, vis}); // V^T sliced to visible keys
+                for (std::int64_t d = 0; d < head_dim_; ++d)
+                    for (std::int64_t t = 0; t < vis; ++t)
+                        vt.data()[d * vis + t] =
+                            vh.data()[t * head_dim_ + d];
+                Tensor crow = qmatmul_nt(prow, vt, spec_.forward,
+                                         spec_.rounding); // [1, head_dim]
+                float* row = concat.data() + i * d_model_ + h * head_dim_;
+                for (std::int64_t j = 0; j < head_dim_; ++j)
+                    row[j] += crow.data()[j];
+            }
+        }
+
+        // The appended keys become the new prefix.
+        cache.k = std::move(k_all);
+        cache.v = std::move(v_all);
+        cache.prefix = n;
+        return wo_->forward(concat, /*train=*/false);
+    }
+
+    // ---- Native MX storage ----------------------------------------
+    // The prefix lives as the quantization blocks themselves.  Each
+    // new token is quantized ONCE right here; every later step only
+    // moves bytes.  The causal-visibility discipline maps exactly onto
+    // this storage: K rows quantize along head_dim (per key, stable
+    // forever), and transposed-V blocks quantize along keys at k1
+    // boundaries — a completed [d_model, k1] slab is identical for
+    // every later position, so it is committed once; only the open
+    // tail block still depends on the position and stays raw.
+    const core::kernels::QuantPlan& aplan = cache.plan;
+    const core::Rounder rounder(spec_.rounding);
+    const std::int64_t k1 = aplan.k1;
+
+    // Append the new keys: one packed row per (head, key).
+    {
+        std::vector<float> head_rows(
+            static_cast<std::size_t>(s * head_dim_));
+        for (std::int64_t h = 0; h < heads_; ++h) {
+            for (std::int64_t t = 0; t < s; ++t)
+                std::copy(
+                    k_suf.data() + t * d_model_ + h * head_dim_,
+                    k_suf.data() + t * d_model_ + (h + 1) * head_dim_,
+                    head_rows.data() + t * head_dim_);
+            gemm::pack_rows_aligned(aplan, head_rows.data(),
+                                    static_cast<std::size_t>(s),
+                                    static_cast<std::size_t>(head_dim_),
+                                    rounder,
+                                    cache.k_heads[static_cast<
+                                        std::size_t>(h)]);
+        }
+    }
+
+    // Raw V rows for every key past the last committed slab: the old
+    // tail plus this call's suffix, covering keys [raw_base, n).
+    const std::int64_t slabs_old =
+        static_cast<std::int64_t>(cache.v_slabs.size());
+    const std::int64_t raw_base = k1 * slabs_old;
+    std::vector<float> raw_all = std::move(cache.v_tail);
+    raw_all.resize(static_cast<std::size_t>((n - raw_base) * d_model_));
+    std::copy(v_suf.data(), v_suf.data() + s * d_model_,
+              raw_all.data() + (p - raw_base) * d_model_);
+
+    // Commit every k1-key block this call completes as a packed
+    // [d_model, k1] slab of transposed V, quantized along keys.
+    const std::int64_t slabs_new = n / k1;
+    if (slabs_new > slabs_old) {
+        std::vector<float> vt_chunk(
+            static_cast<std::size_t>(d_model_ * k1));
+        for (std::int64_t b = slabs_old; b < slabs_new; ++b) {
+            for (std::int64_t d = 0; d < d_model_; ++d)
+                for (std::int64_t t = 0; t < k1; ++t)
+                    vt_chunk[static_cast<std::size_t>(d * k1 + t)] =
+                        raw_all[static_cast<std::size_t>(
+                            (k1 * b + t - raw_base) * d_model_ + d)];
+            std::vector<std::uint8_t> slab;
+            gemm::pack_rows_aligned(aplan, vt_chunk.data(),
+                                    static_cast<std::size_t>(d_model_),
+                                    static_cast<std::size_t>(k1),
+                                    rounder, slab);
+            cache.v_slabs.push_back(std::move(slab));
+        }
+    }
+
+    // Execution views, decoded once per call straight from the byte
+    // streams — the integer domain; no dequantized prefix exists.
+    std::vector<gemm::PackedOperand> k_ops;
+    k_ops.reserve(static_cast<std::size_t>(heads_));
+    for (std::int64_t h = 0; h < heads_; ++h)
+        k_ops.push_back(gemm::PackedOperand::decode_rows(
+            aplan, cache.k_heads[static_cast<std::size_t>(h)],
+            static_cast<std::size_t>(n),
+            static_cast<std::size_t>(head_dim_)));
+    std::vector<gemm::PackedOperand> slab_ops;
+    slab_ops.reserve(cache.v_slabs.size());
+    for (const std::vector<std::uint8_t>& slab : cache.v_slabs)
+        slab_ops.push_back(gemm::PackedOperand::decode_rows(
+            aplan, slab, static_cast<std::size_t>(d_model_),
+            static_cast<std::size_t>(k1)));
+
+    const bool packed_exec = packed_act_act();
+    const gemm::GemmPlan gp = gemm::make_gemm_plan(aplan, aplan);
+    // Grid fallback (packed routing off): dequantize the SAME stored
+    // encodings — never re-quantize — so it cannot drift from the
+    // legacy fake-quant path even where re-quantization would not be
+    // idempotent.
+    std::vector<Tensor> k_grids, slab_grids;
+    if (!packed_exec) {
+        for (const gemm::PackedOperand& op : k_ops)
+            k_grids.push_back(gemm::dequantize(op));
+        for (const gemm::PackedOperand& op : slab_ops)
+            slab_grids.push_back(gemm::dequantize(op));
+    }
+
     for (std::int64_t h = 0; h < heads_; ++h) {
         Tensor qh = take_head(q_suf, s, h);
-        Tensor kh = take_head(k_all, n, h);
-        Tensor vh = take_head(v_all, n, h);
 
-        // Suffix query rows against every visible key.  Q K^T
-        // quantizes per row (queries along head_dim, keys along
-        // head_dim), so key row t's quantization is independent of how
-        // many keys exist — scores for masked keys are computed and
-        // discarded, never leaked.
-        Tensor scores = qmatmul_nt(qh, kh, spec_.forward, spec_.rounding);
+        // Q K^T straight off the packed key rows.
+        Tensor scores =
+            packed_exec
+                ? gemm::matmul_nt_packed(qh, aplan, k_ops[static_cast<
+                                             std::size_t>(h)],
+                                         spec_.rounding)
+                : tensor::matmul_nt(
+                      quantize_rows(qh, *spec_.forward, spec_.rounding),
+                      k_grids[static_cast<std::size_t>(h)]);
         for (std::int64_t i = 0; i < s; ++i) {
             for (std::int64_t j = 0; j < n; ++j) {
                 float& sc = scores.data()[i * n + j];
@@ -280,37 +577,89 @@ MultiHeadAttention::forward_suffix(const Tensor& x_suffix,
         }
         Tensor probs = tensor::softmax_rows(scores);
 
-        // ctx row i = P V over EXACTLY the row's visible keys
-        // [0, p+i]: the reduction runs along keys, so the transposed-V
-        // quantization blocks must span only keys the position may
-        // see.  This is the causal-visibility discipline a native MX
-        // KV cache implements for free (key blocks are appended,
-        // never re-quantized when later tokens arrive) — and it is
-        // what makes position p+i's output a pure function of tokens
-        // [0, p+i], i.e. what makes prefix reuse exact.
+        // P V per position: committed slabs feed the NN kernel leg as
+        // chunks (this head's rows via row_off); only the open tail
+        // block [nb * k1, vis) is quantized here, from raw floats —
+        // exactly the blocks the causal-visibility discipline defines.
         for (std::int64_t i = 0; i < s; ++i) {
             const std::int64_t vis = p + i + 1;
+            const std::int64_t nb = vis / k1;   // full slabs visible
+            const std::int64_t tlen = vis - nb * k1;
             Tensor prow({1, vis});
             std::copy(probs.data() + i * n, probs.data() + i * n + vis,
                       prow.data());
-            Tensor vt({head_dim_, vis}); // V^T sliced to visible keys
+            // Transposed raw tail [head_dim, tlen] for this head.
+            Tensor vt_tail({head_dim_, std::max<std::int64_t>(tlen, 1)});
             for (std::int64_t d = 0; d < head_dim_; ++d)
-                for (std::int64_t t = 0; t < vis; ++t)
-                    vt.data()[d * vis + t] =
-                        vh.data()[t * head_dim_ + d];
-            Tensor crow = qmatmul_nt(prow, vt, spec_.forward,
-                                     spec_.rounding); // [1, head_dim]
+                for (std::int64_t t = 0; t < tlen; ++t)
+                    vt_tail.data()[d * tlen + t] =
+                        raw_all[static_cast<std::size_t>(
+                            (nb * k1 + t - raw_base) * d_model_ +
+                            h * head_dim_ + d)];
+
+            Tensor crow; // [1, head_dim]
+            if (packed_exec) {
+                const gemm::PackedOperand prow_op =
+                    gemm::PackedOperand::quantize(
+                        aplan, prow.data(), 1,
+                        static_cast<std::size_t>(vis), rounder);
+                gemm::PackedOperand tail_op;
+                std::vector<gemm::NnBlockRef> refs;
+                refs.reserve(static_cast<std::size_t>(nb) + 1);
+                for (std::int64_t b = 0; b < nb; ++b)
+                    refs.push_back(
+                        {&slab_ops[static_cast<std::size_t>(b)],
+                         static_cast<std::size_t>(h * head_dim_)});
+                if (tlen > 0) {
+                    tail_op = gemm::PackedOperand::quantize(
+                        aplan, vt_tail.data(),
+                        static_cast<std::size_t>(head_dim_),
+                        static_cast<std::size_t>(tlen), rounder);
+                    refs.push_back({&tail_op, 0});
+                }
+                crow = gemm::matmul_nn_packed(
+                    gp, prow_op, refs,
+                    static_cast<std::size_t>(head_dim_));
+            } else {
+                // Assemble the visible V^T grid from slab grids plus
+                // the quantized tail, then contract in FP32.
+                Tensor vt_grid({head_dim_, vis});
+                for (std::int64_t b = 0; b < nb; ++b) {
+                    const Tensor& g =
+                        slab_grids[static_cast<std::size_t>(b)];
+                    for (std::int64_t d = 0; d < head_dim_; ++d)
+                        std::copy(
+                            g.data() + (h * head_dim_ + d) * k1,
+                            g.data() + (h * head_dim_ + d) * k1 + k1,
+                            vt_grid.data() + d * vis + b * k1);
+                }
+                if (tlen > 0) {
+                    Tensor tg = quantize_rows(vt_tail, *spec_.forward,
+                                              spec_.rounding);
+                    for (std::int64_t d = 0; d < head_dim_; ++d)
+                        std::copy(tg.data() + d * tlen,
+                                  tg.data() + d * tlen + tlen,
+                                  vt_grid.data() + d * vis + nb * k1);
+                }
+                crow = tensor::matmul_nt(
+                    quantize_rows(prow, *spec_.forward, spec_.rounding),
+                    vt_grid);
+            }
             float* row = concat.data() + i * d_model_ + h * head_dim_;
             for (std::int64_t j = 0; j < head_dim_; ++j)
                 row[j] += crow.data()[j];
         }
     }
 
-    // The appended keys become the new prefix.
-    cache.k = std::move(k_all);
-    cache.v = std::move(v_all);
+    // Keys past the last committed slab stay raw until their block
+    // completes.
+    const std::int64_t tail_base = slabs_new * k1;
+    cache.v_tail.assign(
+        raw_all.begin() +
+            static_cast<std::ptrdiff_t>((tail_base - raw_base) *
+                                        d_model_),
+        raw_all.end());
     cache.prefix = n;
-
     return wo_->forward(concat, /*train=*/false);
 }
 

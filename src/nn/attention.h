@@ -11,30 +11,71 @@
  */
 
 #include <memory>
+#include <vector>
 
+#include "gemm/packed_operand.h"
 #include "nn/linear.h"
 
 namespace mx {
 namespace nn {
 
 /**
- * Cached K/V projection rows for the visible prefix of one decode
- * stream — the state MultiHeadAttention::forward_suffix reuses
- * instead of recomputing every position each step (the packed-domain
- * analog of a KV cache; serve/session_cache.h owns the per-stream
- * lifecycle).  Rows are the FP32 *post-projection* activations:
- * per-call quantization is row-wise for the pow2 block family, so
- * replaying quantize-on-use over cached rows is bit-identical to
- * computing the stream from scratch.
+ * Cached K/V state for the visible prefix of one decode stream — the
+ * state MultiHeadAttention::forward_suffix reuses instead of
+ * recomputing every position each step (serve/session_cache.h owns the
+ * per-stream lifecycle).
+ *
+ * Two storage modes:
+ *
+ *  - Native MX (`native == true`, engaged whenever the forward
+ *    activation format is a pow2-block family the packed GEMM can
+ *    execute): the prefix is held as packed MX bit streams — the exact
+ *    quantization blocks the causal-visibility discipline defines, so
+ *    appending a token quantizes it ONCE and nothing is ever
+ *    re-quantized.  K keeps one byte-aligned packed row per (head,
+ *    key), quantized along head_dim; V keeps one packed [d_model, k1]
+ *    slab per COMPLETED k1-key block of transposed V (quantized along
+ *    keys — the reduction dim of P V), plus the raw FP32 rows of the
+ *    still-open tail block.  At ~(1 + m + overhead) bits per element
+ *    this is ~4x smaller than FP32 rows, and the packed kernels
+ *    consume the streams directly — warm decode never dequantizes the
+ *    prefix.
+ *
+ *  - Legacy FP32 (`native == false`): [prefix, d_model] rows of the
+ *    post-projection activations, re-quantized on use (FP32 specs and
+ *    formats outside the packed family).
  */
 struct AttnPrefixCache
 {
-    tensor::Tensor k; ///< [prefix, d_model] rows of Wk x.
-    tensor::Tensor v; ///< [prefix, d_model] rows of Wv x.
-    std::int64_t prefix = 0; ///< Cached row count.
+    tensor::Tensor k; ///< [prefix, d_model] rows of Wk x (legacy mode).
+    tensor::Tensor v; ///< [prefix, d_model] rows of Wv x (legacy mode).
+    std::int64_t prefix = 0; ///< Cached key count (both modes).
 
-    /** Keep only the first @p rows rows (stream diverged mid-window). */
-    void truncate(std::int64_t rows);
+    bool native = false; ///< Packed-stream storage engaged.
+    core::kernels::QuantPlan plan; ///< Activation plan (valid if native).
+    std::int64_t d_model = 0, head_dim = 0; ///< Shape (valid if native).
+    /// Per head: prefix byte-aligned packed rows of head_dim elements.
+    std::vector<std::vector<std::uint8_t>> k_heads;
+    /// Per completed k1-key block: a packed [d_model, k1] slab of
+    /// transposed V (one slab serves every head via row offsets).
+    std::vector<std::vector<std::uint8_t>> v_slabs;
+    /// Raw FP32 V rows [prefix - k1 * v_slabs.size(), d_model] of the
+    /// still-open tail block (completed slabs drop their raw floats).
+    std::vector<float> v_tail;
+
+    /**
+     * Keep at most the first @p rows keys (stream diverged
+     * mid-window); returns the count actually retained.  Native V
+     * retreats to a k1 block boundary when the cut falls inside a
+     * completed slab — the slab's raw floats are gone, and a shorter
+     * tail would need re-quantization, which the native cache never
+     * does.
+     */
+    std::int64_t truncate(std::int64_t rows);
+
+    /** Heap bytes held by the cached prefix (the capacity-planning
+     *  number serve::SessionCache accounts per session). */
+    std::size_t memory_bytes() const;
 };
 
 /**
@@ -132,6 +173,22 @@ class MultiHeadAttention : public Layer
                               std::int64_t h) const;
     void scatter_head(tensor::Tensor& packed, const tensor::Tensor& head,
                       std::int64_t b, std::int64_t h) const;
+
+    /** True when a prefix cache for this layer stores packed MX streams
+     *  (causal + pow2-block forward format the packed GEMM can pair
+     *  with itself).  Mode-independent: storage is native whenever the
+     *  format permits; MX_GEMM only picks the execution engine. */
+    bool native_cache_format() const;
+
+    /** True when this eval forward's activation-activation contractions
+     *  (Q K^T, P V) run on the packed kernels: frozen layer, native
+     *  format, and the MX_GEMM policy routes packed. */
+    bool packed_act_act() const;
+
+    /** The three input projections, through the quantize-once
+     *  PackedOperand handoff when every projection can take it. */
+    void project_qkv(const tensor::Tensor& x, tensor::Tensor& q,
+                     tensor::Tensor& k, tensor::Tensor& v);
 
     std::int64_t d_model_, heads_, head_dim_, seq_len_;
     bool causal_;

@@ -92,6 +92,31 @@ Linear::frozen_matmul(const Tensor& x) const
         : tensor::matmul_nt(x, frozen_weight_.values());
 }
 
+bool
+Linear::packed_activation_ready() const
+{
+    return frozen() && packed_pairable() &&
+           gemm::route_packed(frozen_weight_.values().numel() == 0);
+}
+
+Tensor
+Linear::forward_packed_activation(const gemm::PackedOperand& xq)
+{
+    MX_CHECK_ARG(frozen() && packed_pairable(),
+                 "Linear: forward_packed_activation needs a frozen "
+                 "layer whose weight pairs with the activation format");
+    MX_CHECK_ARG(xq.cols() == static_cast<std::size_t>(in_),
+                 "Linear: packed activation is " << xq.cols()
+                     << " wide, layer expects " << in_);
+    const gemm::GemmPlan plan = gemm::make_gemm_plan(
+        xq.plan(), frozen_weight_.gemm_operand()->plan());
+    Tensor y = gemm::matmul_nt_prequant(plan, xq,
+                                        *frozen_weight_.gemm_operand());
+    if (with_bias_)
+        y = tensor::add_row_bias(y, bias_.value);
+    return y;
+}
+
 void
 Linear::drop_frozen_values()
 {

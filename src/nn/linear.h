@@ -11,6 +11,9 @@
 #include "stats/rng.h"
 
 namespace mx {
+namespace gemm {
+class PackedOperand;
+}
 namespace nn {
 
 /**
@@ -56,6 +59,26 @@ class Linear : public Layer
      * FP32 copy of the weight exists anywhere in the layer.
      */
     void drop_frozen_values();
+
+    /**
+     * True when forward_packed_activation may be called right now:
+     * frozen, the activation format pairs with the packed weight, and
+     * the MX_GEMM routing policy would take the packed path for this
+     * layer's own forward anyway.  Callers that feed one activation
+     * matrix to several layers (attention's wq/wk/wv share the post-LN
+     * input) check this on each, quantize once, and hand the packed
+     * view to all of them — the PackedOperand handoff.
+     */
+    bool packed_activation_ready() const;
+
+    /**
+     * The frozen forward on a pre-quantized activation view: y = xq W^T
+     * (+ bias) in the packed domain.  Bit-identical to forward() on the
+     * floats @p xq was quantized from, because quantization is a pure
+     * per-row function of the input — the only difference is that the
+     * quantization ran once in the caller instead of once per layer.
+     */
+    tensor::Tensor forward_packed_activation(const gemm::PackedOperand& xq);
 
     /** The layer's quantization policy (mutable for cast experiments). */
     QuantSpec& spec() { return spec_; }

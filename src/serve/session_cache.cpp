@@ -34,7 +34,8 @@ SessionCache::take_erased(std::uint64_t id)
         ++stats_.misses;
         return nullptr;
     }
-    std::shared_ptr<void> state = std::move(it->second->second);
+    std::shared_ptr<void> state = std::move(it->second->state);
+    stats_.resident_bytes -= it->second->bytes;
     lru_.erase(it->second);
     index_.erase(it);
     ++stats_.hits;
@@ -42,7 +43,8 @@ SessionCache::take_erased(std::uint64_t id)
 }
 
 void
-SessionCache::put(std::uint64_t id, std::shared_ptr<void> state)
+SessionCache::put(std::uint64_t id, std::shared_ptr<void> state,
+                  std::size_t bytes)
 {
     if (state == nullptr)
         return;
@@ -53,13 +55,17 @@ SessionCache::put(std::uint64_t id, std::shared_ptr<void> state)
     if (it != index_.end()) {
         // Same id checked in twice (e.g. a sessionless duplicate):
         // keep the newer state, refresh recency.
+        stats_.resident_bytes -= it->second->bytes;
         lru_.erase(it->second);
         index_.erase(it);
     }
-    lru_.emplace_front(id, std::move(state));
+    lru_.push_front(LruEntry{id, std::move(state), bytes});
     index_[id] = lru_.begin();
+    stats_.resident_bytes += bytes;
     while (lru_.size() > capacity_) {
-        index_.erase(lru_.back().first);
+        stats_.resident_bytes -= lru_.back().bytes;
+        stats_.evicted_bytes += lru_.back().bytes;
+        index_.erase(lru_.back().id);
         lru_.pop_back();
         ++stats_.evictions;
     }
@@ -72,6 +78,7 @@ SessionCache::erase(std::uint64_t id)
     auto it = index_.find(id);
     if (it == index_.end())
         return;
+    stats_.resident_bytes -= it->second->bytes;
     lru_.erase(it->second);
     index_.erase(it);
 }

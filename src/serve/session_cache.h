@@ -70,8 +70,12 @@ class SessionCache
 
     /** Check @p state in as the freshest session; evicts the
      *  least-recently-used session past capacity.  No-op when
-     *  disabled. */
-    void put(std::uint64_t id, std::shared_ptr<void> state);
+     *  disabled.  @p bytes is the state's heap footprint as reported
+     *  by the caller (e.g. models::decode_session_bytes) — it feeds
+     *  the resident/evicted byte counters, the capacity-planning
+     *  numbers the serve bench reports. */
+    void put(std::uint64_t id, std::shared_ptr<void> state,
+             std::size_t bytes = 0);
 
     /** Drop one session (e.g. the stream ended). */
     void erase(std::uint64_t id);
@@ -82,6 +86,10 @@ class SessionCache
         std::uint64_t hits = 0;      ///< take() found a state.
         std::uint64_t misses = 0;    ///< take() came back empty.
         std::uint64_t evictions = 0; ///< States dropped by the LRU bound.
+        /// Caller-reported bytes of the currently resident sessions.
+        std::uint64_t resident_bytes = 0;
+        /// Cumulative caller-reported bytes dropped by the LRU bound.
+        std::uint64_t evicted_bytes = 0;
     };
     Stats stats() const;
 
@@ -92,7 +100,12 @@ class SessionCache
 
     std::shared_ptr<void> take_erased(std::uint64_t id);
 
-    using LruEntry = std::pair<std::uint64_t, std::shared_ptr<void>>;
+    struct LruEntry
+    {
+        std::uint64_t id = 0;
+        std::shared_ptr<void> state;
+        std::size_t bytes = 0;
+    };
 
     mutable std::mutex mu_;
     std::size_t capacity_;

@@ -217,6 +217,37 @@ TEST(FrozenAttention, BitIdenticalEvalForward)
     });
 }
 
+TEST(FrozenAttention, PackedActActRouteBitMatchesValuesFallback)
+{
+    // At single-block shapes (d_model = head_dim = 16, seq_len <= 16)
+    // every contraction in the layer — all four projections, Q K^T,
+    // and P V — spans one k1 block, where the packed kernels are exact
+    // (one shared scale, one double->float rounding on either path).
+    // So the packed activation-activation route (MX_GEMM=1) must match
+    // the values fallback this suite pins (MX_GEMM=0) bit-for-bit,
+    // not merely to accumulation tolerance.
+    for_each_dispatch([&](const char* leg) {
+        for (const auto& fmt : mx_formats()) {
+            stats::Rng rng(41);
+            MultiHeadAttention attn(16, 1, 8, /*causal=*/true,
+                                    QuantSpec::forward_only(fmt), rng);
+            Tensor x = Tensor::randn({2 * 8, 16}, rng);
+            attn.freeze();
+            ASSERT_TRUE(attn.frozen());
+            gemm::set_mode(gemm::Mode::Off);
+            Tensor values = attn.forward(x, false);
+            gemm::set_mode(gemm::Mode::On);
+            const std::uint64_t before = gemm::call_count();
+            Tensor packed = attn.forward(x, false);
+            EXPECT_GT(gemm::call_count(), before)
+                << "packed route did not engage (" << fmt.name << ")";
+            gemm::set_mode(gemm::Mode::Off); // restore the suite pin
+            EXPECT_EQ(tensor::max_abs_diff(values, packed), 0.0)
+                << fmt.name << " leg=" << leg;
+        }
+    });
+}
+
 TEST(FrozenLstm, BitIdenticalEvalForward)
 {
     for_each_dispatch([&](const char* leg) {

@@ -561,3 +561,171 @@ TEST(FrozenGemmRouting, DropValuesRejectedWhenActivationsCannotPair)
     // And the layer still serves on the values path afterwards.
     layer.forward(x, false);
 }
+
+// ---------------------------------------------------------------------------
+// Activation-activation GEMM (the Q K^T / P V legs) and the byte-aligned
+// row streams behind the native MX K/V cache.
+// ---------------------------------------------------------------------------
+
+TEST(PackedActAct, SingleBlockNtLegBitMatchesFakeQuant)
+{
+    // K <= k1 means one block pair per output element: the block's
+    // grid products share one scale, so both paths hold the exact sum
+    // in double and round to float exactly once.  The packed act-act
+    // contraction must therefore equal the fake-quant reference
+    // bit-for-bit — this is the exactness the native K/V cache's
+    // warm==cold pins stand on (head_dim and decode windows are
+    // single-block in every miniature).
+    stats::Rng rng(120);
+    for_each_dispatch([&](const char* leg) {
+        for (const auto& fmt : mx_formats()) {
+            for (std::int64_t k : {16, 11}) {
+                Tensor x = spread_randn(3, k, rng);
+                Tensor y = spread_randn(5, k, rng);
+                const QuantPlan plan = make_quant_plan(fmt);
+                Tensor got = gemm::matmul_nt_packed2(x, plan, y, plan);
+                Tensor ref = nn::qmatmul_nt(x, y, fmt);
+                EXPECT_EQ(tensor::max_abs_diff(got, ref), 0.0)
+                    << fmt.name << " k=" << k << " leg=" << leg;
+            }
+        }
+    });
+}
+
+TEST(PackedActAct, MultiBlockNtLegMatchesDequantizedReference)
+{
+    // Across blocks the packed path accumulates in FP32 where the
+    // reference uses FP64, so the contract widens to float-accumulation
+    // tolerance — but the two dispatch legs must still agree exactly.
+    stats::Rng rng(121);
+    for (const auto& fmt : mx_formats()) {
+        for (std::int64_t k : {48, 35}) {
+            Tensor x = spread_randn(5, k, rng);
+            Tensor y = spread_randn(7, k, rng);
+            const QuantPlan plan = make_quant_plan(fmt);
+            core::kernels::set_force_scalar(false);
+            Tensor deflt = gemm::matmul_nt_packed2(x, plan, y, plan);
+            core::kernels::set_force_scalar(true);
+            Tensor scalar = gemm::matmul_nt_packed2(x, plan, y, plan);
+            core::kernels::set_force_scalar(false);
+            EXPECT_EQ(tensor::max_abs_diff(deflt, scalar), 0.0)
+                << fmt.name << " k=" << k;
+            Tensor ref = tensor::matmul_nt(nn::quantize_rows(x, fmt),
+                                           nn::quantize_rows(y, fmt));
+            EXPECT_LE(tensor::max_abs_diff(deflt, ref),
+                      1e-5 * std::max(max_abs(ref), 1e-20))
+                << fmt.name << " k=" << k;
+        }
+    }
+}
+
+TEST(PackedActAct, NnLegBitMatchesNtOnEquivalentOperands)
+{
+    // The NN kernel leg consumes B as one packed chunk per k1-block
+    // (how P V reads the native V cache).  Block quantization is
+    // self-contained per k1 block, so quantizing each contraction
+    // slice separately yields the same encodings as slicing a full
+    // quantization — the NN result must equal the NT result
+    // bit-for-bit, ragged tail chunks and nonzero row_off included.
+    stats::Rng rng(122);
+    constexpr std::size_t k1 = 16;
+    for_each_dispatch([&](const char* leg) {
+        for (const auto& fmt : mx_formats()) {
+            for (std::int64_t k : {16, 48, 40}) {
+                const std::int64_t m = 4, n = 6, pad = 3;
+                Tensor x = spread_randn(m, k, rng);
+                Tensor b = spread_randn(n, k, rng);
+                const QuantPlan plan = make_quant_plan(fmt);
+                core::Rounder rounder;
+                const auto aop = gemm::PackedOperand::quantize(
+                    plan, x.data(), static_cast<std::size_t>(m),
+                    static_cast<std::size_t>(k), rounder);
+                const auto bop = gemm::PackedOperand::quantize(
+                    plan, b.data(), static_cast<std::size_t>(n),
+                    static_cast<std::size_t>(k), rounder);
+                const gemm::GemmPlan gp =
+                    gemm::make_gemm_plan(plan, plan);
+                Tensor nt = gemm::matmul_nt_prequant(gp, aop, bop);
+
+                // One chunk per k1-block: rows run along output
+                // columns, cols are the contraction slice.  Chunks are
+                // embedded at row_off = pad inside taller operands to
+                // pin the offset plumbing (a V slab serves every head
+                // through its row_off).
+                const std::size_t nblocks =
+                    (static_cast<std::size_t>(k) + k1 - 1) / k1;
+                std::vector<gemm::PackedOperand> chunks(nblocks);
+                for (std::size_t kb = 0; kb < nblocks; ++kb) {
+                    const std::size_t w = std::min(
+                        k1, static_cast<std::size_t>(k) - kb * k1);
+                    Tensor slab({pad + n, static_cast<std::int64_t>(w)});
+                    for (std::int64_t r = 0; r < pad + n; ++r)
+                        for (std::size_t c = 0; c < w; ++c)
+                            slab.data()[r * static_cast<std::int64_t>(w) +
+                                        static_cast<std::int64_t>(c)] =
+                                r < pad ? static_cast<float>(r + 1)
+                                        : b.data()[(r - pad) * k +
+                                                   static_cast<
+                                                       std::int64_t>(
+                                                       kb * k1 + c)];
+                    chunks[kb] = gemm::PackedOperand::quantize(
+                        plan, slab.data(),
+                        static_cast<std::size_t>(pad + n), w, rounder);
+                }
+                std::vector<gemm::NnBlockRef> refs;
+                for (const auto& c : chunks)
+                    refs.push_back({&c, static_cast<std::size_t>(pad)});
+                Tensor nn_out = gemm::matmul_nn_packed(
+                    gp, aop, refs, static_cast<std::size_t>(n));
+                EXPECT_EQ(tensor::max_abs_diff(nn_out, nt), 0.0)
+                    << fmt.name << " k=" << k << " leg=" << leg;
+            }
+        }
+    });
+}
+
+TEST(PackedOperand, AlignedRowStreamAppendsAndDecodesExactly)
+{
+    // The native K/V cache's storage form: appending rows in two calls
+    // must produce the same byte stream as one call (append is a pure
+    // memcpy at byte-aligned offsets), and decode_rows must recover
+    // the exact execution view PackedOperand::quantize builds.
+    stats::Rng rng(123);
+    for (const auto& fmt : mx_formats()) {
+        for (std::int64_t cols : {16, 19, 48}) {
+            const std::size_t rows = 5, ucols =
+                static_cast<std::size_t>(cols);
+            Tensor x = spread_randn(static_cast<std::int64_t>(rows),
+                                    cols, rng);
+            const QuantPlan plan = make_quant_plan(fmt);
+            core::Rounder rounder;
+            std::vector<std::uint8_t> one, two;
+            gemm::pack_rows_aligned(plan, x.data(), rows, ucols, rounder,
+                                    one);
+            gemm::pack_rows_aligned(plan, x.data(), 3, ucols, rounder,
+                                    two);
+            gemm::pack_rows_aligned(plan, x.data() + 3 * cols, rows - 3,
+                                    ucols, rounder, two);
+            EXPECT_EQ(one, two) << fmt.name << " cols=" << cols;
+            EXPECT_EQ(one.size(),
+                      rows * gemm::row_stream_bytes(plan, ucols));
+
+            const gemm::PackedOperand dec =
+                gemm::PackedOperand::decode_rows(plan, one, rows, ucols);
+            const gemm::PackedOperand enc = gemm::PackedOperand::quantize(
+                plan, x.data(), rows, ucols, rounder);
+            ASSERT_EQ(dec.rows(), enc.rows());
+            ASSERT_EQ(dec.cols(), enc.cols());
+            for (std::size_t r = 0; r < rows; ++r) {
+                for (std::size_t c = 0; c < ucols; ++c)
+                    EXPECT_EQ(dec.row_mantissa(r)[c],
+                              enc.row_mantissa(r)[c])
+                        << fmt.name << " [" << r << "," << c << "]";
+                for (std::size_t s = 0; s < dec.subs_per_row(); ++s)
+                    EXPECT_EQ(dec.row_tau(r)[s], enc.row_tau(r)[s]);
+                for (std::size_t b = 0; b < dec.blocks_per_row(); ++b)
+                    EXPECT_EQ(dec.row_exp(r)[b], enc.row_exp(r)[b]);
+            }
+        }
+    }
+}

@@ -711,3 +711,199 @@ TEST(DecodeSession, ReplicatedSessionServingMatchesDirectDecode)
     EXPECT_EQ(decoded, reference);
     EXPECT_GT(cache.stats().hits, 0u) << "prefix cache never engaged";
 }
+
+namespace {
+
+/** A frozen causal LM with a chosen activation format and window. */
+models::GptMini
+make_decode_gpt_fmt(const core::BdrFormat& fmt, std::int64_t seq_len,
+                    std::int64_t layers)
+{
+    models::TransformerConfig cfg;
+    cfg.vocab = 16;
+    cfg.d_model = 32;
+    cfg.heads = 2;
+    cfg.layers = layers;
+    cfg.seq_len = seq_len;
+    cfg.spec = nn::QuantSpec::forward_only(fmt);
+    cfg.seed = 41;
+    models::GptMini model(cfg);
+    model.freeze();
+    return model;
+}
+
+} // namespace
+
+TEST(DecodeSession, NativeCachePinsEveryMxFormatAcrossLegsAndModes)
+{
+    // The native MX K/V cache engages for every pow2-block format —
+    // not just MX9 — and in EVERY routing mode (storage is
+    // mode-independent; only execution routes).  Warm decode must
+    // equal cold recompute bit-for-bit throughout.
+    const gemm::Mode ambient_mode = gemm::mode();
+    for (const auto& fmt : {core::mx9(), core::mx6(), core::mx4()}) {
+        for (bool force_scalar : {false, true}) {
+            core::kernels::set_force_scalar(force_scalar);
+            for (gemm::Mode mode : {gemm::Mode::Off, gemm::Mode::On}) {
+                gemm::set_mode(mode);
+                models::GptMini model = make_decode_gpt_fmt(fmt, 8, 1);
+                const auto& cfg = model.config();
+                models::GptDecodeSession session;
+                std::vector<int> ctx = {3, 1};
+                while (static_cast<std::int64_t>(ctx.size()) <
+                       cfg.seq_len) {
+                    Tensor warm = model.decode_logits(ctx, &session);
+                    Tensor cold = model.decode_logits(ctx, nullptr);
+                    for (std::int64_t j = 0; j < warm.numel(); ++j)
+                        ASSERT_EQ(warm.data()[j], cold.data()[j])
+                            << fmt.name << " scalar=" << force_scalar
+                            << " mode=" << static_cast<int>(mode)
+                            << " step " << ctx.size() << " logit " << j;
+                    ctx.push_back(argmax_row(warm.data(), cfg.vocab));
+                }
+                ASSERT_FALSE(session.layers.empty());
+                EXPECT_TRUE(session.layers[0].native)
+                    << fmt.name << ": pow2-block format did not engage "
+                                   "native packed storage";
+            }
+        }
+    }
+    gemm::set_mode(ambient_mode);
+    core::kernels::set_force_scalar(false); // re-resolve (honours env)
+}
+
+TEST(DecodeSession, SlabCommitTruncateRetreatAndNativeFootprint)
+{
+    // A 32-key window crosses the k1 = 16 block boundary: completed V
+    // slabs commit mid-stream, a divergence whose cut lands inside a
+    // committed slab retreats to the boundary (its raw floats are
+    // gone), and the full-window native footprint is >= 3x under the
+    // FP32 rows it replaces.
+    models::GptMini model = make_decode_gpt_fmt(core::mx9(), 32, 2);
+    const auto& cfg = model.config();
+
+    models::GptDecodeSession session;
+    std::vector<int> a = {3, 1};
+    while (a.size() < 28) {
+        Tensor warm = model.decode_logits(a, &session);
+        Tensor cold = model.decode_logits(a, nullptr);
+        for (std::int64_t j = 0; j < warm.numel(); ++j)
+            ASSERT_EQ(warm.data()[j], cold.data()[j])
+                << "step " << a.size() << " logit " << j;
+        a.push_back(argmax_row(warm.data(), cfg.vocab));
+    }
+    ASSERT_FALSE(session.layers.empty());
+    EXPECT_TRUE(session.layers[0].native);
+    EXPECT_GE(session.layers[0].v_slabs.size(), 1u)
+        << "no V slab committed by key 27";
+
+    // Diverge at key 18 — inside the committed slab, so the native
+    // cache retreats to key 16 and recomputes the rest.  Bits must
+    // still match a cold decode.
+    std::vector<int> b(a.begin(), a.begin() + 18);
+    b.push_back((a[18] + 1) % static_cast<int>(cfg.vocab));
+    Tensor warm_b = model.decode_logits(b, &session);
+    Tensor cold_b = model.decode_logits(b, nullptr);
+    for (std::int64_t j = 0; j < warm_b.numel(); ++j)
+        ASSERT_EQ(warm_b.data()[j], cold_b.data()[j])
+            << "slab-interior divergence, logit " << j;
+
+    // Diverge again at key 10 — inside the raw FP32 tail (no committed
+    // blocks survive the cut on the V side beyond slab 0).
+    std::vector<int> c(b.begin(), b.begin() + 10);
+    c.push_back((b[10] + 2) % static_cast<int>(cfg.vocab));
+    Tensor warm_c = model.decode_logits(c, &session);
+    Tensor cold_c = model.decode_logits(c, nullptr);
+    for (std::int64_t j = 0; j < warm_c.numel(); ++j)
+        ASSERT_EQ(warm_c.data()[j], cold_c.data()[j])
+            << "tail divergence, logit " << j;
+
+    // Footprint at the full window (tail empty: 32 = 2 slabs): packed
+    // streams vs the legacy FP32 K/V rows for the same prefix.
+    models::GptDecodeSession full;
+    std::vector<int> w;
+    for (int i = 0; i < 32; ++i)
+        w.push_back((5 * i + 3) % static_cast<int>(cfg.vocab));
+    Tensor warm_w = model.decode_logits(w, &full);
+    Tensor cold_w = model.decode_logits(w, nullptr);
+    for (std::int64_t j = 0; j < warm_w.numel(); ++j)
+        ASSERT_EQ(warm_w.data()[j], cold_w.data()[j]);
+    const std::size_t packed = models::decode_session_bytes(full);
+    const std::size_t fp32 =
+        w.size() * sizeof(int) +
+        static_cast<std::size_t>(cfg.layers) * 2 * w.size() *
+            static_cast<std::size_t>(cfg.d_model) * sizeof(float);
+    EXPECT_GT(packed, 0u);
+    EXPECT_LE(packed * 3, fp32)
+        << "native cache " << packed << " B not >=3x under FP32 "
+        << fp32 << " B";
+}
+
+TEST(SessionCache, ByteAccountingTracksResidencyAndEviction)
+{
+    serve::SessionCache cache(2);
+    cache.put(1, std::make_shared<int>(1), 100);
+    cache.put(2, std::make_shared<int>(2), 50);
+    EXPECT_EQ(cache.stats().resident_bytes, 150u);
+
+    // A checkout transfers the bytes out with the state.
+    auto one = cache.take<int>(1);
+    ASSERT_NE(one, nullptr);
+    EXPECT_EQ(cache.stats().resident_bytes, 50u);
+
+    // Check-in with a new size (a session grows as its prefix does).
+    cache.put(1, std::move(one), 120);
+    EXPECT_EQ(cache.stats().resident_bytes, 170u);
+
+    // Capacity overflow evicts the LRU entry and moves its bytes to
+    // the cumulative eviction counter.
+    cache.put(3, std::make_shared<int>(3), 30);
+    serve::SessionCache::Stats st = cache.stats();
+    EXPECT_EQ(st.evictions, 1u);
+    EXPECT_EQ(st.resident_bytes, 150u);
+    EXPECT_EQ(st.evicted_bytes, 50u);
+
+    cache.erase(1);
+    EXPECT_EQ(cache.stats().resident_bytes, 30u);
+
+    // Same-id re-put replaces the accounted size, never double-counts.
+    cache.put(3, std::make_shared<int>(4), 40);
+    EXPECT_EQ(cache.stats().resident_bytes, 40u);
+}
+
+TEST(DecodeSession, EvictionAndReCheckoutStayBitIdentical)
+{
+    // Capacity-1 cache, two interleaved streams: every step evicts the
+    // other stream's session, so each decode restarts from a miss.
+    // The contract is that eviction costs time, never bits — and the
+    // byte counters see both residency and the eviction churn.
+    models::GptMini model = make_decode_gpt_fmt(core::mx9(), 8, 2);
+    const auto& cfg = model.config();
+    serve::SessionCache cache(1);
+
+    std::vector<std::vector<int>> ctx = {{3, 1}, {9, 2}};
+    while (static_cast<std::int64_t>(ctx[0].size()) < cfg.seq_len ||
+           static_cast<std::int64_t>(ctx[1].size()) < cfg.seq_len) {
+        for (std::size_t s = 0; s < 2; ++s) {
+            if (static_cast<std::int64_t>(ctx[s].size()) >= cfg.seq_len)
+                continue;
+            auto st = cache.take<models::GptDecodeSession>(s + 1);
+            if (st == nullptr)
+                st = std::make_shared<models::GptDecodeSession>();
+            Tensor warm = model.decode_logits(ctx[s], st.get());
+            const std::size_t bytes = models::decode_session_bytes(*st);
+            cache.put(s + 1, std::move(st), bytes);
+            Tensor cold = model.decode_logits(ctx[s], nullptr);
+            for (std::int64_t j = 0; j < warm.numel(); ++j)
+                ASSERT_EQ(warm.data()[j], cold.data()[j])
+                    << "stream " << s << " step " << ctx[s].size()
+                    << " logit " << j;
+            ctx[s].push_back(argmax_row(warm.data(), cfg.vocab));
+        }
+    }
+
+    serve::SessionCache::Stats st = cache.stats();
+    EXPECT_GT(st.evictions, 0u);
+    EXPECT_GT(st.evicted_bytes, 0u);
+    EXPECT_GT(st.resident_bytes, 0u);
+}
