@@ -10,9 +10,13 @@
  *            stream's mantissas directly (no FP32 weight copy).
  *
  * Also reports the packed path's QSNR against the FP32 matmul oracle
- * (pinned per format), the scalar/AVX2 bit-identity check, ragged-width
- * correctness, and the weight-memory story (FP32 bytes vs packed stream
- * vs execution view).  Emits BENCH_gemm_packed.json.
+ * (pinned per format), scalar/AVX2/AVX-512 bit-identity checks,
+ * ragged-width correctness, an MX_GEMM_THREADS sweep over decode- and
+ * prefill-shaped GEMMs (slot-named t1/t2/t4/tpool so baselines compare
+ * across machines, with a bytes-touched-per-MAC arithmetic-intensity
+ * metric and a bit-identity-across-lane-counts flag), and the
+ * weight-memory story (FP32 bytes vs packed stream vs execution view).
+ * Emits BENCH_gemm_packed.json.
  *
  *   $ ./bench/gemm_packed
  */
@@ -22,6 +26,7 @@
 
 #include "bench_report.h"
 #include "core/kernels/dispatch.h"
+#include "core/thread_pool.h"
 #include "gemm/packed_gemm.h"
 #include "nn/frozen.h"
 #include "nn/quant.h"
@@ -201,6 +206,134 @@ main()
         }
         report.flag("gemm_scalar_avx2_bit_identical", identical);
         ok = ok && identical;
+
+        bool identical512 = true;
+        if (gemm::avx512_gemm_kernel() != nullptr &&
+            core::kernels::avx512_supported()) {
+            core::Rounder rounder;
+            const auto a = gemm::PackedOperand::quantize(
+                plan, x.data(), 5, static_cast<std::size_t>(rk), rounder);
+            const auto b = gemm::PackedOperand::quantize(
+                plan, w.data(), 9, static_cast<std::size_t>(rk), rounder);
+            const gemm::GemmPlan gp = gemm::make_gemm_plan(plan, plan);
+            Tensor cs({5, 9}), cv({5, 9});
+            gemm::scalar_gemm_kernel().gemm(gp, a, b, cs.data());
+            gemm::avx512_gemm_kernel()->gemm(gp, a, b, cv.data());
+            identical512 = tensor::max_abs_diff(cs, cv) == 0.0;
+            std::printf("  scalar vs AVX-512 bit-identical: %s\n",
+                        identical512 ? "yes" : "NO");
+        } else {
+            std::printf("  scalar vs AVX-512 bit-identical: skipped "
+                        "(no AVX-512/VNNI on this host)\n");
+        }
+        report.flag("gemm_scalar_avx512_bit_identical", identical512);
+        ok = ok && identical512;
+    }
+
+    // ------------------------------------------------------------------
+    // Thread sweep (MX_GEMM_THREADS): output tiles shard across lanes.
+    // Slots are NAMED (t1/t2/t4/tpool), not thread-count-keyed, so a
+    // baseline recorded on one machine compares on another; results
+    // must stay bit-identical at every lane count.
+    // ------------------------------------------------------------------
+    bench::banner("MX_GEMM_THREADS sweep: decode + prefill shapes (MX9)");
+    {
+        const auto fmt = core::mx9();
+        const core::kernels::QuantPlan plan =
+            core::kernels::make_quant_plan(fmt);
+        const gemm::GemmPlan gp = gemm::make_gemm_plan(plan, plan);
+        const std::size_t pool = core::ThreadPool::default_thread_count();
+        struct Slot
+        {
+            const char* name;
+            std::size_t threads;
+        };
+        const Slot slots[] = {
+            {"t1", 1}, {"t2", 2}, {"t4", 4}, {"tpool", pool}};
+        struct Shape
+        {
+            const char* name;
+            std::int64_t m, k, n;
+        };
+        const Shape shapes[] = {
+            // Decode: one small activation batch against a wide cache.
+            {"decode", 8, 256, 256},
+            // Prefill: a full-sequence batch — the shape threading pays
+            // for (many output tiles, each with a deep contraction).
+            {"prefill", static_cast<std::int64_t>(bench::scaled(128, 48)),
+             static_cast<std::int64_t>(bench::scaled(512, 192)),
+             static_cast<std::int64_t>(bench::scaled(512, 192))}};
+        std::printf("  pool lanes on this host: %zu\n\n", pool);
+        std::printf("%-8s %6s %14s %9s\n", "shape", "slot", "MACs/s",
+                    "vs t1");
+        for (const Shape& s : shapes) {
+            Tensor x = Tensor::randn({s.m, s.k}, rng, 1.0f);
+            Tensor y = Tensor::randn({s.n, s.k}, rng, 0.3f);
+            core::Rounder rounder;
+            const auto a = gemm::PackedOperand::quantize(
+                plan, x.data(), static_cast<std::size_t>(s.m),
+                static_cast<std::size_t>(s.k), rounder);
+            const auto b = gemm::PackedOperand::quantize(
+                plan, y.data(), static_cast<std::size_t>(s.n),
+                static_cast<std::size_t>(s.k), rounder);
+            const std::size_t smacs = static_cast<std::size_t>(s.m) *
+                                      static_cast<std::size_t>(s.k) *
+                                      static_cast<std::size_t>(s.n);
+            // Arithmetic intensity of the packed execution: operand
+            // views in, FP32 C out, per multiply-accumulate.
+            const double bytes_touched =
+                static_cast<double>(a.memory_bytes()) +
+                static_cast<double>(b.memory_bytes()) +
+                static_cast<double>(s.m) * static_cast<double>(s.n) *
+                    sizeof(float);
+            report.metric(std::string("gemm_sweep_") + s.name +
+                              "_bytes_per_mac",
+                          bytes_touched / static_cast<double>(smacs),
+                          "B/MAC");
+
+            gemm::set_gemm_threads(1);
+            Tensor base = gemm::matmul_nt_prequant(gp, a, b);
+            double t1_rate = 0.0, pool_rate = 0.0;
+            bool identical = true;
+            for (const Slot& sl : slots) {
+                gemm::set_gemm_threads(sl.threads);
+                bench::BenchResult r = bench::run_bench(
+                    [&]() {
+                        bench::do_not_optimize(
+                            gemm::matmul_nt_prequant(gp, a, b));
+                    },
+                    smacs);
+                Tensor out = gemm::matmul_nt_prequant(gp, a, b);
+                identical =
+                    identical && tensor::max_abs_diff(out, base) == 0.0;
+                if (sl.threads == 1)
+                    t1_rate = r.items_per_sec;
+                if (sl.threads == pool)
+                    pool_rate = r.items_per_sec;
+                std::printf("%-8s %6s %14.3e %8.2fx\n", s.name, sl.name,
+                            r.items_per_sec,
+                            t1_rate > 0.0 ? r.items_per_sec / t1_rate
+                                          : 1.0);
+                report.bench_result(std::string("gemm_sweep_") + s.name +
+                                        "_" + sl.name,
+                                    r);
+            }
+            gemm::set_gemm_threads(0); // back to the env resolution
+            report.flag(std::string("gemm_sweep_") + s.name +
+                            "_bit_identical",
+                        identical);
+            ok = ok && identical;
+            if (std::string(s.name) == "prefill" && pool >= 2) {
+                // The scaling claim needs lanes to scale across — on a
+                // single-CPU host the key is absent (the compare gate
+                // treats pool-conditional keys as notes, not misses).
+                const double scale = pool_rate / t1_rate;
+                report.metric("gemm_prefill_pool_speedup", scale, "x");
+                const bool scale_ok = scale >= 2.0;
+                report.flag("gemm_prefill_pool_ge_2x_t1", scale_ok);
+                ok = ok && scale_ok;
+            }
+        }
     }
 
     // ------------------------------------------------------------------

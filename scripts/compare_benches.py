@@ -38,6 +38,32 @@ def is_qsnr_metric(name: str, unit: str) -> bool:
     return unit == "dB" or "qsnr" in name
 
 
+def is_host_conditional(name: str) -> bool:
+    """Keys only emitted on capable hosts: ISA-tagged metrics
+    (quantize_mx9_avx2_*, gemm_*_avx512_*) exist only where the CPU
+    reports the ISA, and pool-gated claims (gemm_prefill_pool_*) only
+    where the machine has >= 2 lanes to scale across."""
+    return "avx2" in name or "avx512" in name or "pool" in name
+
+
+def cpu_feature_summary() -> str:
+    """The host's SIMD story, so a cross-machine comparison log shows
+    WHY an ISA-conditional key is absent (best effort; Linux only)."""
+    feats = ("avx2", "avx512f", "avx512bw", "avx512_vnni")
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("flags"):
+                    have = set(line.split(":", 1)[1].split())
+                    return " ".join(
+                        f"{name}={'yes' if name in have else 'no'}"
+                        for name in feats
+                    )
+    except OSError:
+        pass
+    return "unknown (no /proc/cpuinfo)"
+
+
 def is_throughput_metric(name: str) -> bool:
     return name.endswith("_items_per_sec")
 
@@ -100,12 +126,12 @@ def compare(
         for name, bm in sorted(base_metrics.items()):
             cm = cur_metrics.get(name)
             if cm is None:
-                # ISA-tagged metrics (e.g. quantize_mx9_avx2_*) are only
-                # emitted on hosts with that ISA; their absence is not a
+                # Host-conditional keys (ISA-tagged, pool-gated) are
+                # only emitted on capable hosts; their absence is not a
                 # regression when the gate runs on different hardware.
-                if "avx2" in name:
+                if is_host_conditional(name):
                     notes.append(
-                        f"{bench}/{name}: ISA-conditional metric absent"
+                        f"{bench}/{name}: host-conditional metric absent"
                     )
                 else:
                     regressions.append(f"{bench}/{name}: metric missing")
@@ -136,7 +162,13 @@ def compare(
         for name, passed in sorted(check_map(base_report).items()):
             cur_checks = check_map(cur_report)
             if name not in cur_checks:
-                regressions.append(f"{bench}/check {name}: missing")
+                if is_host_conditional(name):
+                    notes.append(
+                        f"{bench}/check {name}: host-conditional "
+                        f"check absent"
+                    )
+                else:
+                    regressions.append(f"{bench}/check {name}: missing")
             elif passed and not cur_checks[name]:
                 regressions.append(
                     f"{bench}/check {name}: passed in baseline, fails now"
@@ -197,6 +229,7 @@ def main() -> int:
         base, cur, args.throughput_tol, args.qsnr_tol
     )
 
+    print(f"compare_benches: host CPU features: {cpu_feature_summary()}")
     # Per-metric comparison lines print on success too, so CI logs show
     # the speedup a PR actually delivered, not only its failures
     # (--verbose is kept for compatibility; it no longer gates output).

@@ -34,7 +34,8 @@ normalize(const char* raw)
 /** Warn once per variable per process (a knob read in a hot loop must
  *  not spam stderr). */
 void
-warn_once(const char* name, const char* raw, const std::string& expected)
+warn_once(const char* name, const char* raw, const std::string& expected,
+          const char* action = "using the default")
 {
     static std::mutex mu;
     static std::set<std::string>* warned = new std::set<std::string>;
@@ -44,9 +45,8 @@ warn_once(const char* name, const char* raw, const std::string& expected)
             return;
     }
     std::fprintf(stderr,
-                 "mx: ignoring malformed %s=\"%s\" (expected %s); using "
-                 "the default\n",
-                 name, raw, expected.c_str());
+                 "mx: ignoring malformed %s=\"%s\" (expected %s); %s\n",
+                 name, raw, expected.c_str(), action);
 }
 
 } // namespace
@@ -58,20 +58,40 @@ size_knob(const char* name, std::size_t fallback, std::size_t min_value)
     if (raw == nullptr || raw[0] == '\0')
         return fallback;
     const std::string v = normalize(raw);
-    bool ok = !v.empty() &&
-              std::all_of(v.begin(), v.end(), [](unsigned char c) {
-                  return std::isdigit(c);
-              });
-    unsigned long long parsed = 0;
-    if (ok) {
-        errno = 0;
-        parsed = std::strtoull(v.c_str(), nullptr, 10);
-        ok = errno == 0 && parsed >= min_value;
-    }
-    if (!ok) {
+    // Numeric = optional sign + digits.  A signed value is "nonsense
+    // but a number": it clamps to the floor below instead of silently
+    // configuring the default (MX_GEMM_THREADS=-3 means "as few as
+    // possible", not "pool-sized").
+    const std::size_t digits0 =
+        !v.empty() && (v[0] == '-' || v[0] == '+') ? 1 : 0;
+    const bool numeric =
+        v.size() > digits0 &&
+        std::all_of(v.begin() + static_cast<std::ptrdiff_t>(digits0),
+                    v.end(),
+                    [](unsigned char c) { return std::isdigit(c); });
+    if (!numeric) {
         warn_once(name, raw,
                   "an integer >= " + std::to_string(min_value));
         return fallback;
+    }
+    unsigned long long parsed = 0;
+    bool below_floor = v[0] == '-';
+    if (!below_floor) {
+        errno = 0;
+        parsed = std::strtoull(v.c_str(), nullptr, 10);
+        if (errno != 0) {
+            // Out of range for the type: not a value to clamp toward.
+            warn_once(name, raw,
+                      "an integer >= " + std::to_string(min_value));
+            return fallback;
+        }
+        below_floor = parsed < min_value;
+    }
+    if (below_floor) {
+        warn_once(name, raw,
+                  "an integer >= " + std::to_string(min_value),
+                  "clamping to the minimum");
+        return min_value;
     }
     return static_cast<std::size_t>(parsed);
 }

@@ -36,8 +36,11 @@ namespace env {
 
 /**
  * Parse @p name as a size knob.  Accepts a plain decimal integer
- * >= @p min_value; anything else (trailing junk, negative, out of
- * range) warns once and returns @p fallback.
+ * >= @p min_value.  A numeric value *below* the floor (0 or a negative
+ * thread count) warns once and clamps to @p min_value — an operator
+ * asking for "no threads" means the minimum, and propagating a zero
+ * into shard math divides by it.  Anything non-numeric (trailing junk,
+ * out of range) warns once and returns @p fallback.
  */
 std::size_t size_knob(const char* name, std::size_t fallback,
                       std::size_t min_value = 1);

@@ -16,17 +16,36 @@ env_forces_scalar()
     return env::flag_knob("MX_FORCE_SCALAR", false);
 }
 
-/** Cached selection; nullptr = not resolved yet. */
-std::atomic<const QuantKernel*> g_active{nullptr};
+bool
+env_caps_at_avx2()
+{
+    return env::flag_knob("MX_FORCE_AVX2", false);
+}
 
-const QuantKernel*
+/** Cached level; -1 = not resolved yet. */
+std::atomic<int> g_level{-1};
+
+SimdLevel
 resolve()
 {
     if (env_forces_scalar())
-        return &scalar_kernel();
+        return SimdLevel::Scalar;
+    if (avx512_supported() && !env_caps_at_avx2())
+        return SimdLevel::Avx512;
     if (avx2_supported())
-        return avx2_kernel();
-    return &scalar_kernel();
+        return SimdLevel::Avx2;
+    return SimdLevel::Scalar;
+}
+
+/** Highest level this build + CPU can execute (env ignored). */
+SimdLevel
+host_ceiling()
+{
+    if (avx512_supported())
+        return SimdLevel::Avx512;
+    if (avx2_supported())
+        return SimdLevel::Avx2;
+    return SimdLevel::Scalar;
 }
 
 } // namespace
@@ -41,23 +60,65 @@ avx2_supported()
 #endif
 }
 
+bool
+avx512_supported()
+{
+    // MX_HAVE_AVX512 certifies the toolchain compiled the AVX-512 GEMM
+    // leg (src/gemm/avx512_gemm.cpp); the probe certifies the host can
+    // run every instruction it uses (foundation + bw int16 madd + vnni
+    // dot-product accumulate).
+#if defined(MX_HAVE_AVX512) && (defined(__GNUC__) || defined(__clang__))
+    return avx2_supported() && __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512vnni");
+#else
+    return false;
+#endif
+}
+
+SimdLevel
+active_simd_level()
+{
+    int level = g_level.load(std::memory_order_acquire);
+    if (level < 0) {
+        // Benign race: concurrent first calls resolve identically.
+        level = static_cast<int>(resolve());
+        g_level.store(level, std::memory_order_release);
+    }
+    return static_cast<SimdLevel>(level);
+}
+
 const QuantKernel&
 active_kernel()
 {
-    const QuantKernel* k = g_active.load(std::memory_order_acquire);
-    if (!k) {
-        // Benign race: concurrent first calls resolve to the same kernel.
-        k = resolve();
-        g_active.store(k, std::memory_order_release);
-    }
-    return *k;
+    // The quantize family only has scalar and AVX2 flavours; the
+    // AVX-512 level still quantizes on the AVX2 kernel.
+    return active_simd_level() == SimdLevel::Scalar ? scalar_kernel()
+                                                    : *avx2_kernel();
+}
+
+void
+set_simd_level(SimdLevel level)
+{
+    const SimdLevel ceiling = host_ceiling();
+    if (static_cast<int>(level) > static_cast<int>(ceiling))
+        level = ceiling;
+    g_level.store(static_cast<int>(level), std::memory_order_release);
+}
+
+void
+reset_simd_level()
+{
+    g_level.store(-1, std::memory_order_release);
 }
 
 void
 set_force_scalar(bool force)
 {
-    g_active.store(force ? &scalar_kernel() : resolve(),
-                   std::memory_order_release);
+    if (force)
+        set_simd_level(SimdLevel::Scalar);
+    else
+        reset_simd_level();
 }
 
 } // namespace kernels

@@ -2,19 +2,26 @@
 
 /**
  * @file
- * Runtime kernel selection for the pow2-block quantization hot path.
+ * Runtime kernel selection for the pow2-block quantization hot path and
+ * every subsystem slaved to it (the packed GEMM in src/gemm/).
  *
- * The active kernel is resolved once, lazily, from:
- *   1. the MX_FORCE_SCALAR environment variable — any value other than
- *      "" or "0" pins the portable scalar kernel (CI runs the whole test
- *      suite this way to keep the fallback path green on hosts without
- *      AVX2);
- *   2. a CPU feature probe — AVX2 when the binary was built with AVX2
- *      support (see MX_HAVE_AVX2 in src/core/CMakeLists.txt) and the
- *      host CPU reports it;
- *   3. the scalar reference otherwise.
+ * Selection is a single SIMD *level*, resolved once, lazily, from:
+ *   1. the MX_FORCE_SCALAR environment variable — pins the portable
+ *      scalar level (CI runs the whole test suite this way to keep the
+ *      fallback path green on hosts without SIMD);
+ *   2. the MX_FORCE_AVX2 environment variable — caps the level at AVX2
+ *      on AVX-512 hosts (diagnosing downclocking or comparing legs);
+ *   3. a CPU feature probe — AVX-512 when the binary was built with the
+ *      AVX-512 flags (MX_HAVE_AVX512, src/gemm/CMakeLists.txt) and the
+ *      host reports avx512f/avx512bw/avx512vnni; AVX2 when built with
+ *      AVX2 support (MX_HAVE_AVX2) and the host reports it;
+ *   4. the scalar reference otherwise.
  *
- * Tests can flip the selection at runtime with set_force_scalar().
+ * The quantize kernels come in scalar and AVX2 flavours — the AVX-512
+ * level maps to the AVX2 quantize kernel (quantization is
+ * bandwidth-bound; the packed GEMM is where the wider ISA pays).
+ * Tests can pin a level at runtime with set_simd_level() /
+ * set_force_scalar().
  */
 
 #include "core/kernels/quant_kernel.h"
@@ -22,6 +29,14 @@
 namespace mx {
 namespace core {
 namespace kernels {
+
+/** The ISA tiers the dispatch can resolve to, in ascending order. */
+enum class SimdLevel
+{
+    Scalar = 0, ///< Portable reference kernels.
+    Avx2 = 1,   ///< AVX2 quantize + packed-GEMM kernels.
+    Avx512 = 2, ///< AVX-512/VNNI packed GEMM (quantize stays AVX2).
+};
 
 /** The portable reference implementation (always available). */
 const QuantKernel& scalar_kernel();
@@ -35,17 +50,40 @@ const QuantKernel* avx2_kernel();
 /** True when an AVX2 kernel exists AND the host CPU can run it. */
 bool avx2_supported();
 
+/** True when the build carries the AVX-512 GEMM leg AND the host CPU
+ *  reports avx512f, avx512bw and avx512vnni. */
+bool avx512_supported();
+
 /**
- * The kernel every front-end (Quantizer, quantize_pow2, formats::pack)
- * routes through.  First call reads MX_FORCE_SCALAR and probes the CPU;
- * the choice is then cached.
+ * The resolved ISA tier.  First call reads MX_FORCE_SCALAR /
+ * MX_FORCE_AVX2 and probes the CPU; the choice is then cached.  Every
+ * dispatched kernel family (quantize here, packed GEMM in src/gemm/)
+ * keys off this one level so the legs can never mix.
+ */
+SimdLevel active_simd_level();
+
+/**
+ * The quantize kernel every front-end (Quantizer, quantize_pow2,
+ * formats::pack) routes through: scalar at SimdLevel::Scalar, AVX2
+ * otherwise (there is no AVX-512 quantize kernel).
  */
 const QuantKernel& active_kernel();
 
 /**
- * Test hook: pin (true) or release (false) the scalar kernel,
- * overriding both the environment and the CPU probe.  Releasing
- * re-resolves from the environment on the next active_kernel() call.
+ * Test hook: pin a SIMD level, capped at what this build + CPU can
+ * actually execute (asking for Avx512 on an AVX2-only host pins Avx2).
+ * Pass reset_simd_level() to drop the pin.
+ */
+void set_simd_level(SimdLevel level);
+
+/** Drop any runtime pin: the next active_simd_level() call re-resolves
+ *  from the environment and the CPU probe. */
+void reset_simd_level();
+
+/**
+ * Test hook kept from the two-level days: pin (true) or release (false)
+ * the scalar kernel.  Equivalent to set_simd_level(Scalar) /
+ * reset_simd_level().
  */
 void set_force_scalar(bool force);
 

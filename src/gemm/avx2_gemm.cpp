@@ -5,8 +5,8 @@
  * k1-block pair is exact integer arithmetic, so reassociating it across
  * SIMD lanes cannot change the result.
  *
- * Fast path (the MX family: k1 = 16, k2 = 2 on both sides, m <= 7 —
- * MX9/MX6/MX4 and their mx_custom neighbours):
+ * Fast path (detail::simd_fast_path — the MX family: k1 = 16, k2 = 2 on
+ * both sides, m <= 7 — MX9/MX6/MX4 and their mx_custom neighbours):
  *   - one _mm256_madd_epi16 multiplies 16 int16 mantissa pairs and adds
  *     adjacent products, yielding all 8 k2-sub-block dot products of a
  *     block in one instruction;
@@ -15,9 +15,14 @@
  *     (the per-sub-block shifter of Figure 6);
  *   - the 8 shifted sub-sums fit int32 by the GemmPlan headroom check
  *     and reduce horizontally to the block integer.
- * Everything else — ragged tail blocks, non-16 k1, d2 = 0 sides, wide
- * mantissas — delegates per block to detail::block_contrib, the same
- * routine the scalar kernel runs.
+ *
+ * The tile microkernel is register-blocked: kRegCols output columns per
+ * pass share each A-side mantissa/tau load while their FP32 partial
+ * sums stay in registers, and the kc panel loop (kPanelBlocks) keeps
+ * the register block's B rows cache-resident across the sweep.
+ * Everything off the fast path — ragged tail blocks, non-16 k1, d2 = 0
+ * sides, wide mantissas — delegates to the scalar tile kernel or
+ * detail::block_contrib, the same code the reference runs.
  *
  * This translation unit is the only one in mx_gemm compiled with
  * -mavx2; callers reach it through gemm::active_gemm_kernel(), which is
@@ -31,8 +36,6 @@
 #include <immintrin.h>
 
 #include <algorithm>
-
-#include "core/check.h"
 
 namespace mx {
 namespace gemm {
@@ -50,169 +53,168 @@ hsum_epi32(__m256i v)
     return _mm_cvtsi128_si32(s);
 }
 
+/** Output columns per register block (the microkernel's j unroll). */
+constexpr std::size_t kRegCols = 4;
+
+/** A block's 16 int16 mantissas. */
+inline __m256i
+load_mant(const std::int16_t* p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+/** A block's 8 tau bytes, widened to epi32 shift counts. */
+inline __m256i
+load_tau(const std::uint8_t* p)
+{
+    return _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+}
+
 class Avx2GemmKernel final : public PackedGemmKernel
 {
   public:
     const char* name() const override { return "avx2"; }
 
     void
-    gemm(const GemmPlan& plan, const PackedOperand& a,
-         const PackedOperand& b, float* c) const override
+    gemm_tile(const GemmPlan& plan, const PackedOperand& a,
+              const PackedOperand& b, const Tile& t, float* c,
+              std::size_t ldc) const override
     {
-        const bool fast =
-            plan.a.k1 == 16 && plan.a.k2 == 2 && plan.b.k2 == 2 &&
-            plan.a.d2 > 0 && plan.b.d2 > 0 &&
-            // 8 shifted sub-sums summed in int32: products reach
-            // 2^(ma+mb+1) per pair, << budget, x8 sub-blocks.
-            plan.a.m + plan.b.m + 1 + plan.budget + 3 <= 31;
-        if (!fast) {
-            scalar_gemm_kernel().gemm(plan, a, b, c);
+        if (!detail::simd_fast_path(plan)) {
+            scalar_gemm_kernel().gemm_tile(plan, a, b, t, c, ldc);
             return;
         }
-
         const std::size_t cols = a.cols();
-        MX_CHECK_ARG(a.valid() && b.valid() && cols == b.cols() &&
-                     a.plan().k1 == plan.a.k1 && a.plan().m == plan.a.m &&
-                     b.plan().k1 == plan.b.k1 && b.plan().m == plan.b.m,
-                     "gemm: operands do not match the GemmPlan");
         const std::size_t full = cols / 16; // whole 16-element blocks
-        const std::size_t tail_off = full * 16;
+        const std::size_t nblocks = (cols + 15) / 16;
         const __m256i vbudget = _mm256_set1_epi32(plan.budget);
 
-        for (std::size_t i = 0; i < a.rows(); ++i) {
-            const std::int16_t* am = a.row_mantissa(i);
-            const std::uint8_t* atau = a.row_tau(i);
-            const std::int16_t* aexp = a.row_exp(i);
-            float* crow = c + i * b.rows();
-            for (std::size_t j = 0; j < b.rows(); ++j) {
-                const std::int16_t* bm = b.row_mantissa(j);
-                const std::uint8_t* btau = b.row_tau(j);
-                const std::int16_t* bexp = b.row_exp(j);
-                float acc = 0.0f;
-                for (std::size_t blk = 0; blk < full; ++blk) {
-                    const std::size_t off = blk * 16;
-                    // 8 sub-block dot products in one madd.
-                    const __m256i ma = _mm256_loadu_si256(
-                        reinterpret_cast<const __m256i*>(am + off));
-                    const __m256i mb = _mm256_loadu_si256(
-                        reinterpret_cast<const __m256i*>(bm + off));
-                    const __m256i dots = _mm256_madd_epi16(ma, mb);
-                    // Per-sub-block shifts from the two tau streams.
-                    const __m256i ta = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
-                        reinterpret_cast<const __m128i*>(atau + off / 2)));
-                    const __m256i tb = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
-                        reinterpret_cast<const __m128i*>(btau + off / 2)));
-                    const __m256i shift = _mm256_sub_epi32(
-                        vbudget, _mm256_add_epi32(ta, tb));
-                    const __m256i aligned = _mm256_sllv_epi32(dots, shift);
-                    const std::int64_t blki = hsum_epi32(aligned);
-                    acc += static_cast<float>(
-                        static_cast<double>(blki) *
-                        core::kernels::detail::pow2_double(
-                            aexp[blk] + bexp[blk] - plan.exp_bias));
+        for (std::size_t p0 = 0; p0 < nblocks; p0 += kPanelBlocks) {
+            const std::size_t p1 = std::min(nblocks, p0 + kPanelBlocks);
+            const std::size_t pfull = std::min(p1, full);
+            const bool first = p0 == 0;
+            for (std::size_t i = t.i0; i < t.i1; ++i) {
+                const std::int16_t* am = a.row_mantissa(i);
+                const std::uint8_t* atau = a.row_tau(i);
+                const std::int16_t* aexp = a.row_exp(i);
+                float* crow = c + i * ldc;
+                for (std::size_t j0 = t.j0; j0 < t.j1; j0 += kRegCols) {
+                    const std::size_t jn = std::min(kRegCols, t.j1 - j0);
+                    const std::int16_t* bm[kRegCols];
+                    const std::uint8_t* btau[kRegCols];
+                    const std::int16_t* bexp[kRegCols];
+                    float acc[kRegCols];
+                    for (std::size_t jj = 0; jj < jn; ++jj) {
+                        bm[jj] = b.row_mantissa(j0 + jj);
+                        btau[jj] = b.row_tau(j0 + jj);
+                        bexp[jj] = b.row_exp(j0 + jj);
+                        acc[jj] = first ? 0.0f : crow[j0 + jj];
+                    }
+                    for (std::size_t blk = p0; blk < pfull; ++blk) {
+                        const std::size_t off = blk * 16;
+                        const __m256i ma = load_mant(am + off);
+                        const __m256i ta = load_tau(atau + off / 2);
+                        for (std::size_t jj = 0; jj < jn; ++jj) {
+                            const __m256i dots = _mm256_madd_epi16(
+                                ma, load_mant(bm[jj] + off));
+                            const __m256i shift = _mm256_sub_epi32(
+                                vbudget,
+                                _mm256_add_epi32(
+                                    ta, load_tau(btau[jj] + off / 2)));
+                            const std::int64_t blki =
+                                hsum_epi32(_mm256_sllv_epi32(dots, shift));
+                            acc[jj] += static_cast<float>(
+                                static_cast<double>(blki) *
+                                core::kernels::detail::pow2_double(
+                                    aexp[blk] + bexp[jj][blk] -
+                                    plan.exp_bias));
+                        }
+                    }
+                    // The ragged tail block (index `full`) lives in the
+                    // last panel, after its full blocks: order ascends.
+                    if (p1 > full)
+                        for (std::size_t jj = 0; jj < jn; ++jj)
+                            acc[jj] += detail::block_contrib(
+                                plan, am, atau, aexp[full], bm[jj],
+                                btau[jj], bexp[jj][full], full * 16,
+                                cols - full * 16);
+                    for (std::size_t jj = 0; jj < jn; ++jj)
+                        crow[j0 + jj] = acc[jj];
                 }
-                if (tail_off < cols)
-                    acc += detail::block_contrib(plan, am, atau,
-                                                 aexp[full], bm, btau,
-                                                 bexp[full], tail_off,
-                                                 cols - tail_off);
-                crow[j] = acc;
             }
         }
     }
 
     void
-    gemm_nn(const GemmPlan& plan, const PackedOperand& a,
-            std::span<const NnBlockRef> b, std::size_t ncols,
-            float* c) const override
+    gemm_nn_tile(const GemmPlan& plan, const PackedOperand& a,
+                 std::span<const NnBlockRef> b, const Tile& t, float* c,
+                 std::size_t ldc) const override
     {
-        const bool fast =
-            plan.a.k1 == 16 && plan.a.k2 == 2 && plan.b.k2 == 2 &&
-            plan.a.d2 > 0 && plan.b.d2 > 0 &&
-            plan.a.m + plan.b.m + 1 + plan.budget + 3 <= 31;
-        if (!fast) {
-            scalar_gemm_kernel().gemm_nn(plan, a, b, ncols, c);
+        if (!detail::simd_fast_path(plan)) {
+            scalar_gemm_kernel().gemm_nn_tile(plan, a, b, t, c, ldc);
             return;
         }
-
-        // Same validation as the scalar leg (cheap relative to the
-        // O(M * N * K) work below); a full chunk is exactly one
-        // 16-element block, so its row views are the madd inputs.
-        scalar_validate_nn(a, b, ncols);
+        // A full chunk is exactly one 16-element block, so its row
+        // views are the madd inputs.
         const std::size_t full_chunks =
             !b.empty() && b.back().op->cols() == 16 ? b.size()
                                                     : b.size() - 1;
         const __m256i vbudget = _mm256_set1_epi32(plan.budget);
 
-        for (std::size_t i = 0; i < a.rows(); ++i) {
-            const std::int16_t* am = a.row_mantissa(i);
-            const std::uint8_t* atau = a.row_tau(i);
-            const std::int16_t* aexp = a.row_exp(i);
-            float* crow = c + i * ncols;
-            for (std::size_t j = 0; j < ncols; ++j) {
-                float acc = 0.0f;
-                for (std::size_t k = 0; k < full_chunks; ++k) {
-                    const PackedOperand& chunk = *b[k].op;
-                    const std::size_t br = b[k].row_off + j;
-                    const __m256i ma = _mm256_loadu_si256(
-                        reinterpret_cast<const __m256i*>(am + k * 16));
-                    const __m256i mb = _mm256_loadu_si256(
-                        reinterpret_cast<const __m256i*>(
-                            chunk.row_mantissa(br)));
-                    const __m256i dots = _mm256_madd_epi16(ma, mb);
-                    const __m256i ta = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
-                        reinterpret_cast<const __m128i*>(atau + k * 8)));
-                    const __m256i tb = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
-                        reinterpret_cast<const __m128i*>(
-                            chunk.row_tau(br))));
-                    const __m256i shift = _mm256_sub_epi32(
-                        vbudget, _mm256_add_epi32(ta, tb));
-                    const __m256i aligned = _mm256_sllv_epi32(dots, shift);
-                    const std::int64_t blki = hsum_epi32(aligned);
-                    acc += static_cast<float>(
-                        static_cast<double>(blki) *
-                        core::kernels::detail::pow2_double(
-                            aexp[k] + chunk.row_exp(br)[0] -
-                            plan.exp_bias));
+        for (std::size_t p0 = 0; p0 < b.size(); p0 += kPanelBlocks) {
+            const std::size_t p1 = std::min(b.size(), p0 + kPanelBlocks);
+            const std::size_t pfull = std::min(p1, full_chunks);
+            const bool first = p0 == 0;
+            for (std::size_t i = t.i0; i < t.i1; ++i) {
+                const std::int16_t* am = a.row_mantissa(i);
+                const std::uint8_t* atau = a.row_tau(i);
+                const std::int16_t* aexp = a.row_exp(i);
+                float* crow = c + i * ldc;
+                for (std::size_t j0 = t.j0; j0 < t.j1; j0 += kRegCols) {
+                    const std::size_t jn = std::min(kRegCols, t.j1 - j0);
+                    float acc[kRegCols];
+                    for (std::size_t jj = 0; jj < jn; ++jj)
+                        acc[jj] = first ? 0.0f : crow[j0 + jj];
+                    for (std::size_t k = p0; k < pfull; ++k) {
+                        const PackedOperand& chunk = *b[k].op;
+                        const std::size_t br0 = b[k].row_off + j0;
+                        const __m256i ma = load_mant(am + k * 16);
+                        const __m256i ta = load_tau(atau + k * 8);
+                        for (std::size_t jj = 0; jj < jn; ++jj) {
+                            const std::size_t br = br0 + jj;
+                            const __m256i dots = _mm256_madd_epi16(
+                                ma, load_mant(chunk.row_mantissa(br)));
+                            const __m256i shift = _mm256_sub_epi32(
+                                vbudget,
+                                _mm256_add_epi32(
+                                    ta, load_tau(chunk.row_tau(br))));
+                            const std::int64_t blki =
+                                hsum_epi32(_mm256_sllv_epi32(dots, shift));
+                            acc[jj] += static_cast<float>(
+                                static_cast<double>(blki) *
+                                core::kernels::detail::pow2_double(
+                                    aexp[k] + chunk.row_exp(br)[0] -
+                                    plan.exp_bias));
+                        }
+                    }
+                    if (p1 > full_chunks) {
+                        const PackedOperand& tailc = *b.back().op;
+                        for (std::size_t jj = 0; jj < jn; ++jj) {
+                            const std::size_t br =
+                                b.back().row_off + j0 + jj;
+                            acc[jj] += detail::block_contrib2(
+                                plan, am, atau, aexp[full_chunks],
+                                full_chunks * 16, tailc.row_mantissa(br),
+                                tailc.row_tau(br), tailc.row_exp(br)[0],
+                                0, tailc.cols());
+                        }
+                    }
+                    for (std::size_t jj = 0; jj < jn; ++jj)
+                        crow[j0 + jj] = acc[jj];
                 }
-                if (full_chunks < b.size()) {
-                    const PackedOperand& tailc = *b.back().op;
-                    const std::size_t br = b.back().row_off + j;
-                    acc += detail::block_contrib2(
-                        plan, am, atau, aexp[full_chunks],
-                        full_chunks * 16, tailc.row_mantissa(br),
-                        tailc.row_tau(br), tailc.row_exp(br)[0], 0,
-                        tailc.cols());
-                }
-                crow[j] = acc;
             }
         }
-    }
-
-  private:
-    /** Re-run the scalar kernel's argument validation (shared checks
-     *  live in packed_gemm.cpp's anonymous namespace): a 1x1 probe on
-     *  the chunk structure through the reference path would cost a full
-     *  GEMM, so mirror the cheap structural checks here instead. */
-    static void
-    scalar_validate_nn(const PackedOperand& a,
-                       std::span<const NnBlockRef> b, std::size_t ncols)
-    {
-        MX_CHECK_ARG(a.valid() && ncols >= 1 && !b.empty(),
-                     "gemm_nn: invalid operands");
-        std::size_t covered = 0;
-        for (std::size_t k = 0; k < b.size(); ++k) {
-            const NnBlockRef& ref = b[k];
-            MX_CHECK_ARG(ref.op != nullptr && ref.op->valid() &&
-                         ref.op->cols() <= 16 &&
-                         (k + 1 == b.size() || ref.op->cols() == 16) &&
-                         ref.row_off + ncols <= ref.op->rows(),
-                         "gemm_nn: malformed chunk " << k);
-            covered += ref.op->cols();
-        }
-        MX_CHECK_ARG(covered == a.cols(),
-                     "gemm_nn: chunks cover " << covered
-                         << " contraction elements, A has " << a.cols());
     }
 };
 

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * AVX-512/VNNI PackedGemmKernel.  Bit-identical to the scalar and AVX2
+ * kernels by construction — the same exact-integer argument (every step
+ * up to the one double->float rounding per k1-block pair is exact), now
+ * applied across 512-bit lanes.
+ *
+ * Fast path (detail::simd_fast_path, shared with AVX2): TWO k1 = 16
+ * blocks per 512-bit op —
+ *   - one _mm512_dpwssd_epi32 against a zero accumulator multiplies 32
+ *     int16 mantissa pairs and adds adjacent products, yielding all 16
+ *     k2-sub-block dot products of a block PAIR in one instruction
+ *     (VNNI's fused multiply-accumulate; with a zero source it is
+ *     exactly the 512-bit madd);
+ *   - the 16 combined shifts come from 16-byte tau loads widened to
+ *     epi32, applied with _mm512_sllv_epi32;
+ *   - the two blocks reduce separately — a 256-bit horizontal sum per
+ *     half, in block order — because each block carries its own shared
+ *     exponent; the int32 headroom guarantee is per block, unchanged.
+ * An odd trailing full block runs the 256-bit single-block step; ragged
+ * tails and non-fast plans delegate to detail::block_contrib / the
+ * scalar tile kernel, exactly like the AVX2 leg.
+ *
+ * The NN leg's chunk rows live in different PackedOperands, so a block
+ * pair's B-side 512-bit vector is assembled from two 256-bit row loads
+ * (insert) and its taus from two 8-byte loads (unpack) — the A side
+ * and the arithmetic stay full-width.
+ *
+ * Register blocking and kc panels mirror the AVX2 microkernel
+ * (kRegCols output columns share each A-side load; kPanelBlocks keeps
+ * the register block's B rows cache-resident).
+ *
+ * This translation unit is the only one in mx_gemm compiled with
+ * -mavx512f/-mavx512bw/-mavx512vnni; callers reach it through
+ * gemm::active_gemm_kernel(), which is slaved to the core/kernels
+ * runtime CPU dispatch (the probe requires avx512f, avx512bw and
+ * avx512vnni before this kernel is ever selected).
+ */
+
+#include "gemm/packed_gemm.h"
+
+#if defined(MX_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace mx {
+namespace gemm {
+
+namespace {
+
+/** Horizontal sum of 8 int32 lanes (exact). */
+inline std::int32_t
+hsum_epi32(__m256i v)
+{
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                              _mm256_extracti128_si256(v, 1));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(s);
+}
+
+/** Output columns per register block (the microkernel's j unroll). */
+constexpr std::size_t kRegCols = 4;
+
+/** A block pair's 32 int16 mantissas. */
+inline __m512i
+load_mant2(const std::int16_t* p)
+{
+    return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+
+/** A block pair's 16 tau bytes, widened to epi32 shift counts. */
+inline __m512i
+load_tau2(const std::uint8_t* p)
+{
+    return _mm512_cvtepu8_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+/** A single block's 16 int16 mantissas (the odd-block step). */
+inline __m256i
+load_mant1(const std::int16_t* p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+/** A single block's 8 tau bytes, widened to epi32. */
+inline __m256i
+load_tau1(const std::uint8_t* p)
+{
+    return _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+}
+
+class Avx512GemmKernel final : public PackedGemmKernel
+{
+  public:
+    const char* name() const override { return "avx512"; }
+
+    void
+    gemm_tile(const GemmPlan& plan, const PackedOperand& a,
+              const PackedOperand& b, const Tile& t, float* c,
+              std::size_t ldc) const override
+    {
+        if (!detail::simd_fast_path(plan)) {
+            scalar_gemm_kernel().gemm_tile(plan, a, b, t, c, ldc);
+            return;
+        }
+        const std::size_t cols = a.cols();
+        const std::size_t full = cols / 16; // whole 16-element blocks
+        const std::size_t nblocks = (cols + 15) / 16;
+        const __m512i vbudget2 = _mm512_set1_epi32(plan.budget);
+        const __m256i vbudget1 = _mm256_set1_epi32(plan.budget);
+        const __m512i zero = _mm512_setzero_si512();
+
+        for (std::size_t p0 = 0; p0 < nblocks; p0 += kPanelBlocks) {
+            const std::size_t p1 = std::min(nblocks, p0 + kPanelBlocks);
+            const std::size_t pfull = std::min(p1, full);
+            const bool first = p0 == 0;
+            for (std::size_t i = t.i0; i < t.i1; ++i) {
+                const std::int16_t* am = a.row_mantissa(i);
+                const std::uint8_t* atau = a.row_tau(i);
+                const std::int16_t* aexp = a.row_exp(i);
+                float* crow = c + i * ldc;
+                for (std::size_t j0 = t.j0; j0 < t.j1; j0 += kRegCols) {
+                    const std::size_t jn = std::min(kRegCols, t.j1 - j0);
+                    const std::int16_t* bm[kRegCols];
+                    const std::uint8_t* btau[kRegCols];
+                    const std::int16_t* bexp[kRegCols];
+                    float acc[kRegCols];
+                    for (std::size_t jj = 0; jj < jn; ++jj) {
+                        bm[jj] = b.row_mantissa(j0 + jj);
+                        btau[jj] = b.row_tau(j0 + jj);
+                        bexp[jj] = b.row_exp(j0 + jj);
+                        acc[jj] = first ? 0.0f : crow[j0 + jj];
+                    }
+                    std::size_t blk = p0;
+                    for (; blk + 2 <= pfull; blk += 2) {
+                        const std::size_t off = blk * 16;
+                        const __m512i ma = load_mant2(am + off);
+                        const __m512i ta = load_tau2(atau + off / 2);
+                        for (std::size_t jj = 0; jj < jn; ++jj) {
+                            const __m512i dots = _mm512_dpwssd_epi32(
+                                zero, ma, load_mant2(bm[jj] + off));
+                            const __m512i shift = _mm512_sub_epi32(
+                                vbudget2,
+                                _mm512_add_epi32(
+                                    ta, load_tau2(btau[jj] + off / 2)));
+                            const __m512i aligned =
+                                _mm512_sllv_epi32(dots, shift);
+                            // One hsum per block — each block carries
+                            // its own exponent pair, and the per-block
+                            // reduction order matches the scalar chain.
+                            const std::int64_t lo = hsum_epi32(
+                                _mm512_castsi512_si256(aligned));
+                            const std::int64_t hi = hsum_epi32(
+                                _mm512_extracti64x4_epi64(aligned, 1));
+                            acc[jj] += static_cast<float>(
+                                static_cast<double>(lo) *
+                                core::kernels::detail::pow2_double(
+                                    aexp[blk] + bexp[jj][blk] -
+                                    plan.exp_bias));
+                            acc[jj] += static_cast<float>(
+                                static_cast<double>(hi) *
+                                core::kernels::detail::pow2_double(
+                                    aexp[blk + 1] + bexp[jj][blk + 1] -
+                                    plan.exp_bias));
+                        }
+                    }
+                    if (blk < pfull) { // odd trailing full block
+                        const std::size_t off = blk * 16;
+                        const __m256i ma = load_mant1(am + off);
+                        const __m256i ta = load_tau1(atau + off / 2);
+                        for (std::size_t jj = 0; jj < jn; ++jj) {
+                            const __m256i dots = _mm256_madd_epi16(
+                                ma, load_mant1(bm[jj] + off));
+                            const __m256i shift = _mm256_sub_epi32(
+                                vbudget1,
+                                _mm256_add_epi32(
+                                    ta, load_tau1(btau[jj] + off / 2)));
+                            const std::int64_t blki =
+                                hsum_epi32(_mm256_sllv_epi32(dots, shift));
+                            acc[jj] += static_cast<float>(
+                                static_cast<double>(blki) *
+                                core::kernels::detail::pow2_double(
+                                    aexp[blk] + bexp[jj][blk] -
+                                    plan.exp_bias));
+                        }
+                    }
+                    if (p1 > full) // ragged tail block, always last
+                        for (std::size_t jj = 0; jj < jn; ++jj)
+                            acc[jj] += detail::block_contrib(
+                                plan, am, atau, aexp[full], bm[jj],
+                                btau[jj], bexp[jj][full], full * 16,
+                                cols - full * 16);
+                    for (std::size_t jj = 0; jj < jn; ++jj)
+                        crow[j0 + jj] = acc[jj];
+                }
+            }
+        }
+    }
+
+    void
+    gemm_nn_tile(const GemmPlan& plan, const PackedOperand& a,
+                 std::span<const NnBlockRef> b, const Tile& t, float* c,
+                 std::size_t ldc) const override
+    {
+        if (!detail::simd_fast_path(plan)) {
+            scalar_gemm_kernel().gemm_nn_tile(plan, a, b, t, c, ldc);
+            return;
+        }
+        // A full chunk is exactly one 16-element block.
+        const std::size_t full_chunks =
+            !b.empty() && b.back().op->cols() == 16 ? b.size()
+                                                    : b.size() - 1;
+        const __m512i vbudget2 = _mm512_set1_epi32(plan.budget);
+        const __m256i vbudget1 = _mm256_set1_epi32(plan.budget);
+        const __m512i zero = _mm512_setzero_si512();
+
+        for (std::size_t p0 = 0; p0 < b.size(); p0 += kPanelBlocks) {
+            const std::size_t p1 = std::min(b.size(), p0 + kPanelBlocks);
+            const std::size_t pfull = std::min(p1, full_chunks);
+            const bool first = p0 == 0;
+            for (std::size_t i = t.i0; i < t.i1; ++i) {
+                const std::int16_t* am = a.row_mantissa(i);
+                const std::uint8_t* atau = a.row_tau(i);
+                const std::int16_t* aexp = a.row_exp(i);
+                float* crow = c + i * ldc;
+                for (std::size_t j0 = t.j0; j0 < t.j1; j0 += kRegCols) {
+                    const std::size_t jn = std::min(kRegCols, t.j1 - j0);
+                    float acc[kRegCols];
+                    for (std::size_t jj = 0; jj < jn; ++jj)
+                        acc[jj] = first ? 0.0f : crow[j0 + jj];
+                    std::size_t k = p0;
+                    for (; k + 2 <= pfull; k += 2) {
+                        // Chunk pair: the A side is contiguous, the two
+                        // B rows come from different operands — insert
+                        // them into one 512-bit vector.
+                        const PackedOperand& c0 = *b[k].op;
+                        const PackedOperand& c1 = *b[k + 1].op;
+                        const std::size_t br0 = b[k].row_off + j0;
+                        const std::size_t br1 = b[k + 1].row_off + j0;
+                        const __m512i ma = load_mant2(am + k * 16);
+                        const __m512i ta = load_tau2(atau + k * 8);
+                        for (std::size_t jj = 0; jj < jn; ++jj) {
+                            const __m512i mb = _mm512_inserti64x4(
+                                _mm512_castsi256_si512(load_mant1(
+                                    c0.row_mantissa(br0 + jj))),
+                                load_mant1(c1.row_mantissa(br1 + jj)), 1);
+                            const __m128i tb8 = _mm_unpacklo_epi64(
+                                _mm_loadl_epi64(
+                                    reinterpret_cast<const __m128i*>(
+                                        c0.row_tau(br0 + jj))),
+                                _mm_loadl_epi64(
+                                    reinterpret_cast<const __m128i*>(
+                                        c1.row_tau(br1 + jj))));
+                            const __m512i dots =
+                                _mm512_dpwssd_epi32(zero, ma, mb);
+                            const __m512i shift = _mm512_sub_epi32(
+                                vbudget2,
+                                _mm512_add_epi32(
+                                    ta, _mm512_cvtepu8_epi32(tb8)));
+                            const __m512i aligned =
+                                _mm512_sllv_epi32(dots, shift);
+                            const std::int64_t lo = hsum_epi32(
+                                _mm512_castsi512_si256(aligned));
+                            const std::int64_t hi = hsum_epi32(
+                                _mm512_extracti64x4_epi64(aligned, 1));
+                            acc[jj] += static_cast<float>(
+                                static_cast<double>(lo) *
+                                core::kernels::detail::pow2_double(
+                                    aexp[k] + c0.row_exp(br0 + jj)[0] -
+                                    plan.exp_bias));
+                            acc[jj] += static_cast<float>(
+                                static_cast<double>(hi) *
+                                core::kernels::detail::pow2_double(
+                                    aexp[k + 1] +
+                                    c1.row_exp(br1 + jj)[0] -
+                                    plan.exp_bias));
+                        }
+                    }
+                    if (k < pfull) { // odd trailing full chunk
+                        const PackedOperand& chunk = *b[k].op;
+                        const std::size_t br0 = b[k].row_off + j0;
+                        const __m256i ma = load_mant1(am + k * 16);
+                        const __m256i ta = load_tau1(atau + k * 8);
+                        for (std::size_t jj = 0; jj < jn; ++jj) {
+                            const std::size_t br = br0 + jj;
+                            const __m256i dots = _mm256_madd_epi16(
+                                ma, load_mant1(chunk.row_mantissa(br)));
+                            const __m256i shift = _mm256_sub_epi32(
+                                vbudget1,
+                                _mm256_add_epi32(
+                                    ta, load_tau1(chunk.row_tau(br))));
+                            const std::int64_t blki =
+                                hsum_epi32(_mm256_sllv_epi32(dots, shift));
+                            acc[jj] += static_cast<float>(
+                                static_cast<double>(blki) *
+                                core::kernels::detail::pow2_double(
+                                    aexp[k] + chunk.row_exp(br)[0] -
+                                    plan.exp_bias));
+                        }
+                    }
+                    if (p1 > full_chunks) {
+                        const PackedOperand& tailc = *b.back().op;
+                        for (std::size_t jj = 0; jj < jn; ++jj) {
+                            const std::size_t br =
+                                b.back().row_off + j0 + jj;
+                            acc[jj] += detail::block_contrib2(
+                                plan, am, atau, aexp[full_chunks],
+                                full_chunks * 16, tailc.row_mantissa(br),
+                                tailc.row_tau(br), tailc.row_exp(br)[0],
+                                0, tailc.cols());
+                        }
+                    }
+                    for (std::size_t jj = 0; jj < jn; ++jj)
+                        crow[j0 + jj] = acc[jj];
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+const PackedGemmKernel*
+avx512_gemm_kernel()
+{
+    static const Avx512GemmKernel kernel;
+    return &kernel;
+}
+
+} // namespace gemm
+} // namespace mx
+
+#else // !MX_HAVE_AVX512
+
+namespace mx {
+namespace gemm {
+
+const PackedGemmKernel*
+avx512_gemm_kernel()
+{
+    return nullptr;
+}
+
+} // namespace gemm
+} // namespace mx
+
+#endif // MX_HAVE_AVX512

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "core/check.h"
 #include "core/env.h"
 #include "core/kernels/dispatch.h"
+#include "core/thread_pool.h"
 
 namespace mx {
 namespace gemm {
@@ -18,6 +22,9 @@ std::atomic<std::uint64_t> g_calls{0};
 
 /** -1 = unresolved, else a Mode value. */
 std::atomic<int> g_mode{-1};
+
+/** -1 = unresolved, else the MX_GEMM_THREADS lane count. */
+std::atomic<long> g_gemm_threads{-1};
 
 int
 env_mode()
@@ -93,59 +100,145 @@ class ScalarGemmKernel final : public PackedGemmKernel
     const char* name() const override { return "scalar"; }
 
     void
-    gemm(const GemmPlan& plan, const PackedOperand& a,
-         const PackedOperand& b, float* c) const override
+    gemm_tile(const GemmPlan& plan, const PackedOperand& a,
+              const PackedOperand& b, const Tile& t, float* c,
+              std::size_t ldc) const override
     {
-        check_pair(plan, a, b);
         const std::size_t k1 = static_cast<std::size_t>(plan.a.k1);
         const std::size_t cols = a.cols();
-        for (std::size_t i = 0; i < a.rows(); ++i) {
-            const std::int16_t* am = a.row_mantissa(i);
-            const std::uint8_t* atau = a.row_tau(i);
-            const std::int16_t* aexp = a.row_exp(i);
-            float* crow = c + i * b.rows();
-            for (std::size_t j = 0; j < b.rows(); ++j) {
-                const std::int16_t* bm = b.row_mantissa(j);
-                const std::uint8_t* btau = b.row_tau(j);
-                const std::int16_t* bexp = b.row_exp(j);
-                float acc = 0.0f;
-                std::size_t blk = 0;
-                for (std::size_t off = 0; off < cols; off += k1, ++blk)
-                    acc += detail::block_contrib(
-                        plan, am, atau, aexp[blk], bm, btau, bexp[blk],
-                        off, std::min(k1, cols - off));
-                crow[j] = acc;
+        const std::size_t nblocks = (cols + k1 - 1) / k1;
+        // kc panels outermost: the tile's B rows stay L1/L2-resident
+        // across a panel instead of streaming the whole contraction
+        // per output element.  Panels ascend and the intermediate C
+        // load/store round-trips are exact, so each element's FP32
+        // addition chain equals the streaming order.
+        for (std::size_t p0 = 0; p0 < nblocks; p0 += kPanelBlocks) {
+            const std::size_t p1 = std::min(nblocks, p0 + kPanelBlocks);
+            const bool first = p0 == 0;
+            for (std::size_t i = t.i0; i < t.i1; ++i) {
+                const std::int16_t* am = a.row_mantissa(i);
+                const std::uint8_t* atau = a.row_tau(i);
+                const std::int16_t* aexp = a.row_exp(i);
+                float* crow = c + i * ldc;
+                for (std::size_t j = t.j0; j < t.j1; ++j) {
+                    const std::int16_t* bm = b.row_mantissa(j);
+                    const std::uint8_t* btau = b.row_tau(j);
+                    const std::int16_t* bexp = b.row_exp(j);
+                    float acc = first ? 0.0f : crow[j];
+                    for (std::size_t blk = p0; blk < p1; ++blk) {
+                        const std::size_t off = blk * k1;
+                        acc += detail::block_contrib(
+                            plan, am, atau, aexp[blk], bm, btau,
+                            bexp[blk], off, std::min(k1, cols - off));
+                    }
+                    crow[j] = acc;
+                }
             }
         }
     }
 
     void
-    gemm_nn(const GemmPlan& plan, const PackedOperand& a,
-            std::span<const NnBlockRef> b, std::size_t ncols,
-            float* c) const override
+    gemm_nn_tile(const GemmPlan& plan, const PackedOperand& a,
+                 std::span<const NnBlockRef> b, const Tile& t, float* c,
+                 std::size_t ldc) const override
     {
-        check_nn(plan, a, b, ncols);
         const std::size_t k1 = static_cast<std::size_t>(plan.a.k1);
-        for (std::size_t i = 0; i < a.rows(); ++i) {
-            const std::int16_t* am = a.row_mantissa(i);
-            const std::uint8_t* atau = a.row_tau(i);
-            const std::int16_t* aexp = a.row_exp(i);
-            float* crow = c + i * ncols;
-            for (std::size_t j = 0; j < ncols; ++j) {
-                float acc = 0.0f;
-                for (std::size_t k = 0; k < b.size(); ++k) {
-                    const PackedOperand& chunk = *b[k].op;
-                    const std::size_t br = b[k].row_off + j;
-                    acc += detail::block_contrib2(
-                        plan, am, atau, aexp[k], k * k1,
-                        chunk.row_mantissa(br), chunk.row_tau(br),
-                        chunk.row_exp(br)[0], 0, chunk.cols());
+        for (std::size_t p0 = 0; p0 < b.size(); p0 += kPanelBlocks) {
+            const std::size_t p1 = std::min(b.size(), p0 + kPanelBlocks);
+            const bool first = p0 == 0;
+            for (std::size_t i = t.i0; i < t.i1; ++i) {
+                const std::int16_t* am = a.row_mantissa(i);
+                const std::uint8_t* atau = a.row_tau(i);
+                const std::int16_t* aexp = a.row_exp(i);
+                float* crow = c + i * ldc;
+                for (std::size_t j = t.j0; j < t.j1; ++j) {
+                    float acc = first ? 0.0f : crow[j];
+                    for (std::size_t k = p0; k < p1; ++k) {
+                        const PackedOperand& chunk = *b[k].op;
+                        const std::size_t br = b[k].row_off + j;
+                        acc += detail::block_contrib2(
+                            plan, am, atau, aexp[k], k * k1,
+                            chunk.row_mantissa(br), chunk.row_tau(br),
+                            chunk.row_exp(br)[0], 0, chunk.cols());
+                    }
+                    crow[j] = acc;
                 }
-                crow[j] = acc;
             }
         }
     }
 };
+
+/**
+ * The pool the blocked drivers shard tiles across.  The default lane
+ * count rides the shared process pool; a pinned MX_GEMM_THREADS /
+ * set_gemm_threads count gets its own cached pool (tests pin 2 and 7
+ * back to back — churning pool threads per GEMM would dwarf the GEMM).
+ */
+core::ThreadPool&
+pool_for(std::size_t threads)
+{
+    if (threads == core::ThreadPool::default_thread_count())
+        return core::ThreadPool::shared();
+    static std::mutex mu;
+    static auto* pools =
+        new std::map<std::size_t, std::unique_ptr<core::ThreadPool>>;
+    std::lock_guard<std::mutex> lk(mu);
+    std::unique_ptr<core::ThreadPool>& slot = (*pools)[threads];
+    if (slot == nullptr)
+        slot = std::make_unique<core::ThreadPool>(threads);
+    return *slot;
+}
+
+/**
+ * Walk the FIXED (rows x cols) output-tile grid, sharding whole tiles
+ * across gemm_threads() lanes.  The grid depends only on the output
+ * shape — never on the thread count — and every C element lives in
+ * exactly one tile, so any lane-to-tile assignment is bit-identical.
+ */
+template <typename TileFn>
+void
+run_tiled(std::size_t rows, std::size_t cols, const TileFn& run_tile)
+{
+    const std::size_t nti = (rows + kTileRowsA - 1) / kTileRowsA;
+    const std::size_t ntj = (cols + kTileRowsB - 1) / kTileRowsB;
+    const std::size_t ntiles = nti * ntj;
+    const auto tile_at = [&](std::size_t t) {
+        const std::size_t i0 = (t / ntj) * kTileRowsA;
+        const std::size_t j0 = (t % ntj) * kTileRowsB;
+        return Tile{i0, std::min(rows, i0 + kTileRowsA), j0,
+                    std::min(cols, j0 + kTileRowsB)};
+    };
+    const std::size_t threads = gemm_threads();
+    if (threads <= 1 || ntiles <= 1) {
+        for (std::size_t t = 0; t < ntiles; ++t)
+            run_tile(tile_at(t));
+        return;
+    }
+    pool_for(threads).parallel_for(
+        ntiles, [&](std::size_t t) { run_tile(tile_at(t)); });
+}
+
+/** The threaded whole-GEMM drivers the matmul_* entry points run. */
+void
+run_gemm(const PackedGemmKernel& kernel, const GemmPlan& plan,
+         const PackedOperand& a, const PackedOperand& b, float* c)
+{
+    check_pair(plan, a, b);
+    run_tiled(a.rows(), b.rows(), [&](const Tile& t) {
+        kernel.gemm_tile(plan, a, b, t, c, b.rows());
+    });
+}
+
+void
+run_gemm_nn(const PackedGemmKernel& kernel, const GemmPlan& plan,
+            const PackedOperand& a, std::span<const NnBlockRef> b,
+            std::size_t ncols, float* c)
+{
+    check_nn(plan, a, b, ncols);
+    run_tiled(a.rows(), ncols, [&](const Tile& t) {
+        kernel.gemm_nn_tile(plan, a, b, t, c, ncols);
+    });
+}
 
 /** Shared divergence check of a packed result against an FP64-accumulated
  *  dequantized reference (behind MX_GEMM_VERIFY=1). */
@@ -198,6 +291,33 @@ verify_nn_against_reference(const PackedOperand& a,
 
 } // namespace
 
+void
+PackedGemmKernel::gemm(const GemmPlan& plan, const PackedOperand& a,
+                       const PackedOperand& b, float* c) const
+{
+    check_pair(plan, a, b);
+    for (std::size_t i0 = 0; i0 < a.rows(); i0 += kTileRowsA)
+        for (std::size_t j0 = 0; j0 < b.rows(); j0 += kTileRowsB)
+            gemm_tile(plan, a, b,
+                      Tile{i0, std::min(a.rows(), i0 + kTileRowsA), j0,
+                           std::min(b.rows(), j0 + kTileRowsB)},
+                      c, b.rows());
+}
+
+void
+PackedGemmKernel::gemm_nn(const GemmPlan& plan, const PackedOperand& a,
+                          std::span<const NnBlockRef> b, std::size_t ncols,
+                          float* c) const
+{
+    check_nn(plan, a, b, ncols);
+    for (std::size_t i0 = 0; i0 < a.rows(); i0 += kTileRowsA)
+        for (std::size_t j0 = 0; j0 < ncols; j0 += kTileRowsB)
+            gemm_nn_tile(plan, a, b,
+                         Tile{i0, std::min(a.rows(), i0 + kTileRowsA), j0,
+                              std::min(ncols, j0 + kTileRowsB)},
+                         c, ncols);
+}
+
 tensor::Tensor
 dequantize(const PackedOperand& op)
 {
@@ -233,12 +353,42 @@ const PackedGemmKernel&
 active_gemm_kernel()
 {
     // Slaved to the quantize-kernel dispatch: same CPU probe, same
-    // MX_FORCE_SCALAR override, same set_force_scalar test hook.
-    const PackedGemmKernel* avx2 = avx2_gemm_kernel();
-    if (avx2 != nullptr &&
-        &core::kernels::active_kernel() != &core::kernels::scalar_kernel())
-        return *avx2;
+    // MX_FORCE_SCALAR / MX_FORCE_AVX2 overrides, same set_simd_level
+    // test hook — the quantize and GEMM legs can never mix tiers.
+    switch (core::kernels::active_simd_level()) {
+      case core::kernels::SimdLevel::Avx512:
+        if (const PackedGemmKernel* k = avx512_gemm_kernel())
+            return *k;
+        [[fallthrough]];
+      case core::kernels::SimdLevel::Avx2:
+        if (const PackedGemmKernel* k = avx2_gemm_kernel())
+            return *k;
+        [[fallthrough]];
+      case core::kernels::SimdLevel::Scalar:
+        break;
+    }
     return scalar_gemm_kernel();
+}
+
+std::size_t
+gemm_threads()
+{
+    long t = g_gemm_threads.load(std::memory_order_acquire);
+    if (t < 0) {
+        // Benign race: concurrent first calls resolve identically.
+        t = static_cast<long>(core::env::size_knob(
+            "MX_GEMM_THREADS", core::ThreadPool::default_thread_count(),
+            /*min_value=*/1));
+        g_gemm_threads.store(t, std::memory_order_release);
+    }
+    return static_cast<std::size_t>(t);
+}
+
+void
+set_gemm_threads(std::size_t threads)
+{
+    g_gemm_threads.store(threads == 0 ? -1 : static_cast<long>(threads),
+                         std::memory_order_release);
 }
 
 Mode
@@ -299,7 +449,7 @@ matmul_nt_packed(const tensor::Tensor& x,
         rounder);
     tensor::Tensor c(
         {x.dim(0), static_cast<std::int64_t>(w.rows())});
-    active_gemm_kernel().gemm(plan, a, w, c.data());
+    run_gemm(active_gemm_kernel(), plan, a, w, c.data());
     g_calls.fetch_add(1, std::memory_order_relaxed);
     static const bool verify = env_verifies_gemm();
     if (verify)
@@ -334,7 +484,7 @@ matmul_nt_prequant(const GemmPlan& plan, const PackedOperand& a,
 {
     tensor::Tensor c({static_cast<std::int64_t>(a.rows()),
                       static_cast<std::int64_t>(b.rows())});
-    active_gemm_kernel().gemm(plan, a, b, c.data());
+    run_gemm(active_gemm_kernel(), plan, a, b, c.data());
     g_calls.fetch_add(1, std::memory_order_relaxed);
     static const bool verify = env_verifies_gemm();
     if (verify)
@@ -348,7 +498,7 @@ matmul_nn_packed(const GemmPlan& plan, const PackedOperand& a,
 {
     tensor::Tensor c({static_cast<std::int64_t>(a.rows()),
                       static_cast<std::int64_t>(ncols)});
-    active_gemm_kernel().gemm_nn(plan, a, b, ncols, c.data());
+    run_gemm_nn(active_gemm_kernel(), plan, a, b, ncols, c.data());
     g_calls.fetch_add(1, std::memory_order_relaxed);
     static const bool verify = env_verifies_gemm();
     if (verify)

@@ -2,14 +2,15 @@
 
 /**
  * @file
- * mx_gemm: packed-domain matrix multiplication (the Figure 6 pipeline).
+ * mx_gemm: packed-domain matrix multiplication (the Figure 6 pipeline),
+ * cache-blocked and multithreaded.
  *
  * Executes C = A * B^T directly on quantized MX/BFP operands — integer
  * mantissa dot products per k2 sub-block, one tau shift per sub-block,
  * one shared-exponent alignment per k1-block pair, FP32 accumulation
  * across blocks — without dequantizing either operand to FP32.  The
  * contract every kernel implementation must honour bit-for-bit, per
- * output element C[i,j], in row-block order:
+ * output element C[i,j], in ascending k1-block order:
  *
  *   acc_f32 = 0
  *   for each k1-block pair (Ea, Eb):
@@ -23,28 +24,54 @@
  *
  * Every integer step is exact (the GemmPlan proves int64 headroom), so
  * any implementation that reorders the integer work — AVX2 madd lanes,
- * per-sub-block int32 partial sums — produces the same block integer,
- * and the single double->float rounding per block pins the FP result:
- * scalar and AVX2 are bit-identical by construction, and
- * tests/test_gemm.cpp asserts it across formats, shapes, and ragged
- * widths.
+ * AVX-512 VNNI dot-accumulate lanes, per-sub-block int32 partial sums —
+ * produces the same block integer, and the per-block double->float
+ * rounding pins the FP result.  The FP32 accumulation across blocks is
+ * NOT reorderable, so every execution shape below preserves ascending
+ * block order per element:
  *
- * Kernel selection rides the existing core/kernels/dispatch layer: the
- * AVX2 gemm kernel is active exactly when the AVX2 quantize kernel is
- * (same CPU probe, same MX_FORCE_SCALAR override, same
- * set_force_scalar test hook).
+ *  - Cache blocking.  The whole-GEMM drivers walk C in (mc x nc) output
+ *    tiles (kTileRowsA x kTileRowsB); inside a tile the kernels loop
+ *    kc-sized k1-block panels (kPanelBlocks) outermost, accumulating
+ *    each panel's contribution into C.  Panels ascend, and FP32
+ *    loads/stores of intermediate sums are exact, so the per-element
+ *    addition sequence is identical to one streaming pass.  A register
+ *    block of B rows (the microkernel's j unroll) stays resident in L1
+ *    across a panel, and the A row's panel slice is reused across every
+ *    B row in the tile.
+ *  - Multithreading.  matmul_nt_packed{,2}, matmul_nt_prequant and
+ *    matmul_nn_packed shard the FIXED tile grid across a thread pool
+ *    sized by MX_GEMM_THREADS (default: the MX_THREADS pool size; 1 =
+ *    serial).  The grid never depends on the thread count, and each
+ *    C element is computed wholly inside one tile by one thread — all
+ *    integer work plus its own FP32 block chain — so results are
+ *    bit-identical for any thread count or shard assignment.
+ *
+ * Scalar, AVX2 and AVX-512 kernels are therefore bit-identical by
+ * construction, across any MX_GEMM_THREADS, and
+ * tests/test_gemm.cpp asserts it across formats, shapes, ragged
+ * widths, thread counts, and dispatch legs.
+ *
+ * Kernel selection rides core/kernels/dispatch's single SIMD level:
+ * AVX-512 (VNNI dot products, 2 k1 blocks per 512-bit lane group) when
+ * the host reports avx512f/bw/vnni, AVX2 otherwise, scalar when forced
+ * (same MX_FORCE_SCALAR / MX_FORCE_AVX2 overrides, same
+ * set_simd_level test hook).
  *
  * Knobs:
- *   MX_GEMM=auto     (default) frozen layers take the packed path when
- *                    it is profitable (the AVX2 gemm kernel is active)
- *                    or required (the FP32 grid values were dropped);
- *                    otherwise they serve on the dequantized values
- *   MX_GEMM=1        always take the packed path, even on the scalar
- *                    kernel (exercises the reference semantics
- *                    end-to-end; ~5x slower than the values matmul)
- *   MX_GEMM=0        never take the packed path
- *   MX_GEMM_VERIFY=1 cross-check every packed GEMM against the
- *                    dequantized reference matmul (debugging)
+ *   MX_GEMM=auto      (default) frozen layers take the packed path when
+ *                     it is profitable (a SIMD gemm kernel is active)
+ *                     or required (the FP32 grid values were dropped);
+ *                     otherwise they serve on the dequantized values
+ *   MX_GEMM=1         always take the packed path, even on the scalar
+ *                     kernel (exercises the reference semantics
+ *                     end-to-end; ~5x slower than the values matmul)
+ *   MX_GEMM=0         never take the packed path
+ *   MX_GEMM_THREADS=N shard output tiles across N lanes (default: the
+ *                     shared pool size; 1 = serial, today's behavior;
+ *                     0/negative clamp to 1)
+ *   MX_GEMM_VERIFY=1  cross-check every packed GEMM against the
+ *                     dequantized reference matmul (debugging)
  */
 
 #include <cstdint>
@@ -73,35 +100,80 @@ struct NnBlockRef
     std::size_t row_off = 0;
 };
 
-/** The execute side: one virtual call per whole GEMM. */
+/** Half-open output tile [i0, i1) x [j0, j1) of a blocked GEMM. */
+struct Tile
+{
+    std::size_t i0 = 0, i1 = 0; ///< A-row (C-row) range.
+    std::size_t j0 = 0, j1 = 0; ///< B-row / NN-column (C-col) range.
+};
+
+/** Output-tile height: A rows per tile (the mc blocking factor). */
+inline constexpr std::size_t kTileRowsA = 64;
+
+/** Output-tile width: B rows / NN cols per tile (the nc factor).  Also
+ *  the parallel shard granularity — small enough that a decode-shaped
+ *  N still fans out, large enough that a B panel amortizes. */
+inline constexpr std::size_t kTileRowsB = 32;
+
+/** k1 blocks per kc panel inside a tile: the contraction slice held
+ *  hot while the microkernel sweeps the tile (k1 = 16, int16 mantissas
+ *  => 1 KiB of mantissa stream per operand row per panel). */
+inline constexpr std::size_t kPanelBlocks = 32;
+
+/**
+ * The execute side.  Kernels implement the TILE entry points; the
+ * whole-GEMM gemm()/gemm_nn() convenience wrappers validate and walk
+ * the tile grid serially (the threaded walk lives in the matmul_*
+ * drivers).  Tile calls assume the driver already validated the
+ * operand pair / chunk structure — they are the hot path and run once
+ * per tile per thread.
+ */
 class PackedGemmKernel
 {
   public:
     virtual ~PackedGemmKernel() = default;
 
-    /** Implementation name for reports and tests ("scalar", "avx2"). */
+    /** Implementation name for reports and tests
+     *  ("scalar", "avx2", "avx512"). */
     virtual const char* name() const = 0;
 
     /**
-     * C[a.rows x b.rows] = A * B^T in the packed domain.  @p a and
-     * @p b must share the contraction width (a.cols == b.cols) and
-     * match @p plan's operand plans.
+     * Compute the C tile @p t of C[a.rows x b.rows] = A * B^T over the
+     * FULL contraction (kc panels are internal).  @p ldc is C's row
+     * stride (b.rows for a whole GEMM).  Must write every element of
+     * the tile exactly per the file contract, and nothing outside it.
      */
-    virtual void gemm(const GemmPlan& plan, const PackedOperand& a,
-                      const PackedOperand& b, float* c) const = 0;
+    virtual void gemm_tile(const GemmPlan& plan, const PackedOperand& a,
+                           const PackedOperand& b, const Tile& t,
+                           float* c, std::size_t ldc) const = 0;
 
     /**
-     * C[a.rows x ncols] = A * B with B given as one packed chunk per
-     * k1-block (the NN leg: B's storage rows run along C's columns, so
-     * nothing is transposed at execution time — this is how P V
-     * consumes a native MX V cache, whose slabs quantize along keys).
-     * The contract per element is identical to gemm()'s, with chunk k
-     * supplying the b-side of block pair k; scalar and SIMD stay
-     * bit-identical by the same argument.
+     * The NN-leg tile: C[a.rows x ncols] = A * B with B given as one
+     * packed chunk per k1-block (B's storage rows run along C's
+     * columns — how P V consumes a native MX V cache).  @p t.j0/j1
+     * range over the ncols output columns; @p ldc is C's row stride.
      */
-    virtual void gemm_nn(const GemmPlan& plan, const PackedOperand& a,
-                         std::span<const NnBlockRef> b, std::size_t ncols,
-                         float* c) const = 0;
+    virtual void gemm_nn_tile(const GemmPlan& plan,
+                              const PackedOperand& a,
+                              std::span<const NnBlockRef> b,
+                              const Tile& t, float* c,
+                              std::size_t ldc) const = 0;
+
+    /**
+     * C[a.rows x b.rows] = A * B^T in the packed domain: validate, then
+     * walk the tile grid serially.  @p a and @p b must share the
+     * contraction width (a.cols == b.cols) and match @p plan's operand
+     * plans.
+     */
+    void gemm(const GemmPlan& plan, const PackedOperand& a,
+              const PackedOperand& b, float* c) const;
+
+    /** Whole-GEMM NN leg: validate, then walk the tile grid serially.
+     *  Chunk widths must tile a.cols() exactly (only the last chunk may
+     *  be short). */
+    void gemm_nn(const GemmPlan& plan, const PackedOperand& a,
+                 std::span<const NnBlockRef> b, std::size_t ncols,
+                 float* c) const;
 };
 
 /** The portable reference implementation (always available). */
@@ -110,17 +182,33 @@ const PackedGemmKernel& scalar_gemm_kernel();
 /** The AVX2 implementation, or nullptr when the build lacks AVX2. */
 const PackedGemmKernel* avx2_gemm_kernel();
 
+/** The AVX-512/VNNI implementation, or nullptr when the build lacks
+ *  the AVX-512 flags. */
+const PackedGemmKernel* avx512_gemm_kernel();
+
 /**
- * The kernel the frozen serving path routes through: AVX2 when the
- * quantize dispatch resolved to AVX2 (core/kernels/dispatch.h — CPU
- * probe, MX_FORCE_SCALAR, set_force_scalar), scalar otherwise.
+ * The kernel the frozen serving path routes through, slaved to
+ * core/kernels/dispatch's SIMD level (CPU probe, MX_FORCE_SCALAR,
+ * MX_FORCE_AVX2, set_simd_level test hook): AVX-512 at
+ * SimdLevel::Avx512, AVX2 at Avx2, scalar otherwise.
  */
 const PackedGemmKernel& active_gemm_kernel();
+
+/**
+ * Lanes the threaded matmul_* drivers shard output tiles across.
+ * Resolved once from MX_GEMM_THREADS (default: the shared pool's lane
+ * count); set_gemm_threads overrides at runtime.
+ */
+std::size_t gemm_threads();
+
+/** Runtime override of gemm_threads(); 0 re-resolves from the
+ *  environment on the next call (test hook + embedder API). */
+void set_gemm_threads(std::size_t threads);
 
 /** Routing policy of the frozen serving path. */
 enum class Mode
 {
-    Auto, ///< Packed when profitable (AVX2) or required (values dropped).
+    Auto, ///< Packed when profitable (SIMD) or required (values dropped).
     On,   ///< Always packed, even on the scalar kernel.
     Off,  ///< Never packed; serve on the dequantized values.
 };
@@ -133,7 +221,7 @@ Mode mode();
 void set_mode(Mode m);
 
 /** True when the packed path is the faster engine on this host right
- *  now (the AVX2 gemm kernel is active). */
+ *  now (a SIMD gemm kernel is active). */
 bool packed_profitable();
 
 /**
@@ -150,7 +238,8 @@ std::uint64_t call_count();
  * C = X * W^T with X[M, K] float activations and W[N, K] packed:
  * quantizes X on the fly into the execution view (the same
  * quantization the fake-quant path applies) and runs the active
- * packed kernel.  Never materializes a dequantized FP32 copy of W.
+ * packed kernel, sharding output tiles across gemm_threads() lanes.
+ * Never materializes a dequantized FP32 copy of W.
  *
  * @p a_plan is the activation-side plan (may differ from w.plan() —
  * Table IV (w, a) format splits); gemm_compatible(a_plan, w.plan())
@@ -257,6 +346,20 @@ block_contrib(const GemmPlan& plan, const std::int16_t* am_row,
 {
     return block_contrib2(plan, am_row, atau_row, aexp, off, bm_row,
                           btau_row, bexp, off, n);
+}
+
+/**
+ * True when (plan) fits the SIMD fast path shared by the AVX2 and
+ * AVX-512 kernels: the MX family's k1 = 16, k2 = 2 on both sides, and
+ * enough int32 headroom to sum a block's 8 shifted sub-sums (products
+ * reach 2^(ma+mb+1) per pair, << budget, x8 sub-blocks).
+ */
+inline bool
+simd_fast_path(const GemmPlan& plan)
+{
+    return plan.a.k1 == 16 && plan.a.k2 == 2 && plan.b.k2 == 2 &&
+           plan.a.d2 > 0 && plan.b.d2 > 0 &&
+           plan.a.m + plan.b.m + 1 + plan.budget + 3 <= 31;
 }
 
 } // namespace detail

@@ -67,7 +67,7 @@ Linear::frozen_matmul(const Tensor& x) const
 {
     // Packed-domain path (Figure 6): when the activation format pairs
     // with the snapshot's gemm-ready view and the routing policy picks
-    // it (MX_GEMM — packed when the AVX2 kernel is active or the FP32
+    // it (MX_GEMM — packed when a SIMD kernel is active or the FP32
     // values were dropped), the weight matmul runs on the MX bit
     // stream's integer mantissas — no dequantized FP32 weight copy is
     // touched or allocated.

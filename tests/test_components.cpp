@@ -207,19 +207,28 @@ TEST(EnvKnobs, SizeFlagAndEnumShareOneRuleSet)
     ::setenv("MX_TEST_KNOB", "", 1);
     EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 7u);
 
-    // Sizes: plain decimals, trimmed; junk falls back (with one
-    // stderr warning per variable, not asserted here).
+    // Sizes: plain decimals, trimmed; non-numeric junk falls back (with
+    // one stderr warning per variable, not asserted here), but a
+    // NUMERIC value below the floor clamps to min_value — an operator
+    // asking for "0 threads" means the minimum, not the pool-sized
+    // default (MX_GEMM_THREADS=0 silently configuring full fan-out
+    // would be the exact inversion of the request).
     ::setenv("MX_TEST_KNOB", " 42 ", 1);
     EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 42u);
     ::setenv("MX_TEST_KNOB", "42x", 1);
     EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 7u);
     ::setenv("MX_TEST_KNOB", "-3", 1);
-    EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 7u);
+    EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 1u)
+        << "negative clamps to the default min_value of 1";
     ::setenv("MX_TEST_KNOB", "0", 1);
-    EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 7u)
-        << "0 violates the default min_value of 1";
+    EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7), 1u)
+        << "0 clamps to the default min_value of 1";
     EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7, /*min_value=*/0),
               0u);
+    ::setenv("MX_TEST_KNOB", "2", 1);
+    EXPECT_EQ(core::env::size_knob("MX_TEST_KNOB", 7, /*min_value=*/4),
+              4u)
+        << "the floor applies to any numeric value, not just signs";
 
     // Flags: 1/true/on/yes and 0/false/off/no, any case; the old
     // MX_FORCE_SCALAR parser treated "false" as true — pinned fixed.

@@ -6,8 +6,11 @@
  *    (tensor::matmul_nt / nn::qmatmul_nt pinned to a naive
  *    double-accumulation reference across random shapes, ragged k1
  *    tails included, on both kernel dispatch legs);
- *  - scalar and AVX2 packed kernels bit-identical for every MX format
- *    pair across shapes, ragged widths, and magnitude spreads;
+ *  - scalar, AVX2 and AVX-512/VNNI packed kernels bit-identical for
+ *    every MX format pair across shapes, ragged widths, and magnitude
+ *    spreads (the AVX-512 suite auto-skips where the host lacks the
+ *    ISA), and every entry point bit-identical across MX_GEMM_THREADS
+ *    lane counts on tile-crossing shapes;
  *  - packed execution agrees with the dequantized reference matmul to
  *    FP32-accumulation tolerance, and QSNR vs the FP32 oracle clears
  *    the pinned per-format floor;
@@ -19,9 +22,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "core/kernels/dispatch.h"
+#include "core/thread_pool.h"
 #include "gemm/gemm_plan.h"
 #include "gemm/packed_gemm.h"
 #include "gemm/packed_operand.h"
@@ -728,4 +733,300 @@ TEST(PackedOperand, AlignedRowStreamAppendsAndDecodesExactly)
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked + threaded execution: the output-tile grid is fixed by shape
+// alone, so every entry point is bit-identical for any MX_GEMM_THREADS
+// and any SIMD leg — and the serial tile walk equals the old streaming
+// order by the exact-roundtrip argument in packed_gemm.h.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Pin a GEMM lane count for one scope; re-resolve from env after. */
+class ScopedGemmThreads
+{
+  public:
+    explicit ScopedGemmThreads(std::size_t t)
+    {
+        gemm::set_gemm_threads(t);
+    }
+    ~ScopedGemmThreads() { gemm::set_gemm_threads(0); }
+};
+
+/** Run @p body once per SIMD level this host/build can execute,
+ *  pinned via the dispatch test hook; restores the env resolution. */
+template <typename Fn>
+void
+for_each_simd_level(Fn&& body)
+{
+    namespace ck = core::kernels;
+    ck::set_simd_level(ck::SimdLevel::Scalar);
+    body("scalar");
+    if (ck::avx2_supported()) {
+        ck::set_simd_level(ck::SimdLevel::Avx2);
+        body("avx2");
+    }
+    if (ck::avx512_supported()) {
+        ck::set_simd_level(ck::SimdLevel::Avx512);
+        body("avx512");
+    }
+    ck::reset_simd_level();
+}
+
+/** Shapes that cross the tile grid: rows past kTileRowsA = 64, cols
+ *  past kTileRowsB = 32, ragged contraction tails, exact boundaries. */
+const GemmCase kTiledCases[] = {{70, 67, 70},
+                                {64, 48, 32},
+                                {9, 256, 33},
+                                {65, 80, 4}};
+
+} // namespace
+
+TEST(PackedGemmThreading, NtEntryPointsBitIdenticalAcrossThreadCounts)
+{
+    stats::Rng rng(130);
+    for_each_simd_level([&](const char* leg) {
+        for (const auto& fmt : {core::mx9(), core::mx4()}) {
+            for (const GemmCase& cs : kTiledCases) {
+                Tensor x = spread_randn(cs.m, cs.k, rng);
+                Tensor w = spread_randn(cs.n, cs.k, rng);
+                const QuantPlan plan = make_quant_plan(fmt);
+                nn::FrozenTensor f = nn::FrozenTensor::build(w, fmt);
+                Tensor base_nt, base_aa;
+                {
+                    ScopedGemmThreads serial(1);
+                    base_nt = gemm::matmul_nt_packed(x, plan,
+                                                     *f.gemm_operand());
+                    base_aa = gemm::matmul_nt_packed2(x, plan, w, plan);
+                }
+                for (std::size_t t : {std::size_t{2}, std::size_t{7}}) {
+                    ScopedGemmThreads threads(t);
+                    Tensor nt = gemm::matmul_nt_packed(x, plan,
+                                                       *f.gemm_operand());
+                    Tensor aa = gemm::matmul_nt_packed2(x, plan, w, plan);
+                    EXPECT_EQ(tensor::max_abs_diff(nt, base_nt), 0.0)
+                        << fmt.name << " [" << cs.m << "," << cs.k << ","
+                        << cs.n << "] t=" << t << " leg=" << leg;
+                    EXPECT_EQ(tensor::max_abs_diff(aa, base_aa), 0.0)
+                        << fmt.name << " [" << cs.m << "," << cs.k << ","
+                        << cs.n << "] t=" << t << " leg=" << leg;
+                }
+                // The kernel's own serial tile walk (the direct-call
+                // convenience wrapper) agrees with the threaded driver.
+                core::Rounder rounder;
+                const auto a = gemm::PackedOperand::quantize(
+                    plan, x.data(), static_cast<std::size_t>(cs.m),
+                    static_cast<std::size_t>(cs.k), rounder);
+                const auto b = gemm::PackedOperand::quantize(
+                    plan, w.data(), static_cast<std::size_t>(cs.n),
+                    static_cast<std::size_t>(cs.k), rounder);
+                const gemm::GemmPlan gp = gemm::make_gemm_plan(plan, plan);
+                Tensor direct({cs.m, cs.n});
+                gemm::active_gemm_kernel().gemm(gp, a, b, direct.data());
+                EXPECT_EQ(tensor::max_abs_diff(direct, base_aa), 0.0)
+                    << fmt.name << " [" << cs.m << "," << cs.k << ","
+                    << cs.n << "] leg=" << leg;
+            }
+        }
+    });
+}
+
+TEST(PackedGemmThreading, NnLegBitIdenticalAcrossThreadCounts)
+{
+    // One chunk per k1-block with a nonzero row_off, n past the tile
+    // width so the j grid really shards (the decode P V shape).
+    stats::Rng rng(131);
+    constexpr std::size_t k1 = 16;
+    const std::int64_t m = 5, n = 70, k = 48, pad = 2;
+    for_each_simd_level([&](const char* leg) {
+        for (const auto& fmt : mx_formats()) {
+            Tensor x = spread_randn(m, k, rng);
+            Tensor b = spread_randn(n, k, rng);
+            const QuantPlan plan = make_quant_plan(fmt);
+            core::Rounder rounder;
+            const auto aop = gemm::PackedOperand::quantize(
+                plan, x.data(), static_cast<std::size_t>(m),
+                static_cast<std::size_t>(k), rounder);
+            const gemm::GemmPlan gp = gemm::make_gemm_plan(plan, plan);
+            const std::size_t nblocks =
+                (static_cast<std::size_t>(k) + k1 - 1) / k1;
+            std::vector<gemm::PackedOperand> chunks(nblocks);
+            for (std::size_t kb = 0; kb < nblocks; ++kb) {
+                const std::size_t w =
+                    std::min(k1, static_cast<std::size_t>(k) - kb * k1);
+                Tensor slab({pad + n, static_cast<std::int64_t>(w)});
+                for (std::int64_t r = 0; r < pad + n; ++r)
+                    for (std::size_t c = 0; c < w; ++c)
+                        slab.data()[r * static_cast<std::int64_t>(w) +
+                                    static_cast<std::int64_t>(c)] =
+                            r < pad ? static_cast<float>(r + 1)
+                                    : b.data()[(r - pad) * k +
+                                               static_cast<std::int64_t>(
+                                                   kb * k1 + c)];
+                chunks[kb] = gemm::PackedOperand::quantize(
+                    plan, slab.data(), static_cast<std::size_t>(pad + n),
+                    w, rounder);
+            }
+            std::vector<gemm::NnBlockRef> refs;
+            for (const auto& c : chunks)
+                refs.push_back({&c, static_cast<std::size_t>(pad)});
+            Tensor base;
+            {
+                ScopedGemmThreads serial(1);
+                base = gemm::matmul_nn_packed(
+                    gp, aop, refs, static_cast<std::size_t>(n));
+            }
+            for (std::size_t t : {std::size_t{2}, std::size_t{7}}) {
+                ScopedGemmThreads threads(t);
+                Tensor got = gemm::matmul_nn_packed(
+                    gp, aop, refs, static_cast<std::size_t>(n));
+                EXPECT_EQ(tensor::max_abs_diff(got, base), 0.0)
+                    << fmt.name << " t=" << t << " leg=" << leg;
+            }
+        }
+    });
+}
+
+TEST(PackedGemmThreading, EnvKnobResolvesAndClamps)
+{
+    ::setenv("MX_GEMM_THREADS", "7", 1);
+    gemm::set_gemm_threads(0); // drop the cache, re-resolve
+    EXPECT_EQ(gemm::gemm_threads(), 7u);
+    // 0 is numeric nonsense for a lane count: the shared knob parser
+    // clamps to the floor of 1 (serial) instead of silently falling
+    // back to full pool fan-out — the opposite of what was asked.
+    ::setenv("MX_GEMM_THREADS", "0", 1);
+    gemm::set_gemm_threads(0);
+    EXPECT_EQ(gemm::gemm_threads(), 1u);
+    ::unsetenv("MX_GEMM_THREADS");
+    gemm::set_gemm_threads(0);
+    EXPECT_EQ(gemm::gemm_threads(),
+              core::ThreadPool::default_thread_count());
+    gemm::set_gemm_threads(5); // runtime override wins over env
+    EXPECT_EQ(gemm::gemm_threads(), 5u);
+    gemm::set_gemm_threads(0);
+}
+
+// ---------------------------------------------------------------------------
+// The AVX-512/VNNI leg: bit-identical to the scalar reference wherever
+// the host can run it; auto-skip (not fail) elsewhere.
+// ---------------------------------------------------------------------------
+
+TEST(PackedGemmAvx512, ScalarAndAvx512BitIdentical)
+{
+    if (gemm::avx512_gemm_kernel() == nullptr ||
+        !core::kernels::avx512_supported())
+        GTEST_SKIP() << "no AVX-512/VNNI on this host/build";
+    stats::Rng rng(132);
+    for (const auto& fa : mx_formats()) {
+        for (const auto& fb : mx_formats()) {
+            for (const GemmCase& cs : kCases) {
+                Tensor x = spread_randn(cs.m, cs.k, rng);
+                Tensor w = spread_randn(cs.n, cs.k, rng);
+                const QuantPlan pa = make_quant_plan(fa);
+                const QuantPlan pb = make_quant_plan(fb);
+                core::Rounder rounder;
+                const auto a = gemm::PackedOperand::quantize(
+                    pa, x.data(), static_cast<std::size_t>(cs.m),
+                    static_cast<std::size_t>(cs.k), rounder);
+                const auto b = gemm::PackedOperand::quantize(
+                    pb, w.data(), static_cast<std::size_t>(cs.n),
+                    static_cast<std::size_t>(cs.k), rounder);
+                const gemm::GemmPlan plan = gemm::make_gemm_plan(pa, pb);
+                Tensor cs_out({cs.m, cs.n}), cv_out({cs.m, cs.n});
+                gemm::scalar_gemm_kernel().gemm(plan, a, b,
+                                                cs_out.data());
+                gemm::avx512_gemm_kernel()->gemm(plan, a, b,
+                                                 cv_out.data());
+                EXPECT_EQ(tensor::max_abs_diff(cs_out, cv_out), 0.0)
+                    << fa.name << " x " << fb.name << " [" << cs.m << ","
+                    << cs.k << "," << cs.n << "]";
+            }
+        }
+    }
+}
+
+TEST(PackedGemmAvx512, NnLegBitIdenticalToScalar)
+{
+    if (gemm::avx512_gemm_kernel() == nullptr ||
+        !core::kernels::avx512_supported())
+        GTEST_SKIP() << "no AVX-512/VNNI on this host/build";
+    // k = 80 gives 5 chunks: two VNNI block pairs + the odd trailing
+    // chunk; k = 40 adds the ragged tail chunk behind one pair.
+    stats::Rng rng(133);
+    constexpr std::size_t k1 = 16;
+    for (const auto& fmt : mx_formats()) {
+        for (std::int64_t k : {80, 40}) {
+            const std::int64_t m = 4, n = 9, pad = 1;
+            Tensor x = spread_randn(m, k, rng);
+            Tensor b = spread_randn(n, k, rng);
+            const QuantPlan plan = make_quant_plan(fmt);
+            core::Rounder rounder;
+            const auto aop = gemm::PackedOperand::quantize(
+                plan, x.data(), static_cast<std::size_t>(m),
+                static_cast<std::size_t>(k), rounder);
+            const gemm::GemmPlan gp = gemm::make_gemm_plan(plan, plan);
+            const std::size_t nblocks =
+                (static_cast<std::size_t>(k) + k1 - 1) / k1;
+            std::vector<gemm::PackedOperand> chunks(nblocks);
+            for (std::size_t kb = 0; kb < nblocks; ++kb) {
+                const std::size_t w =
+                    std::min(k1, static_cast<std::size_t>(k) - kb * k1);
+                Tensor slab({pad + n, static_cast<std::int64_t>(w)});
+                for (std::int64_t r = 0; r < pad + n; ++r)
+                    for (std::size_t c = 0; c < w; ++c)
+                        slab.data()[r * static_cast<std::int64_t>(w) +
+                                    static_cast<std::int64_t>(c)] =
+                            r < pad ? 2.0f
+                                    : b.data()[(r - pad) * k +
+                                               static_cast<std::int64_t>(
+                                                   kb * k1 + c)];
+                chunks[kb] = gemm::PackedOperand::quantize(
+                    plan, slab.data(), static_cast<std::size_t>(pad + n),
+                    w, rounder);
+            }
+            std::vector<gemm::NnBlockRef> refs;
+            for (const auto& c : chunks)
+                refs.push_back({&c, static_cast<std::size_t>(pad)});
+            Tensor sc({m, n}), vn({m, n});
+            gemm::scalar_gemm_kernel().gemm_nn(
+                gp, aop, refs, static_cast<std::size_t>(n), sc.data());
+            gemm::avx512_gemm_kernel()->gemm_nn(
+                gp, aop, refs, static_cast<std::size_t>(n), vn.data());
+            EXPECT_EQ(tensor::max_abs_diff(sc, vn), 0.0)
+                << fmt.name << " k=" << k;
+        }
+    }
+}
+
+TEST(KernelDispatch, SimdLevelSelectsTheGemmKernel)
+{
+    namespace ck = core::kernels;
+    ck::set_simd_level(ck::SimdLevel::Scalar);
+    EXPECT_STREQ(gemm::active_gemm_kernel().name(), "scalar");
+    EXPECT_FALSE(gemm::packed_profitable());
+    if (ck::avx2_supported()) {
+        ck::set_simd_level(ck::SimdLevel::Avx2);
+        EXPECT_STREQ(gemm::active_gemm_kernel().name(), "avx2");
+        EXPECT_TRUE(gemm::packed_profitable());
+    }
+    if (ck::avx512_supported()) {
+        ck::set_simd_level(ck::SimdLevel::Avx512);
+        EXPECT_STREQ(gemm::active_gemm_kernel().name(), "avx512");
+        EXPECT_TRUE(gemm::packed_profitable());
+    }
+    // The hook caps at the host ceiling: asking for AVX-512 anywhere
+    // resolves to a kernel this machine can actually execute.
+    ck::set_simd_level(ck::SimdLevel::Avx512);
+    const char* capped = gemm::active_gemm_kernel().name();
+    EXPECT_TRUE(ck::avx512_supported() ? std::string(capped) == "avx512"
+                : ck::avx2_supported() ? std::string(capped) == "avx2"
+                                       : std::string(capped) == "scalar");
+    ck::reset_simd_level();
+    // The legacy pin still works on top of the level machinery.
+    ck::set_force_scalar(true);
+    EXPECT_STREQ(gemm::active_gemm_kernel().name(), "scalar");
+    ck::set_force_scalar(false);
 }
