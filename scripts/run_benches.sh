@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Run every bench binary and collect the BENCH_<name>.json reports.
 #
-#   scripts/run_benches.sh [--only=NAMES] [BUILD_DIR] [OUT_DIR]
+#   scripts/run_benches.sh [--only=NAMES] [--trace] [BUILD_DIR] [OUT_DIR]
 #
 #   --only=NAMES  comma-separated name filter so a single bench (e.g.
 #                 gemm_packed) can be rerun without the full suite;
 #                 each entry must exactly match a known bench name
+#   --trace    opt-in: run each bench with MX_TRACE set (trace JSON
+#              lands next to its report as TRACE_<name>.json) and
+#              validate every trace with scripts/trace_summary.py; a
+#              trace that fails validation counts as a bench failure
 #   BUILD_DIR  cmake build tree (default: build; configured+built on
 #              demand when missing)
 #   OUT_DIR    where the JSON reports land (default: BUILD_DIR/bench_results)
@@ -23,11 +27,13 @@ set -u
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 
 ONLY=""
+TRACE=0
 POSITIONAL=()
 for arg in "$@"; do
     case "$arg" in
         --only=*) ONLY="${arg#--only=}" ;;
         --only)   echo "usage: --only=name1,name2" >&2; exit 2 ;;
+        --trace)  TRACE=1 ;;
         *)        POSITIONAL+=("$arg") ;;
     esac
 done
@@ -87,7 +93,7 @@ mkdir -p "$OUT_DIR"
 # as current results; a filtered rerun keeps the other benches'
 # reports.
 for b in "${BENCHES[@]}"; do
-    rm -f "$OUT_DIR/BENCH_$b.json"
+    rm -f "$OUT_DIR/BENCH_$b.json" "$OUT_DIR/TRACE_$b.json"
     if [ "$b" = "fig7_pareto" ]; then
         rm -f "$OUT_DIR"/fig7_sweep.csv
     fi
@@ -104,7 +110,17 @@ for b in "${BENCHES[@]}"; do
     fi
     echo
     echo "==================== $b ===================="
-    if ! "$exe"; then
+    if [ "$TRACE" = 1 ]; then
+        if ! MX_TRACE="$OUT_DIR/TRACE_$b.json" "$exe"; then
+            echo "== $b: MISMATCH (non-zero exit)"
+            failures=$((failures + 1))
+        fi
+        if ! python3 "$REPO_ROOT/scripts/trace_summary.py" \
+                "$OUT_DIR/TRACE_$b.json"; then
+            echo "== $b: trace failed validation"
+            failures=$((failures + 1))
+        fi
+    elif ! "$exe"; then
         echo "== $b: MISMATCH (non-zero exit)"
         failures=$((failures + 1))
     fi

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Validate and summarize an MX_TRACE Chrome trace-event JSON file.
+
+The mx_obs trace exporter (src/obs/obs.h) writes one complete-event
+("ph":"X") object per span, metadata ("ph":"M") thread names, and one
+counter ("ph":"C") event per registered counter/gauge.  This script
+checks the structural invariants the exporter promises:
+
+  - the file parses as one JSON array of event objects;
+  - every thread's spans are well-nested: spans on one tid either
+    contain each other or are disjoint (the RAII stack discipline means
+    overlap is an exporter/clock bug);
+  - timestamps are monotonic per thread (sorted by start time) and
+    durations are non-negative;
+
+then prints a per-span-name time breakdown (count, total/mean self-ms)
+and a per-subsystem rollup (the dotted-name prefix: serve, gemm, ...).
+
+With --require a,b,c it additionally fails unless every named
+subsystem contributed at least one span or counter event — CI uses
+this to pin "all five instrumented subsystems are present" on traces
+from the serve + decode-session suites.
+
+Usage:
+  scripts/trace_summary.py TRACE.json [--require serve,session,gemm]
+
+Exit status: 0 = valid, 1 = validation failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def load_events(path: Path) -> list[dict]:
+    with path.open() as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise ValueError("trace root is not a JSON array")
+    for i, e in enumerate(data):
+        if not isinstance(e, dict) or "ph" not in e or "name" not in e:
+            raise ValueError(f"event {i} is not a trace event object")
+    return data
+
+
+def check_nesting(spans_by_tid: dict[int, list[dict]]) -> list[str]:
+    """Spans on one thread must be disjoint or properly contained.
+
+    Events arrive sorted by (start, depth) — the exporter's order — so
+    a stack of open intervals detects any partial overlap.
+    """
+    errors: list[str] = []
+    for tid, spans in sorted(spans_by_tid.items()):
+        stack: list[tuple[float, float, str]] = []  # (start, end, name)
+        last_start = None
+        for s in spans:
+            start = float(s["ts"])
+            end = start + float(s["dur"])
+            if float(s["dur"]) < 0:
+                errors.append(
+                    f"tid {tid}: span '{s['name']}' has negative "
+                    f"duration {s['dur']}"
+                )
+                continue
+            if last_start is not None and start < last_start:
+                errors.append(
+                    f"tid {tid}: span '{s['name']}' starts at {start} "
+                    f"before the previous span's start {last_start} — "
+                    f"timestamps not monotonic"
+                )
+            last_start = start
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                errors.append(
+                    f"tid {tid}: span '{s['name']}' "
+                    f"[{start}, {end}) partially overlaps enclosing "
+                    f"'{stack[-1][2]}' [{stack[-1][0]}, {stack[-1][1]})"
+                )
+                continue
+            stack.append((start, end, s["name"]))
+    return errors
+
+
+def summarize(events: list[dict]) -> int:
+    spans = [e for e in events if e.get("ph") == "X"]
+    counters = [e for e in events if e.get("ph") == "C"]
+
+    spans_by_tid: dict[int, list[dict]] = defaultdict(list)
+    for s in spans:
+        missing = [k for k in ("ts", "dur", "tid") if k not in s]
+        if missing:
+            print(f"ERROR: span '{s['name']}' lacks {missing}")
+            return 1
+        spans_by_tid[s["tid"]].append(s)
+
+    errors = check_nesting(spans_by_tid)
+    for e in errors:
+        print(f"ERROR: {e}")
+
+    # Self time = duration minus time covered by direct children, so a
+    # parent stage (serve.batch) does not double-count its substages.
+    self_ms: dict[str, float] = defaultdict(float)
+    total_ms: dict[str, float] = defaultdict(float)
+    count: dict[str, int] = defaultdict(int)
+    for tid, tspans in spans_by_tid.items():
+        stack: list[dict] = []  # open spans, children subtract from them
+        child_time: dict[int, float] = defaultdict(float)
+        order: list[dict] = sorted(
+            tspans, key=lambda s: (float(s["ts"]), -float(s["dur"]))
+        )
+        for s in order:
+            start, dur = float(s["ts"]), float(s["dur"])
+            while stack and start >= float(stack[-1]["ts"]) + float(
+                stack[-1]["dur"]
+            ):
+                top = stack.pop()
+                self_ms[top["name"]] += (
+                    float(top["dur"]) - child_time.pop(id(top), 0.0)
+                ) / 1e3
+            if stack:
+                child_time[id(stack[-1])] += dur
+            count[s["name"]] += 1
+            total_ms[s["name"]] += dur / 1e3
+            stack.append(s)
+        while stack:
+            top = stack.pop()
+            self_ms[top["name"]] += (
+                float(top["dur"]) - child_time.pop(id(top), 0.0)
+            ) / 1e3
+
+    print(
+        f"trace_summary: {len(spans)} spans on {len(spans_by_tid)} "
+        f"thread(s), {len(counters)} counter(s)"
+    )
+    if count:
+        print(f"  {'span':<24} {'count':>8} {'total ms':>12} "
+              f"{'self ms':>12} {'mean us':>10}")
+        for name in sorted(count, key=lambda n: -self_ms[n]):
+            mean_us = total_ms[name] * 1e3 / count[name]
+            print(
+                f"  {name:<24} {count[name]:>8} {total_ms[name]:>12.3f} "
+                f"{self_ms[name]:>12.3f} {mean_us:>10.2f}"
+            )
+
+    by_subsystem: dict[str, float] = defaultdict(float)
+    for name, ms in self_ms.items():
+        by_subsystem[name.split(".", 1)[0]] += ms
+    for e in counters:
+        by_subsystem.setdefault(e["name"].split(".", 1)[0], 0.0)
+    print("  per-subsystem self time:")
+    for sub, ms in sorted(by_subsystem.items(), key=lambda kv: -kv[1]):
+        print(f"    {sub:<12} {ms:>12.3f} ms")
+
+    return 1 if errors else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", type=Path, help="MX_TRACE output file")
+    ap.add_argument(
+        "--require",
+        default="",
+        help="comma-separated subsystems that must appear "
+        "(span or counter name prefix before the first dot)",
+    )
+    args = ap.parse_args()
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"ERROR: cannot load {args.trace}: {e}")
+        return 1
+
+    status = summarize(events)
+
+    if args.require:
+        present = {
+            e["name"].split(".", 1)[0]
+            for e in events
+            if e.get("ph") in ("X", "C")
+        }
+        for sub in args.require.split(","):
+            sub = sub.strip()
+            if sub and sub not in present:
+                print(f"ERROR: required subsystem '{sub}' absent "
+                      f"from the trace")
+                status = 1
+
+    print(f"trace_summary: {'OK' if status == 0 else 'FAILED'}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

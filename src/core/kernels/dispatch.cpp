@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "core/env.h"
+#include "obs/obs.h"
 
 namespace mx {
 namespace core {
@@ -93,8 +94,14 @@ active_kernel()
 {
     // The quantize family only has scalar and AVX2 flavours; the
     // AVX-512 level still quantizes on the AVX2 kernel.
-    return active_simd_level() == SimdLevel::Scalar ? scalar_kernel()
-                                                    : *avx2_kernel();
+    static obs::Counter& scalar_sel = obs::counter("kernels.select.scalar");
+    static obs::Counter& avx2_sel = obs::counter("kernels.select.avx2");
+    if (active_simd_level() == SimdLevel::Scalar) {
+        scalar_sel.add(1);
+        return scalar_kernel();
+    }
+    avx2_sel.add(1);
+    return *avx2_kernel();
 }
 
 void

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/env.h"
+#include "obs/obs.h"
 
 namespace mx {
 namespace core {
@@ -98,6 +99,7 @@ ThreadPool::run_items()
 void
 ThreadPool::worker_loop()
 {
+    obs::set_thread_name("pool-worker");
     std::uint64_t seen = 0;
     for (;;) {
         std::unique_lock<std::mutex> lk(mu_);
@@ -130,6 +132,9 @@ ThreadPool::parallel_for(std::size_t n,
             body(i);
         return;
     }
+
+    obs::Span span("pool.parallel_for");
+    span.arg("n", static_cast<double>(n));
 
     std::lock_guard<std::mutex> run_lock(run_mu_);
     ensure_started();

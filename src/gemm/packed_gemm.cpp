@@ -11,6 +11,7 @@
 #include "core/env.h"
 #include "core/kernels/dispatch.h"
 #include "core/thread_pool.h"
+#include "obs/obs.h"
 
 namespace mx {
 namespace gemm {
@@ -19,6 +20,38 @@ namespace {
 
 /** GEMMs executed (relaxed: observability only). */
 std::atomic<std::uint64_t> g_calls{0};
+
+/** Count one packed GEMM in both the legacy call_count() atomic and
+ *  the obs registry (the MX_METRICS / trace-counter view). */
+void
+count_call()
+{
+    g_calls.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& calls = obs::counter("gemm.calls");
+    calls.add(1);
+}
+
+/** Attach the standard per-call trace args: output shape, output-tile
+ *  grid size, k1 blocks per row, active SIMD tier, and an estimate of
+ *  packed + output bytes touched.  Skipped entirely when tracing is
+ *  off (the span is not recording). */
+void
+annotate_gemm_span(obs::Span& span, const GemmPlan& plan, std::size_t m,
+                   std::size_t n, std::size_t k, std::size_t packed_bytes)
+{
+    if (!obs::trace_enabled())
+        return;
+    const std::size_t nti = (m + kTileRowsA - 1) / kTileRowsA;
+    const std::size_t ntj = (n + kTileRowsB - 1) / kTileRowsB;
+    span.arg("m", static_cast<double>(m));
+    span.arg("n", static_cast<double>(n));
+    span.arg("k", static_cast<double>(k));
+    span.arg("tiles", static_cast<double>(nti * ntj));
+    span.arg("k1_blocks", static_cast<double>(plan.blocks_per_row(k)));
+    span.arg("simd", static_cast<double>(
+                         core::kernels::active_simd_level()));
+    span.arg("bytes", static_cast<double>(packed_bytes + m * n * 4));
+}
 
 /** -1 = unresolved, else a Mode value. */
 std::atomic<int> g_mode{-1};
@@ -443,14 +476,17 @@ matmul_nt_packed(const tensor::Tensor& x,
                      << x.shape_string() << " does not match packed ["
                      << w.rows() << " x " << w.cols() << "]");
     const GemmPlan plan = make_gemm_plan(a_plan, w.plan());
+    obs::Span span("gemm.nt_packed");
     core::Rounder rounder(rounding);
     const PackedOperand a = PackedOperand::quantize(
         a_plan, x.data(), static_cast<std::size_t>(x.dim(0)), w.cols(),
         rounder);
+    annotate_gemm_span(span, plan, a.rows(), w.rows(), w.cols(),
+                       a.memory_bytes() + w.memory_bytes());
     tensor::Tensor c(
         {x.dim(0), static_cast<std::int64_t>(w.rows())});
     run_gemm(active_gemm_kernel(), plan, a, w, c.data());
-    g_calls.fetch_add(1, std::memory_order_relaxed);
+    count_call();
     static const bool verify = env_verifies_gemm();
     if (verify)
         verify_against_reference(a, w, c.data());
@@ -482,10 +518,13 @@ tensor::Tensor
 matmul_nt_prequant(const GemmPlan& plan, const PackedOperand& a,
                    const PackedOperand& b)
 {
+    obs::Span span("gemm.nt_prequant");
+    annotate_gemm_span(span, plan, a.rows(), b.rows(), a.cols(),
+                       a.memory_bytes() + b.memory_bytes());
     tensor::Tensor c({static_cast<std::int64_t>(a.rows()),
                       static_cast<std::int64_t>(b.rows())});
     run_gemm(active_gemm_kernel(), plan, a, b, c.data());
-    g_calls.fetch_add(1, std::memory_order_relaxed);
+    count_call();
     static const bool verify = env_verifies_gemm();
     if (verify)
         verify_against_reference(a, b, c.data());
@@ -496,10 +535,18 @@ tensor::Tensor
 matmul_nn_packed(const GemmPlan& plan, const PackedOperand& a,
                  std::span<const NnBlockRef> b, std::size_t ncols)
 {
+    obs::Span span("gemm.nn_packed");
+    if (obs::trace_enabled()) {
+        std::size_t b_bytes = 0;
+        for (const NnBlockRef& ref : b)
+            b_bytes += ref.op->memory_bytes();
+        annotate_gemm_span(span, plan, a.rows(), ncols, a.cols(),
+                           a.memory_bytes() + b_bytes);
+    }
     tensor::Tensor c({static_cast<std::int64_t>(a.rows()),
                       static_cast<std::int64_t>(ncols)});
     run_gemm_nn(active_gemm_kernel(), plan, a, b, ncols, c.data());
-    g_calls.fetch_add(1, std::memory_order_relaxed);
+    count_call();
     static const bool verify = env_verifies_gemm();
     if (verify)
         verify_nn_against_reference(a, b, ncols, c.data());

@@ -6,6 +6,7 @@
 
 #include "core/check.h"
 #include "gemm/packed_gemm.h"
+#include "obs/obs.h"
 
 namespace mx {
 namespace nn {
@@ -19,6 +20,8 @@ AttnPrefixCache::truncate(std::int64_t rows)
         rows = 0;
     if (rows >= prefix)
         return prefix;
+    static obs::Counter& truncates = obs::counter("attn.truncates");
+    truncates.add(1);
     if (!native) {
         if (rows == 0) {
             k = Tensor();
@@ -314,6 +317,12 @@ MultiHeadAttention::forward_suffix(const Tensor& x_suffix,
     const std::int64_t p = cache.prefix;
     const std::int64_t s = x_suffix.ndim() == 2 ? x_suffix.dim(0) : 0;
     const std::int64_t n = p + s; // visible positions after this call
+    obs::Span span("attn.forward_suffix");
+    span.arg("prefix", static_cast<double>(p));
+    span.arg("suffix", static_cast<double>(s));
+    static obs::Counter& appended = obs::counter("attn.append.tokens");
+    if (s > 0)
+        appended.add(static_cast<std::uint64_t>(s));
     MX_CHECK_ARG(causal_, "MultiHeadAttention: forward_suffix is a "
                           "causal decode path");
     // From-scratch calls (p == 0) are legal under any format — they
@@ -508,6 +517,8 @@ MultiHeadAttention::forward_suffix(const Tensor& x_suffix,
     // [d_model, k1] slab of transposed V, quantized along keys.
     const std::int64_t slabs_new = n / k1;
     if (slabs_new > slabs_old) {
+        static obs::Counter& commits = obs::counter("attn.slab_commits");
+        commits.add(static_cast<std::uint64_t>(slabs_new - slabs_old));
         std::vector<float> vt_chunk(
             static_cast<std::size_t>(d_model_ * k1));
         for (std::int64_t b = slabs_old; b < slabs_new; ++b) {

@@ -1,0 +1,671 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace mx {
+namespace obs {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Span ring buffers: one per thread, owned by a process-wide registry
+// that outlives the threads (and is intentionally leaked so the
+// at-exit exporters never race static destruction).
+// ---------------------------------------------------------------------
+
+/** One finished span.  Name/keys are static strings held by pointer. */
+struct SpanRecord
+{
+    const char* name = nullptr;
+    std::uint64_t t0 = 0, t1 = 0; ///< now_ns() at construct/destruct.
+    std::uint16_t depth = 0;      ///< Nesting depth on its thread.
+    std::uint8_t nargs = 0;
+    const char* keys[Span::kMaxArgs] = {};
+    double vals[Span::kMaxArgs] = {};
+};
+
+/** Spans a thread's ring can hold before overwriting its oldest. */
+constexpr std::size_t kRingCapacity = 1 << 16;
+
+struct ThreadBuffer
+{
+    explicit ThreadBuffer(std::uint32_t tid_) : tid(tid_)
+    {
+        ring.reserve(kRingCapacity);
+    }
+
+    /** Push under the buffer mutex (uncontended except vs an exporter:
+     *  the owning thread is the only writer). */
+    void
+    push(const SpanRecord& rec)
+    {
+        bool overwrote = false;
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            if (ring.size() < kRingCapacity) {
+                ring.push_back(rec);
+            } else {
+                ring[next_slot] = rec; // wrap: overwrite the oldest
+                next_slot = (next_slot + 1) % kRingCapacity;
+                ++dropped;
+                overwrote = true;
+            }
+        }
+        if (overwrote) {
+            // Make a truncated trace detectable from the metrics dump.
+            static Counter& c = counter("obs.spans_dropped");
+            c.add(1);
+        }
+    }
+
+    const std::uint32_t tid;
+    std::mutex mu;
+    std::vector<SpanRecord> ring;
+    std::size_t next_slot = 0;     ///< Oldest record once wrapped.
+    std::uint64_t dropped = 0;     ///< Overwritten span count.
+    std::string name;              ///< set_thread_name label.
+};
+
+struct TraceState
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+    std::uint32_t next_tid = 1;
+};
+
+TraceState&
+trace_state()
+{
+    static TraceState* s = new TraceState; // leaked: see file comment
+    return *s;
+}
+
+thread_local ThreadBuffer* tl_buffer = nullptr;
+thread_local std::uint16_t tl_depth = 0;
+
+ThreadBuffer&
+this_thread_buffer()
+{
+    if (tl_buffer == nullptr) {
+        TraceState& s = trace_state();
+        std::lock_guard<std::mutex> lk(s.mu);
+        s.buffers.push_back(std::make_unique<ThreadBuffer>(s.next_tid++));
+        tl_buffer = s.buffers.back().get();
+    }
+    return *tl_buffer;
+}
+
+// ---------------------------------------------------------------------
+// Metric registry: name -> counter/gauge/histogram, addresses stable
+// for the life of the process (call sites cache references in
+// function-local statics).  Also intentionally leaked.
+// ---------------------------------------------------------------------
+
+struct Registry
+{
+    std::mutex mu;
+    // std::map: exporters walk names in deterministic sorted order.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry&
+registry()
+{
+    static Registry* r = new Registry;
+    return *r;
+}
+
+/** "session.hits" -> "mx_session_hits" (Prometheus metric charset). */
+std::string
+slug(const std::string& name)
+{
+    std::string out = "mx_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+/** Env paths captured at flag resolution (empty = unset). */
+std::string&
+env_trace_path()
+{
+    static std::string* p = new std::string;
+    return *p;
+}
+
+std::string&
+env_metrics_path()
+{
+    static std::string* p = new std::string;
+    return *p;
+}
+
+void
+at_exit_export()
+{
+    if (!env_trace_path().empty())
+        write_trace(env_trace_path());
+    if (!env_metrics_path().empty())
+        write_metrics(env_metrics_path());
+}
+
+/** JSON string escaping for names that are not under our control
+ *  (thread names, arg keys are static literals but cheap to be safe). */
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Doubles in trace args: plain decimal, finite (Chrome's JSON parser
+ *  rejects NaN/Inf literals). */
+std::string
+json_number(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<int> g_flags{-1};
+
+int
+resolve_flags()
+{
+    // Benign race: concurrent first calls resolve identically from the
+    // same environment; atexit registration is guarded separately.
+    int f = 0;
+    const char* trace = std::getenv("MX_TRACE");
+    const char* metrics = std::getenv("MX_METRICS");
+    if (trace != nullptr && trace[0] != '\0')
+        f |= 1;
+    if (metrics != nullptr && metrics[0] != '\0')
+        f |= 2;
+    if (f != 0) {
+        static std::once_flag once;
+        std::call_once(once, [&] {
+            if (f & 1)
+                env_trace_path() = trace;
+            if (f & 2)
+                env_metrics_path() = metrics;
+            std::atexit(at_exit_export);
+        });
+    }
+    int expected = -1;
+    g_flags.compare_exchange_strong(expected, f,
+                                    std::memory_order_release,
+                                    std::memory_order_relaxed);
+    return g_flags.load(std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+void
+set_trace_enabled(bool on)
+{
+    const int f = detail::flags();
+    detail::g_flags.store(on ? (f | 1) : (f & ~1),
+                          std::memory_order_relaxed);
+}
+
+void
+set_metrics_enabled(bool on)
+{
+    const int f = detail::flags();
+    detail::g_flags.store(on ? (f | 2) : (f & ~2),
+                          std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+Histogram::Histogram()
+    : buckets_(new std::atomic<std::uint64_t>[kBuckets])
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+Histogram::~Histogram()
+{
+    delete[] buckets_;
+}
+
+std::size_t
+Histogram::bucket_index(std::uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<std::size_t>(value);
+    const int msb = 63 - std::countl_zero(value); // >= kSubBits
+    const int shift = msb - static_cast<int>(kSubBits);
+    const std::size_t major =
+        static_cast<std::size_t>(msb) - kSubBits + 1;
+    const std::size_t sub =
+        static_cast<std::size_t>(value >> shift) - kSubBuckets;
+    return major * kSubBuckets + sub;
+}
+
+Histogram::Bounds
+Histogram::bucket_bounds(std::size_t index)
+{
+    if (index < kSubBuckets)
+        return {index, index};
+    const std::size_t major = index / kSubBuckets; // >= 1
+    const std::size_t sub = index % kSubBuckets;
+    const int shift = static_cast<int>(major) - 1;
+    const std::uint64_t lo =
+        static_cast<std::uint64_t>(kSubBuckets + sub) << shift;
+    const std::uint64_t width = std::uint64_t{1} << shift;
+    return {lo, lo + width - 1};
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::mean() const
+{
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+Histogram::Bounds
+Histogram::percentile_bounds(double p) const
+{
+    // Snapshot the buckets first: a concurrent record() between reading
+    // count_ and walking the array cannot push the target rank past the
+    // snapshot's total.
+    std::uint64_t total = 0;
+    std::uint64_t counts[kBuckets];
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+        total += counts[i];
+    }
+    if (total == 0)
+        return {0, 0};
+    p = std::clamp(p, 0.0, 1.0);
+    // Nearest-rank: the k-th smallest with k = ceil(p * n), k >= 1.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(total)));
+    rank = std::clamp<std::uint64_t>(rank, 1, total);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += counts[i];
+        if (seen >= rank)
+            return bucket_bounds(i);
+    }
+    return bucket_bounds(kBuckets - 1); // unreachable
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    return percentile_bounds(p).hi;
+}
+
+void
+Histogram::reset()
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Registry accessors
+// ---------------------------------------------------------------------
+
+Counter&
+counter(const std::string& name)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    std::unique_ptr<Counter>& slot = r.counters[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge&
+gauge(const std::string& name)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    std::unique_ptr<Gauge>& slot = r.gauges[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram&
+histogram(const std::string& name)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    std::unique_ptr<Histogram>& slot = r.histograms[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+std::uint64_t
+now_ns()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+Span::begin(const char* name)
+{
+    live_ = true;
+    name_ = name;
+    depth_ = tl_depth++;
+    t0_ = now_ns();
+}
+
+void
+Span::end()
+{
+    SpanRecord rec;
+    rec.t1 = now_ns();
+    rec.t0 = t0_;
+    rec.name = name_;
+    rec.depth = depth_;
+    rec.nargs = nargs_;
+    for (std::size_t i = 0; i < nargs_; ++i) {
+        rec.keys[i] = keys_[i];
+        rec.vals[i] = vals_[i];
+    }
+    --tl_depth;
+    this_thread_buffer().push(rec);
+}
+
+void
+set_thread_name(const char* name)
+{
+    if (!trace_enabled())
+        return;
+    ThreadBuffer& buf = this_thread_buffer();
+    std::lock_guard<std::mutex> lk(buf.mu);
+    buf.name = name;
+}
+
+std::size_t
+trace_span_count()
+{
+    TraceState& s = trace_state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    std::size_t total = 0;
+    for (const std::unique_ptr<ThreadBuffer>& buf : s.buffers) {
+        std::lock_guard<std::mutex> blk(buf->mu);
+        total += buf->ring.size();
+    }
+    return total;
+}
+
+void
+clear_trace()
+{
+    TraceState& s = trace_state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const std::unique_ptr<ThreadBuffer>& buf : s.buffers) {
+        std::lock_guard<std::mutex> blk(buf->mu);
+        buf->ring.clear();
+        buf->next_slot = 0;
+        buf->dropped = 0;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------
+
+void
+write_trace(std::ostream& os)
+{
+    // Copy every buffer under its lock, then emit without any lock
+    // held: live threads keep recording while the exporter formats.
+    struct ThreadDump
+    {
+        std::uint32_t tid;
+        std::string name;
+        std::vector<SpanRecord> spans;
+    };
+    std::vector<ThreadDump> dumps;
+    {
+        TraceState& s = trace_state();
+        std::lock_guard<std::mutex> lk(s.mu);
+        dumps.reserve(s.buffers.size());
+        for (const std::unique_ptr<ThreadBuffer>& buf : s.buffers) {
+            std::lock_guard<std::mutex> blk(buf->mu);
+            ThreadDump d;
+            d.tid = buf->tid;
+            d.name = buf->name;
+            // Unwrap the ring into chronological push order.
+            d.spans.assign(buf->ring.begin() +
+                               static_cast<std::ptrdiff_t>(buf->next_slot),
+                           buf->ring.end());
+            d.spans.insert(d.spans.end(), buf->ring.begin(),
+                           buf->ring.begin() +
+                               static_cast<std::ptrdiff_t>(buf->next_slot));
+            dumps.push_back(std::move(d));
+        }
+    }
+
+    // Spans are pushed at END time (children before parents); sort each
+    // thread by (start, depth) so a parent precedes its children even
+    // when a coarse clock gives them equal timestamps.
+    for (ThreadDump& d : dumps)
+        std::stable_sort(d.spans.begin(), d.spans.end(),
+                         [](const SpanRecord& a, const SpanRecord& b) {
+                             return a.t0 != b.t0 ? a.t0 < b.t0
+                                                 : a.depth < b.depth;
+                         });
+
+    std::uint64_t t_base = UINT64_MAX;
+    for (const ThreadDump& d : dumps)
+        for (const SpanRecord& r : d.spans)
+            t_base = std::min(t_base, r.t0);
+    if (t_base == UINT64_MAX)
+        t_base = now_ns();
+
+    const auto us = [&](std::uint64_t ns) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f",
+                      static_cast<double>(ns - t_base) * 1e-3);
+        return std::string(buf);
+    };
+
+    // One event per line: greppable, and scripts/trace_summary.py plus
+    // tests/test_obs.cpp parse it line-wise.
+    os << "[\n";
+    bool first = true;
+    const auto emit = [&](const std::string& line) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << line;
+    };
+
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"mx\"}}");
+    for (const ThreadDump& d : dumps) {
+        if (d.name.empty())
+            continue;
+        std::ostringstream line;
+        line << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+             << "\"tid\":" << d.tid << ",\"args\":{\"name\":\""
+             << json_escape(d.name) << "\"}}";
+        emit(line.str());
+    }
+
+    for (const ThreadDump& d : dumps) {
+        for (const SpanRecord& r : d.spans) {
+            std::ostringstream line;
+            line << "{\"name\":\"" << json_escape(r.name)
+                 << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << d.tid
+                 << ",\"ts\":" << us(r.t0) << ",\"dur\":"
+                 << json_number(static_cast<double>(r.t1 - r.t0) * 1e-3);
+            line << ",\"args\":{";
+            for (std::size_t i = 0; i < r.nargs; ++i) {
+                if (i > 0)
+                    line << ",";
+                line << "\"" << json_escape(r.keys[i])
+                     << "\":" << json_number(r.vals[i]);
+            }
+            line << "}}";
+            emit(line.str());
+        }
+    }
+
+    // Final counter/gauge values as counter events, so every
+    // instrumented subsystem is visible in the trace even when it only
+    // counts (session cache, kernel dispatch, K/V cache bookkeeping).
+    {
+        const std::string ts = us(now_ns());
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lk(r.mu);
+        const auto emit_counter = [&](const std::string& name, double v) {
+            std::ostringstream line;
+            line << "{\"name\":\"" << json_escape(name)
+                 << "\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" << ts
+                 << ",\"args\":{\"value\":" << json_number(v) << "}}";
+            emit(line.str());
+        };
+        for (const auto& [name, c] : r.counters)
+            emit_counter(name, static_cast<double>(c->value()));
+        for (const auto& [name, g] : r.gauges)
+            emit_counter(name, static_cast<double>(g->value()));
+    }
+    os << "\n]\n";
+}
+
+bool
+write_trace(const std::string& path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr,
+                     "mx_obs: cannot open trace output '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    write_trace(os);
+    os.flush();
+    return os.good();
+}
+
+std::string
+metrics_text()
+{
+    std::ostringstream os;
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (const auto& [name, c] : r.counters) {
+        const std::string s = slug(name);
+        os << "# TYPE " << s << " counter\n"
+           << s << " " << c->value() << "\n";
+    }
+    for (const auto& [name, g] : r.gauges) {
+        const std::string s = slug(name);
+        os << "# TYPE " << s << " gauge\n"
+           << s << " " << g->value() << "\n";
+    }
+    for (const auto& [name, h] : r.histograms) {
+        const std::string s = slug(name);
+        os << "# TYPE " << s << " summary\n";
+        for (const double q : {0.5, 0.99, 0.999}) {
+            os << s << "{quantile=\"" << q << "\"} " << h->percentile(q)
+               << "\n";
+        }
+        os << s << "_sum " << h->sum() << "\n"
+           << s << "_count " << h->count() << "\n";
+    }
+    return os.str();
+}
+
+bool
+write_metrics(const std::string& path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr,
+                     "mx_obs: cannot open metrics output '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    os << metrics_text();
+    os.flush();
+    return os.good();
+}
+
+} // namespace obs
+} // namespace mx

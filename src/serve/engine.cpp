@@ -1,6 +1,7 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "core/env.h"
@@ -17,6 +18,29 @@ ms_between(std::chrono::steady_clock::time_point a,
            std::chrono::steady_clock::time_point b)
 {
     return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::uint64_t
+ns_between(std::chrono::steady_clock::time_point a,
+           std::chrono::steady_clock::time_point b)
+{
+    const auto d =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+            .count();
+    return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+/** EngineStats percentile summary from an engine-owned histogram. */
+LatencySummary
+summarize(const obs::Histogram& h)
+{
+    LatencySummary s;
+    s.count = h.count();
+    s.p50_ms = h.percentile_ms(0.5);
+    s.p99_ms = h.percentile_ms(0.99);
+    s.p999_ms = h.percentile_ms(0.999);
+    s.mean_ms = h.mean() * 1e-6;
+    return s;
 }
 
 } // namespace
@@ -201,13 +225,26 @@ InferenceEngine::drain()
 EngineStats
 InferenceEngine::stats() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    return stats_;
+    EngineStats s;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        s = stats_;
+    }
+    // Histogram reads are relaxed-atomic snapshots; taking them outside
+    // the mutex keeps stats() off the submit/worker hot path.
+    s.queue_wait = summarize(hist_queue_wait_);
+    s.request_total = summarize(hist_request_total_);
+    s.batch_assemble = summarize(hist_batch_assemble_);
+    s.batch_execute = summarize(hist_batch_execute_);
+    return s;
 }
 
 void
 InferenceEngine::worker_loop(std::size_t replica)
 {
+    char name[32];
+    std::snprintf(name, sizeof name, "serve-replica-%zu", replica);
+    obs::set_thread_name(name);
     const SessionBatchFn& fn = replica_fns_[replica];
     for (;;) {
         std::vector<Pending> batch;
@@ -240,8 +277,22 @@ void
 InferenceEngine::execute(const SessionBatchFn& fn,
                          std::vector<Pending>& batch)
 {
+    // Registry mirrors of the per-engine histograms, so MX_METRICS
+    // dumps serve latencies without anyone calling stats().
+    static obs::Histogram& g_queue =
+        obs::histogram("serve.queue_wait_ns");
+    static obs::Histogram& g_total =
+        obs::histogram("serve.request_total_ns");
+    static obs::Histogram& g_assemble =
+        obs::histogram("serve.batch_assemble_ns");
+    static obs::Histogram& g_execute =
+        obs::histogram("serve.batch_execute_ns");
+
     const std::int64_t rows = static_cast<std::int64_t>(batch.size());
     const auto picked_up = std::chrono::steady_clock::now();
+
+    obs::Span batch_span("serve.batch");
+    batch_span.arg("rows", static_cast<double>(rows));
 
     // Gather request rows [lo, hi) into one contiguous input tensor
     // plus the row-aligned session tags.
@@ -281,22 +332,49 @@ InferenceEngine::execute(const SessionBatchFn& fn,
 
     std::vector<Tensor> outs(n_chunks);
     try {
-        if (n_chunks == 1) {
-            outs[0] = fn(gather(0, rows), gather_sessions(0, rows));
-        } else {
-            const std::int64_t base = rows / static_cast<std::int64_t>(
-                                                 n_chunks);
-            const std::int64_t rem = rows % static_cast<std::int64_t>(
-                                                n_chunks);
-            std::vector<std::int64_t> starts(n_chunks + 1, 0);
+        // Assemble every chunk's input up front: the copy is cheap
+        // relative to the batch function, and splitting the stages
+        // gives each its own span + histogram (queue -> assemble ->
+        // execute is the taxonomy EngineStats and the trace report).
+        std::vector<std::int64_t> starts(n_chunks + 1, 0);
+        std::vector<Tensor> ins(n_chunks);
+        std::vector<std::vector<std::uint64_t>> sessions(n_chunks);
+        {
+            obs::Span assemble_span("serve.assemble");
+            assemble_span.arg("rows", static_cast<double>(rows));
+            const std::int64_t base =
+                rows / static_cast<std::int64_t>(n_chunks);
+            const std::int64_t rem =
+                rows % static_cast<std::int64_t>(n_chunks);
             for (std::size_t c = 0; c < n_chunks; ++c)
                 starts[c + 1] = starts[c] + base +
                                 (static_cast<std::int64_t>(c) < rem ? 1 : 0);
-            cfg_.pool->parallel_for(n_chunks, [&](std::size_t c) {
-                outs[c] = fn(gather(starts[c], starts[c + 1]),
-                             gather_sessions(starts[c], starts[c + 1]));
-            });
+            for (std::size_t c = 0; c < n_chunks; ++c) {
+                ins[c] = gather(starts[c], starts[c + 1]);
+                sessions[c] = gather_sessions(starts[c], starts[c + 1]);
+            }
         }
+        const auto assembled = std::chrono::steady_clock::now();
+        const std::uint64_t assemble_ns = ns_between(picked_up, assembled);
+        hist_batch_assemble_.record(assemble_ns);
+        g_assemble.record(assemble_ns);
+
+        {
+            obs::Span exec_span("serve.execute");
+            exec_span.arg("rows", static_cast<double>(rows));
+            exec_span.arg("chunks", static_cast<double>(n_chunks));
+            if (n_chunks == 1) {
+                outs[0] = fn(ins[0], sessions[0]);
+            } else {
+                cfg_.pool->parallel_for(n_chunks, [&](std::size_t c) {
+                    outs[c] = fn(ins[c], sessions[c]);
+                });
+            }
+        }
+        const std::uint64_t execute_ns =
+            ns_between(assembled, std::chrono::steady_clock::now());
+        hist_batch_execute_.record(execute_ns);
+        g_execute.record(execute_ns);
         std::int64_t out_dim = -1;
         std::int64_t covered = 0;
         for (const Tensor& o : outs) {
@@ -325,6 +403,13 @@ InferenceEngine::execute(const SessionBatchFn& fn,
                 reply.queue_ms = ms_between(p.enqueued, picked_up);
                 reply.latency_ms = ms_between(p.enqueued, done);
                 reply.batch_rows = batch.size();
+                const std::uint64_t queue_ns =
+                    ns_between(p.enqueued, picked_up);
+                const std::uint64_t total_ns = ns_between(p.enqueued, done);
+                hist_queue_wait_.record(queue_ns);
+                hist_request_total_.record(total_ns);
+                g_queue.record(queue_ns);
+                g_total.record(total_ns);
                 p.promise.set_value(std::move(reply));
             }
         }

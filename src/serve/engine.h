@@ -68,6 +68,7 @@
 
 #include "core/check.h"
 #include "core/thread_pool.h"
+#include "obs/obs.h"
 #include "tensor/tensor.h"
 
 namespace mx {
@@ -132,10 +133,23 @@ struct Reply
     std::size_t batch_rows = 0; ///< Size of the coalesced batch.
 };
 
-/** Aggregate counters (snapshot via InferenceEngine::stats()).  All
- *  counters are maintained under the one queue mutex, so they stay
- *  race-free and mutually consistent with any replica count: after
- *  drain(), the histogram's row total equals `requests` exactly. */
+/** Percentile snapshot of one latency distribution, extracted from an
+ *  obs::Histogram (log-bucketed: <= 1/32 relative bucket width). */
+struct LatencySummary
+{
+    std::uint64_t count = 0; ///< Samples recorded so far.
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double p999_ms = 0;
+    double mean_ms = 0;
+};
+
+/** Aggregate counters (snapshot via InferenceEngine::stats()).  The
+ *  scalar counters are maintained under the one queue mutex, so they
+ *  stay race-free and mutually consistent with any replica count:
+ *  after drain(), the histogram's row total equals `requests` exactly.
+ *  The latency summaries come from always-on obs::Histograms recorded
+ *  outside the mutex; after drain() their counts match too. */
 struct EngineStats
 {
     std::uint64_t requests = 0; ///< Rows accepted by submit().
@@ -145,6 +159,15 @@ struct EngineStats
     /** batch_size_hist[b] = batches that coalesced exactly b rows
      *  (index 0 unused; size = max_batch + 1). */
     std::vector<std::uint64_t> batch_size_hist;
+
+    /** Per request: enqueue -> batch pickup. */
+    LatencySummary queue_wait;
+    /** Per request: enqueue -> reply completion. */
+    LatencySummary request_total;
+    /** Per batch: gathering rows + session tags into the input tensor. */
+    LatencySummary batch_assemble;
+    /** Per batch: the replica's batch-function execution. */
+    LatencySummary batch_execute;
 
     /** Mean coalesced batch size. */
     double mean_batch_rows() const;
@@ -216,7 +239,8 @@ class InferenceEngine
      *  empty AND no replica still holds an unexecuted batch. */
     void drain();
 
-    /** Counter snapshot. */
+    /** Counter snapshot, including histogram-backed queue-wait /
+     *  total-latency / per-stage percentiles (see EngineStats). */
     EngineStats stats() const;
 
     std::int64_t in_dim() const { return in_dim_; }
@@ -252,6 +276,14 @@ class InferenceEngine
     std::size_t busy_workers_ = 0;   ///< Replicas holding a popped batch.
     std::size_t active_submits_ = 0; ///< submit() calls in flight.
     EngineStats stats_;
+
+    // Per-engine latency histograms (nanoseconds), recorded in
+    // execute() OUTSIDE the queue mutex — obs histograms are
+    // relaxed-atomic, so replicas never serialize on telemetry.
+    obs::Histogram hist_queue_wait_;
+    obs::Histogram hist_request_total_;
+    obs::Histogram hist_batch_assemble_;
+    obs::Histogram hist_batch_execute_;
 
     std::vector<std::thread> workers_;
 };

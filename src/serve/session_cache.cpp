@@ -1,9 +1,52 @@
 #include "serve/session_cache.h"
 
 #include "core/env.h"
+#include "obs/obs.h"
 
 namespace mx {
 namespace serve {
+
+namespace {
+
+// Registry mirrors of the per-cache Stats: process-wide totals so the
+// MX_METRICS dump (and the trace's counter events) show session-cache
+// behaviour without anyone calling stats().
+obs::Counter&
+hits_counter()
+{
+    static obs::Counter& c = obs::counter("session.hits");
+    return c;
+}
+
+obs::Counter&
+misses_counter()
+{
+    static obs::Counter& c = obs::counter("session.misses");
+    return c;
+}
+
+obs::Counter&
+evictions_counter()
+{
+    static obs::Counter& c = obs::counter("session.evictions");
+    return c;
+}
+
+obs::Counter&
+evicted_bytes_counter()
+{
+    static obs::Counter& c = obs::counter("session.evicted_bytes");
+    return c;
+}
+
+obs::Gauge&
+resident_gauge()
+{
+    static obs::Gauge& g = obs::gauge("session.resident_bytes");
+    return g;
+}
+
+} // namespace
 
 SessionCache::SessionCache(std::size_t capacity)
     : capacity_(capacity == kFromEnvironment ? default_capacity()
@@ -32,13 +75,16 @@ SessionCache::take_erased(std::uint64_t id)
     auto it = index_.find(id);
     if (it == index_.end()) {
         ++stats_.misses;
+        misses_counter().add(1);
         return nullptr;
     }
     std::shared_ptr<void> state = std::move(it->second->state);
     stats_.resident_bytes -= it->second->bytes;
+    resident_gauge().add(-static_cast<std::int64_t>(it->second->bytes));
     lru_.erase(it->second);
     index_.erase(it);
     ++stats_.hits;
+    hits_counter().add(1);
     return state;
 }
 
@@ -56,18 +102,24 @@ SessionCache::put(std::uint64_t id, std::shared_ptr<void> state,
         // Same id checked in twice (e.g. a sessionless duplicate):
         // keep the newer state, refresh recency.
         stats_.resident_bytes -= it->second->bytes;
+        resident_gauge().add(-static_cast<std::int64_t>(it->second->bytes));
         lru_.erase(it->second);
         index_.erase(it);
     }
     lru_.push_front(LruEntry{id, std::move(state), bytes});
     index_[id] = lru_.begin();
     stats_.resident_bytes += bytes;
+    resident_gauge().add(static_cast<std::int64_t>(bytes));
     while (lru_.size() > capacity_) {
-        stats_.resident_bytes -= lru_.back().bytes;
-        stats_.evicted_bytes += lru_.back().bytes;
+        const std::size_t victim_bytes = lru_.back().bytes;
+        stats_.resident_bytes -= victim_bytes;
+        stats_.evicted_bytes += victim_bytes;
+        resident_gauge().add(-static_cast<std::int64_t>(victim_bytes));
+        evicted_bytes_counter().add(victim_bytes);
         index_.erase(lru_.back().id);
         lru_.pop_back();
         ++stats_.evictions;
+        evictions_counter().add(1);
     }
 }
 
@@ -79,6 +131,7 @@ SessionCache::erase(std::uint64_t id)
     if (it == index_.end())
         return;
     stats_.resident_bytes -= it->second->bytes;
+    resident_gauge().add(-static_cast<std::int64_t>(it->second->bytes));
     lru_.erase(it->second);
     index_.erase(it);
 }

@@ -419,7 +419,11 @@ TEST(InferenceEngine, ShutdownRejectsBlockedSubmitterDistinctly)
     // Second request: fills the queue (capacity 1).
     auto accepted2 = engine->submit(std::vector<float>(4, 2.0f));
 
-    // Third submitter: blocks on back-pressure.
+    // Third submitter: blocks on back-pressure.  It must hold a raw
+    // pointer, not read the unique_ptr: main resets the unique_ptr
+    // while this thread is still inside submit(), and the engine's
+    // in-flight-submitter guarantee covers the object, not the handle.
+    serve::InferenceEngine* raw = engine.get();
     std::promise<void> blocked_entered;
     std::future<void> entered = blocked_entered.get_future();
     bool saw_shutdown_error = false;
@@ -427,7 +431,7 @@ TEST(InferenceEngine, ShutdownRejectsBlockedSubmitterDistinctly)
     std::thread blocked([&] {
         blocked_entered.set_value();
         try {
-            engine->submit(std::vector<float>(4, 3.0f));
+            raw->submit(std::vector<float>(4, 3.0f));
         } catch (const serve::EngineShutdownError&) {
             saw_shutdown_error = true;
         } catch (...) {
