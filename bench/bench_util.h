@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/env.h"
+
 namespace mx {
 namespace bench {
 
@@ -19,8 +21,7 @@ namespace bench {
 inline bool
 fast_mode()
 {
-    const char* v = std::getenv("MX_BENCH_FAST");
-    return v != nullptr && v[0] == '1';
+    return core::env::flag_knob("MX_BENCH_FAST", false);
 }
 
 /** Scale a Monte-Carlo count down in fast mode. */

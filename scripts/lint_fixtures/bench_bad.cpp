@@ -1,0 +1,6 @@
+// Fixture: a metric key that relies on the slugifier.
+struct R { void metric(const char*, double); void flag(const char*, bool); };
+void report(R& r) {
+    r.metric("Items/Sec", 1.0);
+    r.flag("ok-flag", true);
+}

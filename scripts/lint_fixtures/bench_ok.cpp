@@ -1,0 +1,8 @@
+// Fixture: pre-slugified keys, including prefix concatenation.
+#include <string>
+struct R { void metric(const std::string&, double); void flag(const char*, bool); };
+void report(R& r, const std::string& shape) {
+    r.metric("items_per_sec", 1.0);
+    r.metric("gemm_" + shape, 2.0);
+    r.flag("claims_hold", true);
+}

@@ -1,0 +1,6 @@
+// Fixture: raw getenv outside core/env.* must trip env-door.
+#include <cstdlib>
+int threads() {
+    const char* raw = std::getenv("MX_GEMM_THREADS");
+    return raw ? 1 : 0;
+}

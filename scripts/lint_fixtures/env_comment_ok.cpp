@@ -1,0 +1,5 @@
+// Fixture: merely *mentioning* std::getenv("X") in a comment or a
+// string literal must not trip env-door.
+/* Knobs are read with std::getenv, not core/env.h: see obs.h. */
+const char* doc = "call std::getenv(name) yourself";
+int f() { return 0; }

@@ -1,0 +1,4 @@
+// Fixture: src/obs/ is the documented getenv exception (it sits below
+// core in the layer DAG and cannot link core/env).
+#include <cstdlib>
+const char* trace_path() { return std::getenv("MX_TRACE"); }

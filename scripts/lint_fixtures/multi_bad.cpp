@@ -1,0 +1,8 @@
+// Fixture: one file, two violations — both must be reported.
+#include <cstdlib>
+#include <thread>
+void worker() {
+    const char* n = getenv("MX_N");
+    std::thread t([n] { (void)n; });
+    t.join();
+}

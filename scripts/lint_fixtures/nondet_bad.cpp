@@ -1,0 +1,8 @@
+// Fixture: libc randomness and wall clocks inside src/.
+#include <chrono>
+#include <cstdlib>
+int sample() {
+    auto now = std::chrono::system_clock::now();
+    (void)now;
+    return rand();
+}

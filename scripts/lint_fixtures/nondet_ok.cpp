@@ -1,0 +1,10 @@
+// Fixture: steady_clock intervals and identifiers that merely
+// *contain* "rand" (gemm_operand) are fine.
+#include <chrono>
+int gemm_operand();
+double elapsed() {
+    auto t0 = std::chrono::steady_clock::now();
+    (void)gemm_operand();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,7 @@
+// Fixture: intrinsics in a TU without per-file -m flags.
+#include <immintrin.h>
+float sum8(const float* p) {
+    __m256 v = _mm256_loadu_ps(p);
+    (void)v;
+    return p[0];
+}

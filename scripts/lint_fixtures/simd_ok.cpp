@@ -1,0 +1,8 @@
+// Fixture: avx2_* TUs are compiled with -mavx2 -mfma (and carry the
+// runtime-dispatch contract), so intrinsics are expected here.
+#include <immintrin.h>
+float sum8(const float* p) {
+    __m256 v = _mm256_loadu_ps(p);
+    (void)v;
+    return p[0];
+}

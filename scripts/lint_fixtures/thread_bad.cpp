@@ -1,0 +1,6 @@
+// Fixture: spawning a raw std::thread outside the two doors.
+#include <thread>
+void load() {
+    std::thread t([] {});
+    t.join();
+}

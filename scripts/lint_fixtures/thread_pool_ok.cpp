@@ -1,0 +1,4 @@
+// Fixture: core/thread_pool.cpp IS the threading door.
+#include <thread>
+#include <vector>
+std::vector<std::thread> workers;

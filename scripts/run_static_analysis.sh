@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Run clang-tidy over every repo TU and gate on the tracked baseline.
+#
+#   scripts/run_static_analysis.sh [--require] [BUILD_DIR]
+#
+#   --require  fail (exit 2) when clang-tidy is unavailable instead of
+#              skipping — the CI leg passes this so a broken install
+#              cannot silently disable the gate; local runs without
+#              clang simply skip
+#   BUILD_DIR  cmake build tree holding compile_commands.json
+#              (default: build; configured on demand when missing)
+#
+# Findings are normalized to "relative/path.cpp:check-name" lines and
+# compared against scripts/static_analysis_baseline.txt:
+#   * a finding not covered by the baseline FAILS the gate (new debt)
+#   * a baseline entry with no remaining finding WARNS (stale entry —
+#     delete it so the debt cannot silently return)
+# Baseline lines may use "*" for the path to tolerate a check anywhere.
+#
+# Exit status: 0 clean or skipped, 1 new findings, 2 tool missing
+# under --require (or infrastructure failure).
+
+set -u
+
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BASELINE="$REPO_ROOT/scripts/static_analysis_baseline.txt"
+
+REQUIRE=0
+POSITIONAL=()
+for arg in "$@"; do
+    case "$arg" in
+        --require) REQUIRE=1 ;;
+        -h|--help) sed -n '2,22p' "$0"; exit 0 ;;
+        *)         POSITIONAL+=("$arg") ;;
+    esac
+done
+BUILD_DIR=${POSITIONAL[0]:-"$REPO_ROOT/build"}
+
+# --- locate clang-tidy (plain name first, then versioned installs) ---
+TIDY=""
+for cand in clang-tidy clang-tidy-{20,19,18,17,16,15,14}; do
+    if command -v "$cand" >/dev/null 2>&1; then
+        TIDY=$cand
+        break
+    fi
+done
+if [ -z "$TIDY" ]; then
+    if [ "$REQUIRE" -eq 1 ]; then
+        echo "run_static_analysis: clang-tidy not found (--require)" >&2
+        exit 2
+    fi
+    echo "run_static_analysis: clang-tidy not found; skipping" \
+         "(install clang-tidy or rely on the CI static-analysis job)"
+    exit 0
+fi
+
+# --- make sure a compilation database exists -------------------------
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "run_static_analysis: configuring $BUILD_DIR for" \
+         "compile_commands.json"
+    cmake -S "$REPO_ROOT" -B "$BUILD_DIR" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 2
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "run_static_analysis: no compile_commands.json in $BUILD_DIR" >&2
+    exit 2
+fi
+
+# --- enumerate repo TUs from the database ----------------------------
+# Keep first-party code only: fetched third-party sources (gtest under
+# the build tree) are not ours to lint.
+TU_LIST=$(python3 - "$BUILD_DIR/compile_commands.json" "$REPO_ROOT" <<'EOF'
+import json, os, sys
+db_path, root = sys.argv[1], os.path.realpath(sys.argv[2])
+build = os.path.realpath(os.path.dirname(db_path))
+for entry in json.load(open(db_path)):
+    f = os.path.realpath(entry["file"])
+    if f.startswith(root + os.sep) and not f.startswith(build + os.sep):
+        print(f)
+EOF
+) || exit 2
+if [ -z "$TU_LIST" ]; then
+    echo "run_static_analysis: no first-party TUs in the database" >&2
+    exit 2
+fi
+TU_COUNT=$(printf '%s\n' "$TU_LIST" | wc -l)
+
+JOBS=$( (nproc || sysctl -n hw.ncpu || echo 4) 2>/dev/null )
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "run_static_analysis: $TIDY over $TU_COUNT TUs ($JOBS jobs)"
+# clang-tidy exits nonzero on findings; the baseline decides pass/fail,
+# so swallow per-TU status and look only at the diagnostics.
+printf '%s\n' "$TU_LIST" | xargs -P "$JOBS" -n 4 \
+    "$TIDY" -p "$BUILD_DIR" --quiet >"$RAW" 2>/dev/null || true
+
+# --- normalize findings and diff against the baseline ----------------
+python3 - "$RAW" "$BASELINE" "$REPO_ROOT" <<'EOF'
+import os, re, sys
+raw_path, baseline_path, root = sys.argv[1], sys.argv[2], sys.argv[3]
+root = os.path.realpath(root)
+
+finding_re = re.compile(
+    r"^(?P<file>/[^:]+):\d+:\d+: (?:warning|error): .* \[(?P<checks>[^\]]+)\]")
+findings = set()
+for line in open(raw_path, errors="replace"):
+    m = finding_re.match(line)
+    if not m:
+        continue
+    f = os.path.realpath(m.group("file"))
+    if not f.startswith(root + os.sep):
+        continue
+    rel = os.path.relpath(f, root)
+    for check in m.group("checks").split(","):
+        findings.add((rel, check.strip()))
+
+baseline = set()
+if os.path.exists(baseline_path):
+    for line in open(baseline_path):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        path, _, check = line.rpartition(":")
+        baseline.add((path, check))
+
+def tolerated(rel, check):
+    return (rel, check) in baseline or ("*", check) in baseline
+
+new = sorted(f for f in findings if not tolerated(*f))
+stale = sorted(b for b in baseline
+               if b[0] != "*" and b not in findings)
+wild_stale = sorted(b for b in baseline if b[0] == "*"
+                    and not any(c == b[1] for _, c in findings))
+
+for path, check in stale + wild_stale:
+    print(f"run_static_analysis: stale baseline entry {path}:{check} "
+          f"(finding is gone — delete the line)")
+if new:
+    print(f"run_static_analysis: {len(new)} finding(s) not in baseline:")
+    for path, check in new:
+        print(f"  {path}:{check}")
+    print("Fix them, or (for accepted debt) append the lines above to "
+          "scripts/static_analysis_baseline.txt")
+    sys.exit(1)
+print(f"run_static_analysis: clean "
+      f"({len(findings)} finding(s), all baselined)")
+EOF

@@ -1,5 +1,7 @@
 #include "core/env.h"
 
+#include "core/thread_annotations.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -31,17 +33,21 @@ normalize(const char* raw)
     return v;
 }
 
+/** Names already warned about (leaked: warn_once can run at exit). */
+Mutex g_warned_mu;
+std::set<std::string>* g_warned MX_GUARDED_BY(g_warned_mu) = nullptr;
+
 /** Warn once per variable per process (a knob read in a hot loop must
  *  not spam stderr). */
 void
 warn_once(const char* name, const char* raw, const std::string& expected,
           const char* action = "using the default")
 {
-    static std::mutex mu;
-    static std::set<std::string>* warned = new std::set<std::string>;
     {
-        std::lock_guard<std::mutex> lk(mu);
-        if (!warned->insert(name).second)
+        LockGuard lk(g_warned_mu);
+        if (g_warned == nullptr)
+            g_warned = new std::set<std::string>;
+        if (!g_warned->insert(name).second)
             return;
     }
     std::fprintf(stderr,

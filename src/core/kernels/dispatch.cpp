@@ -23,7 +23,9 @@ env_caps_at_avx2()
     return env::flag_knob("MX_FORCE_AVX2", false);
 }
 
-/** Cached level; -1 = not resolved yet. */
+/** Cached level; -1 = not resolved yet.  Lock-free by design: the
+ *  only shared state here is this one atomic (acquire/release pairs
+ *  below), so there is nothing for thread-safety analysis to guard. */
 std::atomic<int> g_level{-1};
 
 SimdLevel

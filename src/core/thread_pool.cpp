@@ -38,10 +38,14 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        LockGuard lk(mu_);
         stop_ = true;
     }
     work_cv_.notify_all();
+    // run_mu_ makes the workers_ read provable; it cannot contend —
+    // a parallel_for still holding it while the pool dies is already
+    // a use-after-free — and the workers never take run_mu_.
+    LockGuard run_lock(run_mu_);
     for (std::thread& t : workers_)
         t.join();
 }
@@ -65,13 +69,11 @@ ThreadPool::ensure_started()
 }
 
 void
-ThreadPool::run_items()
+ThreadPool::run_items(const std::function<void(std::size_t)>& body,
+                      std::size_t n, std::size_t chunk)
 {
     const bool was_in_pool = tl_in_pool;
     tl_in_pool = true;
-    const std::function<void(std::size_t)>* body = body_;
-    const std::size_t n = n_;
-    const std::size_t chunk = chunk_;
     for (;;) {
         const std::size_t begin =
             next_.fetch_add(chunk, std::memory_order_relaxed);
@@ -80,10 +82,10 @@ ThreadPool::run_items()
         const std::size_t end = std::min(n, begin + chunk);
         for (std::size_t i = begin; i < end; ++i) {
             try {
-                (*body)(i);
+                body(i);
             } catch (...) {
                 {
-                    std::lock_guard<std::mutex> lk(mu_);
+                    LockGuard lk(mu_);
                     if (!error_)
                         error_ = std::current_exception();
                 }
@@ -102,19 +104,31 @@ ThreadPool::worker_loop()
     obs::set_thread_name("pool-worker");
     std::uint64_t seen = 0;
     for (;;) {
-        std::unique_lock<std::mutex> lk(mu_);
-        work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
-        if (stop_)
-            return;
-        seen = generation_;
-        if (!body_)
-            continue; // woke after the job already finished
-        ++active_;
-        lk.unlock();
-        run_items();
-        lk.lock();
-        if (--active_ == 0)
-            done_cv_.notify_all();
+        // Snapshot the job under the lock; the work loop runs on the
+        // snapshot so it never touches the guarded fields lock-free.
+        const std::function<void(std::size_t)>* body = nullptr;
+        std::size_t n = 0;
+        std::size_t chunk = 1;
+        {
+            UniqueLock lk(mu_);
+            while (!stop_ && generation_ == seen)
+                lk.wait(work_cv_);
+            if (stop_)
+                return;
+            seen = generation_;
+            if (!body_)
+                continue; // woke after the job already finished
+            ++active_;
+            body = body_;
+            n = n_;
+            chunk = chunk_;
+        }
+        run_items(*body, n, chunk);
+        {
+            LockGuard lk(mu_);
+            if (--active_ == 0)
+                done_cv_.notify_all();
+        }
     }
 }
 
@@ -136,23 +150,26 @@ ThreadPool::parallel_for(std::size_t n,
     obs::Span span("pool.parallel_for");
     span.arg("n", static_cast<double>(n));
 
-    std::lock_guard<std::mutex> run_lock(run_mu_);
+    LockGuard run_lock(run_mu_);
     ensure_started();
+    const std::size_t chunk =
+        std::max<std::size_t>(1, n / (thread_count() * 8));
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        LockGuard lk(mu_);
         body_ = &body;
         n_ = n;
-        chunk_ = std::max<std::size_t>(1, n / (thread_count() * 8));
+        chunk_ = chunk;
         next_.store(0, std::memory_order_relaxed);
         error_ = nullptr;
         ++generation_;
     }
     work_cv_.notify_all();
-    run_items(); // the caller is a lane too
+    run_items(body, n, chunk); // the caller is a lane too
     std::exception_ptr err;
     {
-        std::unique_lock<std::mutex> lk(mu_);
-        done_cv_.wait(lk, [&] { return active_ == 0; });
+        UniqueLock lk(mu_);
+        while (active_ != 0)
+            lk.wait(done_cv_);
         body_ = nullptr;
         err = error_;
         error_ = nullptr;

@@ -33,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.h"
+
 namespace mx {
 namespace core {
 
@@ -72,27 +74,32 @@ class ThreadPool
     static std::size_t default_thread_count();
 
   private:
-    void ensure_started();
-    void worker_loop();
-    void run_items();
+    void ensure_started() MX_REQUIRES(run_mu_);
+    void worker_loop() MX_EXCLUDES(mu_);
+    /** One lane's share of the current job: @p body/@p n/@p chunk are
+     *  the caller's snapshot of the job fields, taken under mu_ (or
+     *  owned outright by parallel_for), so the work loop itself runs
+     *  lock-free.  Only the first-exception slot touches mu_. */
+    void run_items(const std::function<void(std::size_t)>& body,
+                   std::size_t n, std::size_t chunk) MX_EXCLUDES(mu_);
 
     std::size_t num_workers_ = 0; ///< Lanes - 1 (threads actually spawned).
-    std::vector<std::thread> workers_;
-    bool started_ = false;
+    Mutex run_mu_; ///< Serializes top-level parallel_for calls.
+    std::vector<std::thread> workers_ MX_GUARDED_BY(run_mu_);
+    bool started_ MX_GUARDED_BY(run_mu_) = false;
 
-    std::mutex run_mu_; ///< Serializes top-level parallel_for calls.
-
-    std::mutex mu_;
+    Mutex mu_; ///< Guards the per-job fields below.
     std::condition_variable work_cv_;
     std::condition_variable done_cv_;
-    std::uint64_t generation_ = 0;
-    bool stop_ = false;
-    std::size_t active_ = 0;
-    const std::function<void(std::size_t)>* body_ = nullptr;
-    std::size_t n_ = 0;
-    std::size_t chunk_ = 1;
-    std::atomic<std::size_t> next_{0};
-    std::exception_ptr error_;
+    std::uint64_t generation_ MX_GUARDED_BY(mu_) = 0;
+    bool stop_ MX_GUARDED_BY(mu_) = false;
+    std::size_t active_ MX_GUARDED_BY(mu_) = 0;
+    const std::function<void(std::size_t)>* body_ MX_GUARDED_BY(mu_) =
+        nullptr;
+    std::size_t n_ MX_GUARDED_BY(mu_) = 0;
+    std::size_t chunk_ MX_GUARDED_BY(mu_) = 1;
+    std::atomic<std::size_t> next_{0}; ///< Work cursor: atomic, unguarded.
+    std::exception_ptr error_ MX_GUARDED_BY(mu_);
 };
 
 } // namespace core

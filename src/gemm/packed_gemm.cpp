@@ -10,6 +10,7 @@
 #include "core/check.h"
 #include "core/env.h"
 #include "core/kernels/dispatch.h"
+#include "core/thread_annotations.h"
 #include "core/thread_pool.h"
 #include "obs/obs.h"
 
@@ -207,16 +208,22 @@ class ScalarGemmKernel final : public PackedGemmKernel
  * set_gemm_threads count gets its own cached pool (tests pin 2 and 7
  * back to back — churning pool threads per GEMM would dwarf the GEMM).
  */
+/** Pinned-count pool cache behind pool_for (leaked, like the obs
+ *  registries: lanes may still be draining at static destruction). */
+core::Mutex g_pools_mu;
+std::map<std::size_t, std::unique_ptr<core::ThreadPool>>*
+    g_pools MX_GUARDED_BY(g_pools_mu) = nullptr;
+
 core::ThreadPool&
 pool_for(std::size_t threads)
 {
     if (threads == core::ThreadPool::default_thread_count())
         return core::ThreadPool::shared();
-    static std::mutex mu;
-    static auto* pools =
-        new std::map<std::size_t, std::unique_ptr<core::ThreadPool>>;
-    std::lock_guard<std::mutex> lk(mu);
-    std::unique_ptr<core::ThreadPool>& slot = (*pools)[threads];
+    core::LockGuard lk(g_pools_mu);
+    if (g_pools == nullptr)
+        g_pools =
+            new std::map<std::size_t, std::unique_ptr<core::ThreadPool>>;
+    std::unique_ptr<core::ThreadPool>& slot = (*g_pools)[threads];
     if (slot == nullptr)
         slot = std::make_unique<core::ThreadPool>(threads);
     return *slot;

@@ -1,5 +1,10 @@
 #include "obs/obs.h"
 
+// Macro-only header (no mx_core link dependency): the capability
+// annotations keep the obs rings/registry inside the tree-wide
+// -Wthread-safety net without inverting the obs -> core layer order.
+#include "core/thread_annotations.h"
+
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -53,7 +58,7 @@ struct ThreadBuffer
     {
         bool overwrote = false;
         {
-            std::lock_guard<std::mutex> lk(mu);
+            core::LockGuard lk(mu);
             if (ring.size() < kRingCapacity) {
                 ring.push_back(rec);
             } else {
@@ -71,18 +76,21 @@ struct ThreadBuffer
     }
 
     const std::uint32_t tid;
-    std::mutex mu;
-    std::vector<SpanRecord> ring;
-    std::size_t next_slot = 0;     ///< Oldest record once wrapped.
-    std::uint64_t dropped = 0;     ///< Overwritten span count.
-    std::string name;              ///< set_thread_name label.
+    core::Mutex mu;
+    std::vector<SpanRecord> ring MX_GUARDED_BY(mu);
+    /// Oldest record once wrapped.
+    std::size_t next_slot MX_GUARDED_BY(mu) = 0;
+    /// Overwritten span count.
+    std::uint64_t dropped MX_GUARDED_BY(mu) = 0;
+    /// set_thread_name label.
+    std::string name MX_GUARDED_BY(mu);
 };
 
 struct TraceState
 {
-    std::mutex mu;
-    std::vector<std::unique_ptr<ThreadBuffer>> buffers;
-    std::uint32_t next_tid = 1;
+    core::Mutex mu;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers MX_GUARDED_BY(mu);
+    std::uint32_t next_tid MX_GUARDED_BY(mu) = 1;
 };
 
 TraceState&
@@ -100,7 +108,7 @@ this_thread_buffer()
 {
     if (tl_buffer == nullptr) {
         TraceState& s = trace_state();
-        std::lock_guard<std::mutex> lk(s.mu);
+        core::LockGuard lk(s.mu);
         s.buffers.push_back(std::make_unique<ThreadBuffer>(s.next_tid++));
         tl_buffer = s.buffers.back().get();
     }
@@ -115,11 +123,17 @@ this_thread_buffer()
 
 struct Registry
 {
-    std::mutex mu;
+    core::Mutex mu;
     // std::map: exporters walk names in deterministic sorted order.
-    std::map<std::string, std::unique_ptr<Counter>> counters;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    // The maps are guarded; the pointed-to metrics are relaxed-atomic
+    // and deliberately touched lock-free once a call site holds a
+    // reference (the registry promises address stability, not
+    // exclusion).
+    std::map<std::string, std::unique_ptr<Counter>>
+        counters MX_GUARDED_BY(mu);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges MX_GUARDED_BY(mu);
+    std::map<std::string, std::unique_ptr<Histogram>>
+        histograms MX_GUARDED_BY(mu);
 };
 
 Registry&
@@ -380,7 +394,7 @@ Counter&
 counter(const std::string& name)
 {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lk(r.mu);
+    core::LockGuard lk(r.mu);
     std::unique_ptr<Counter>& slot = r.counters[name];
     if (slot == nullptr)
         slot = std::make_unique<Counter>();
@@ -391,7 +405,7 @@ Gauge&
 gauge(const std::string& name)
 {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lk(r.mu);
+    core::LockGuard lk(r.mu);
     std::unique_ptr<Gauge>& slot = r.gauges[name];
     if (slot == nullptr)
         slot = std::make_unique<Gauge>();
@@ -402,7 +416,7 @@ Histogram&
 histogram(const std::string& name)
 {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lk(r.mu);
+    core::LockGuard lk(r.mu);
     std::unique_ptr<Histogram>& slot = r.histograms[name];
     if (slot == nullptr)
         slot = std::make_unique<Histogram>();
@@ -454,7 +468,7 @@ set_thread_name(const char* name)
     if (!trace_enabled())
         return;
     ThreadBuffer& buf = this_thread_buffer();
-    std::lock_guard<std::mutex> lk(buf.mu);
+    core::LockGuard lk(buf.mu);
     buf.name = name;
 }
 
@@ -462,10 +476,10 @@ std::size_t
 trace_span_count()
 {
     TraceState& s = trace_state();
-    std::lock_guard<std::mutex> lk(s.mu);
+    core::LockGuard lk(s.mu);
     std::size_t total = 0;
     for (const std::unique_ptr<ThreadBuffer>& buf : s.buffers) {
-        std::lock_guard<std::mutex> blk(buf->mu);
+        core::LockGuard blk(buf->mu);
         total += buf->ring.size();
     }
     return total;
@@ -475,9 +489,9 @@ void
 clear_trace()
 {
     TraceState& s = trace_state();
-    std::lock_guard<std::mutex> lk(s.mu);
+    core::LockGuard lk(s.mu);
     for (const std::unique_ptr<ThreadBuffer>& buf : s.buffers) {
-        std::lock_guard<std::mutex> blk(buf->mu);
+        core::LockGuard blk(buf->mu);
         buf->ring.clear();
         buf->next_slot = 0;
         buf->dropped = 0;
@@ -502,10 +516,10 @@ write_trace(std::ostream& os)
     std::vector<ThreadDump> dumps;
     {
         TraceState& s = trace_state();
-        std::lock_guard<std::mutex> lk(s.mu);
+        core::LockGuard lk(s.mu);
         dumps.reserve(s.buffers.size());
         for (const std::unique_ptr<ThreadBuffer>& buf : s.buffers) {
-            std::lock_guard<std::mutex> blk(buf->mu);
+            core::LockGuard blk(buf->mu);
             ThreadDump d;
             d.tid = buf->tid;
             d.name = buf->name;
@@ -592,7 +606,7 @@ write_trace(std::ostream& os)
     {
         const std::string ts = us(now_ns());
         Registry& r = registry();
-        std::lock_guard<std::mutex> lk(r.mu);
+        core::LockGuard lk(r.mu);
         const auto emit_counter = [&](const std::string& name, double v) {
             std::ostringstream line;
             line << "{\"name\":\"" << json_escape(name)
@@ -628,7 +642,7 @@ metrics_text()
 {
     std::ostringstream os;
     Registry& r = registry();
-    std::lock_guard<std::mutex> lk(r.mu);
+    core::LockGuard lk(r.mu);
     for (const auto& [name, c] : r.counters) {
         const std::string s = slug(name);
         os << "# TYPE " << s << " counter\n"

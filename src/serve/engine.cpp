@@ -159,14 +159,15 @@ InferenceEngine::start(
 InferenceEngine::~InferenceEngine()
 {
     {
-        std::unique_lock<std::mutex> lk(mu_);
+        core::UniqueLock lk(mu_);
         stop_ = true;
         not_empty_.notify_all();
         not_full_.notify_all();
         // Submitters blocked on back-pressure wake, observe stop_, and
         // throw EngineShutdownError; wait them out so none still
         // touches the engine when the members are torn down.
-        submitters_done_.wait(lk, [this] { return active_submits_ == 0; });
+        while (active_submits_ != 0)
+            lk.wait(submitters_done_);
     }
     // Workers drain every accepted request before exiting.
     for (std::thread& t : workers_)
@@ -179,15 +180,14 @@ InferenceEngine::submit(std::vector<float> row, std::uint64_t session)
     MX_CHECK_ARG(static_cast<std::int64_t>(row.size()) == in_dim_,
                  "InferenceEngine: request row has " << row.size()
                      << " features, engine expects " << in_dim_);
-    std::unique_lock<std::mutex> lk(mu_);
+    core::UniqueLock lk(mu_);
     if (stop_)
         throw EngineShutdownError(
             "InferenceEngine: submit() after shutdown — the engine's "
             "destructor already ran; no new requests are accepted");
     ++active_submits_;
-    not_full_.wait(lk, [this] {
-        return queue_.size() < cfg_.queue_capacity || stop_;
-    });
+    while (queue_.size() >= cfg_.queue_capacity && !stop_)
+        lk.wait(not_full_);
     if (stop_) {
         if (--active_submits_ == 0)
             submitters_done_.notify_all();
@@ -216,10 +216,9 @@ InferenceEngine::drain()
     // `busy_workers_` counts replicas that popped a batch and have not
     // finished executing it: with N workers, an empty queue alone does
     // not mean every accepted request completed.
-    std::unique_lock<std::mutex> lk(mu_);
-    idle_.wait(lk, [this] {
-        return queue_.empty() && busy_workers_ == 0;
-    });
+    core::UniqueLock lk(mu_);
+    while (!queue_.empty() || busy_workers_ != 0)
+        lk.wait(idle_);
 }
 
 EngineStats
@@ -227,7 +226,7 @@ InferenceEngine::stats() const
 {
     EngineStats s;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        core::LockGuard lk(mu_);
         s = stats_;
     }
     // Histogram reads are relaxed-atomic snapshots; taking them outside
@@ -249,8 +248,9 @@ InferenceEngine::worker_loop(std::size_t replica)
     for (;;) {
         std::vector<Pending> batch;
         {
-            std::unique_lock<std::mutex> lk(mu_);
-            not_empty_.wait(lk, [this] { return !queue_.empty() || stop_; });
+            core::UniqueLock lk(mu_);
+            while (queue_.empty() && !stop_)
+                lk.wait(not_empty_);
             if (queue_.empty()) // stop_ set and nothing left to serve
                 return;
             ++busy_workers_;
@@ -266,7 +266,7 @@ InferenceEngine::worker_loop(std::size_t replica)
         execute(fn, batch);
 
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            core::LockGuard lk(mu_);
             --busy_workers_;
         }
         idle_.notify_all();

@@ -67,6 +67,7 @@
 #include <vector>
 
 #include "core/check.h"
+#include "core/thread_annotations.h"
 #include "core/thread_pool.h"
 #include "obs/obs.h"
 #include "tensor/tensor.h"
@@ -266,16 +267,18 @@ class InferenceEngine
     EngineConfig cfg_;
     std::vector<SessionBatchFn> replica_fns_;
 
-    mutable std::mutex mu_;
+    mutable core::Mutex mu_; ///< The one queue mutex (see EngineStats).
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
     std::condition_variable idle_;
     std::condition_variable submitters_done_;
-    std::deque<Pending> queue_;
-    bool stop_ = false;
-    std::size_t busy_workers_ = 0;   ///< Replicas holding a popped batch.
-    std::size_t active_submits_ = 0; ///< submit() calls in flight.
-    EngineStats stats_;
+    std::deque<Pending> queue_ MX_GUARDED_BY(mu_);
+    bool stop_ MX_GUARDED_BY(mu_) = false;
+    /// Replicas holding a popped batch.
+    std::size_t busy_workers_ MX_GUARDED_BY(mu_) = 0;
+    /// submit() calls in flight.
+    std::size_t active_submits_ MX_GUARDED_BY(mu_) = 0;
+    EngineStats stats_ MX_GUARDED_BY(mu_);
 
     // Per-engine latency histograms (nanoseconds), recorded in
     // execute() OUTSIDE the queue mutex — obs histograms are

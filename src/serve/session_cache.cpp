@@ -64,14 +64,14 @@ SessionCache::default_capacity()
 std::size_t
 SessionCache::size() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    core::LockGuard lk(mu_);
     return lru_.size();
 }
 
 std::shared_ptr<void>
 SessionCache::take_erased(std::uint64_t id)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    core::LockGuard lk(mu_);
     auto it = index_.find(id);
     if (it == index_.end()) {
         ++stats_.misses;
@@ -94,7 +94,7 @@ SessionCache::put(std::uint64_t id, std::shared_ptr<void> state,
 {
     if (state == nullptr)
         return;
-    std::lock_guard<std::mutex> lk(mu_);
+    core::LockGuard lk(mu_);
     if (capacity_ == 0)
         return; // disabled: the bit-identical full-recompute fallback
     auto it = index_.find(id);
@@ -126,7 +126,7 @@ SessionCache::put(std::uint64_t id, std::shared_ptr<void> state,
 void
 SessionCache::erase(std::uint64_t id)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    core::LockGuard lk(mu_);
     auto it = index_.find(id);
     if (it == index_.end())
         return;
@@ -139,7 +139,7 @@ SessionCache::erase(std::uint64_t id)
 SessionCache::Stats
 SessionCache::stats() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    core::LockGuard lk(mu_);
     return stats_;
 }
 

@@ -36,6 +36,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/thread_annotations.h"
+
 namespace mx {
 namespace serve {
 
@@ -107,11 +109,13 @@ class SessionCache
         std::size_t bytes = 0;
     };
 
-    mutable std::mutex mu_;
-    std::size_t capacity_;
-    std::list<LruEntry> lru_; ///< Front = most recently used.
-    std::unordered_map<std::uint64_t, std::list<LruEntry>::iterator> index_;
-    Stats stats_;
+    mutable core::Mutex mu_;
+    std::size_t capacity_; ///< Immutable after construction.
+    /// Front = most recently used.
+    std::list<LruEntry> lru_ MX_GUARDED_BY(mu_);
+    std::unordered_map<std::uint64_t, std::list<LruEntry>::iterator>
+        index_ MX_GUARDED_BY(mu_);
+    Stats stats_ MX_GUARDED_BY(mu_);
 };
 
 } // namespace serve

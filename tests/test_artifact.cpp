@@ -39,6 +39,7 @@
 #include "artifact/format.h"
 #include "artifact/reader.h"
 #include "artifact/writer.h"
+#include "core/env.h"
 #include "core/kernels/dispatch.h"
 #include "gemm/packed_gemm.h"
 #include "models/dlrm_mini.h"
@@ -687,7 +688,7 @@ TEST(GoldenArtifact, DecodesBitExactly)
     // Regeneration escape hatch for INTENTIONAL format changes:
     //   MX_REGEN_GOLDEN=1 ./test_artifact
     //       --gtest_filter=GoldenArtifact.DecodesBitExactly
-    if (std::getenv("MX_REGEN_GOLDEN") != nullptr)
+    if (core::env::flag_knob("MX_REGEN_GOLDEN", false))
         golden_model().save_frozen(golden_path());
 
     models::MlpClassifier loaded =

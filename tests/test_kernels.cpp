@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/env.h"
 #include "core/kernels/dispatch.h"
 #include "core/quantize.h"
 #include "formats/block_codec.h"
@@ -234,8 +235,9 @@ TEST(KernelDispatch, ForceScalarPinsReference)
     // Releasing the override re-resolves from the environment, so the
     // expectation depends on MX_FORCE_SCALAR (the CI matrix exercises
     // both values of the knob).
-    const char* env = std::getenv("MX_FORCE_SCALAR");
-    const bool env_scalar = env && env[0] != '\0' && std::string(env) != "0";
+    // Same parser dispatch itself uses, so the expectation cannot
+    // drift from resolve()'s reading of the knob.
+    const bool env_scalar = core::env::flag_knob("MX_FORCE_SCALAR", false);
     if (kernels::avx2_supported() && !env_scalar)
         EXPECT_STREQ(kernels::active_kernel().name(), "avx2");
     else

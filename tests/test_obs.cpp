@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
 #include <new>
 #include <sstream>
 #include <string>
@@ -337,13 +338,27 @@ TEST(ObsTrace, PoolWorkerSpansLandOnWorkerThreads)
     core::ThreadPool pool(4);
     obs::set_trace_enabled(true);
     obs::clear_trace();
+    // Rendezvous: early lanes park until a second thread has joined
+    // in, so "spans land on >= 2 threads" is guaranteed rather than a
+    // race the submitting thread can win outright (under TSan's slow
+    // thread start it regularly drained all 64 chunks alone).  Safe
+    // from deadlock: parallel_for's caller and all four workers pull
+    // chunks concurrently, so a second thread always arrives.
+    std::mutex seen_mu;
+    std::vector<std::thread::id> seen;
+    std::atomic<bool> go{false};
     pool.parallel_for(64, [&](std::size_t) {
         obs::Span s("test.lane");
-        // Enough work that no single lane can drain every chunk
-        // before the others start.
-        volatile double sink = 0;
-        for (int i = 0; i < 20000; ++i)
-            sink = sink + static_cast<double>(i);
+        {
+            std::lock_guard<std::mutex> lk(seen_mu);
+            if (std::find(seen.begin(), seen.end(),
+                          std::this_thread::get_id()) == seen.end())
+                seen.push_back(std::this_thread::get_id());
+            if (seen.size() >= 2)
+                go.store(true);
+        }
+        while (!go.load())
+            std::this_thread::yield();
     });
     obs::set_trace_enabled(false);
 
